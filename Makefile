@@ -1,0 +1,25 @@
+# Convenience targets for the BB reproduction.
+
+.PHONY: install test bench experiments artifacts examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	python -m repro experiment all
+
+artifacts:
+	python scripts/generate_artifacts.py --out artifacts
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; python $$f || exit 1; done
+
+clean:
+	rm -rf artifacts .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

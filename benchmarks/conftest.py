@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs its experiment once (``pedantic`` with one round —
+the simulations are deterministic, so repetition only measures the host
+machine) and prints the regenerated table/figure so that::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces every artifact of the paper's evaluation in one go.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run an experiment once under the benchmark clock and print its
+    rendered artifact."""
+
+    def _run(run_fn, render_fn, *args, **kwargs):
+        result = benchmark.pedantic(run_fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(render_fn(result))
+        return result
+
+    return _run

@@ -1,0 +1,20 @@
+"""Bench ABL — regenerate the design-choice ablation tables."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(regenerate):
+    result = regenerate(ablations.run, ablations.render)
+    # The two dominant mechanisms under leave-one-out, as under cumulative
+    # attribution: the RCU Booster and the BB Manager's prioritization.
+    ordered = sorted(result.leave_one_out_ms.items(), key=lambda kv: -kv[1])
+    assert {name for name, _ in ordered[:2]} == {"rcu_booster",
+                                                 "group_priority_boost"}
+    # Sequential init is the slowest scheme; out-of-order misboots.
+    assert result.scheme_ms["sequential rcS"] == max(result.scheme_ms.values())
+    assert result.scheme_violations["out-of-order"] > 0
+    # BB keeps the commercial fork's boot near the open-source one.
+    open_none, open_bb = result.growth_ms["open-source (136 services)"]
+    comm_none, comm_bb = result.growth_ms["commercial fork (>250 services)"]
+    assert comm_none > 1.5 * open_none
+    assert comm_bb < 1.15 * open_bb

@@ -1,0 +1,18 @@
+"""Bench T-SNAPSHOT / T-COMPRESS — regenerate the §2.1-2.3 background
+model tables."""
+
+import pytest
+
+from repro.experiments import background
+
+
+def test_background_models(regenerate):
+    result = regenerate(background.run, background.render)
+    # Paper: ~10 s to read a 3 GiB snapshot at ~300 MiB/s.
+    assert result.snapshot_restore_s["Galaxy-S6-like (3 GiB, UFS)"] == \
+        pytest.approx(10.5, abs=1.0)
+    # Compression only helps below the decompressor's 35 MiB/s.
+    helps = {name: flag for name, _, _, flag in result.compression_rows}
+    assert helps == {"UFS-2.0": False, "SSD-850-Evo": False, "eMMC": False,
+                     "HDD-Barracuda": False, "old-NAND": True}
+    assert not result.silent_boot_meets_eu_rule

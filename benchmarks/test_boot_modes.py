@@ -1,0 +1,14 @@
+"""Bench T-BOOTMODES — regenerate the §1/§2 decision matrix."""
+
+from repro.experiments import boot_modes
+
+
+def test_boot_modes(regenerate):
+    result = regenerate(boot_modes.run, boot_modes.render)
+    # The paper's argument in one assertion: BB's cold boot is the only
+    # mechanism that satisfies every constraint at acceptable latency.
+    assert result.winners == ["cold boot + BB"]
+    assert not result.mode("suspend-to-RAM (Instant On)").survives_unplug
+    assert not result.mode("silent boot then suspend").meets_eu_standby
+    assert not result.mode("snapshot boot (factory image)").supports_third_party_apps
+    assert result.mode("cold boot (conventional)").latency_s > 4.0

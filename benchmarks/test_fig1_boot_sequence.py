@@ -1,0 +1,15 @@
+"""Bench FIG1 — regenerate the Fig. 1 conventional boot timeline."""
+
+import pytest
+
+from repro.experiments import fig1_boot_sequence
+from repro.quantities import sec
+
+
+def test_fig1_boot_sequence(regenerate):
+    result = regenerate(fig1_boot_sequence.run, fig1_boot_sequence.render)
+    # Paper: ~8.1 s conventional completion; kernel 698 ms; init 195 ms.
+    assert result.report.boot_complete_ns == pytest.approx(sec(8.1), rel=0.05)
+    assert result.segments_ms["kernel (memory init)"] == pytest.approx(370,
+                                                                       rel=0.05)
+    assert result.segments_ms["services & applications"] > 6000

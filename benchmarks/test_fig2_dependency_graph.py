@@ -1,0 +1,13 @@
+"""Bench FIG2 — regenerate the Fig. 2 dependency-graph statistics."""
+
+import pytest
+
+from repro.experiments import fig2_dependency_graph
+
+
+def test_fig2_dependency_graph(regenerate):
+    result = regenerate(fig2_dependency_graph.run, fig2_dependency_graph.render)
+    # Paper: 136 services open source, almost doubling for commercialization.
+    assert result.opensource.units == 137
+    assert result.growth_factor == pytest.approx(2.0, abs=0.25)
+    assert result.opensource.weak_edges > result.opensource.strong_edges

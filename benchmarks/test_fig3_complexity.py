@@ -1,0 +1,10 @@
+"""Bench FIG3 — regenerate the Fig. 3 fragmentation scenario."""
+
+from repro.experiments import fig3_complexity
+
+
+def test_fig3_complexity(regenerate):
+    result = regenerate(fig3_complexity.run, fig3_complexity.render)
+    # Paper: the new service partitions group b and can close a cycle.
+    assert result.group_b_split
+    assert result.cycle_report.findings

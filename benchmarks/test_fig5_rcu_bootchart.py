@@ -1,0 +1,12 @@
+"""Bench FIG5A — regenerate the Fig. 5(a) RCU Booster bootchart effect."""
+
+from repro.experiments import fig5_rcu_bootchart
+
+
+def test_fig5_rcu_bootchart(regenerate):
+    result = regenerate(fig5_rcu_bootchart.run,
+                        lambda r: fig5_rcu_bootchart.render(r, with_charts=True))
+    # Paper: the boosted case launches more tasks earlier.
+    assert result.boosted_ready_earlier
+    rows = result.ready_at_checkpoints()
+    assert any(boosted > conventional for _, conventional, boosted in rows)

@@ -1,0 +1,19 @@
+"""Bench FIG6 — regenerate the paper's main table: the full No-BB vs BB
+breakdown with per-feature attribution."""
+
+import pytest
+
+from repro.experiments import fig6_breakdown
+from repro.quantities import sec
+
+
+def test_fig6_breakdown(regenerate):
+    result = regenerate(fig6_breakdown.run, fig6_breakdown.render)
+    # Headline: 8.1 s -> 3.5 s, ~57 % reduction.
+    assert result.no_bb.boot_complete_ns == pytest.approx(sec(8.1), rel=0.05)
+    assert result.bb.boot_complete_ns == pytest.approx(sec(3.5), rel=0.05)
+    assert result.reduction == pytest.approx(0.57, abs=0.03)
+    # The two dominant mechanisms, as in the paper.
+    savings = result.cumulative_savings_ms
+    assert savings["rcu_booster"] == pytest.approx(1828, rel=0.25)
+    assert result.bb_group_saving_ms() == pytest.approx(1101, rel=0.35)

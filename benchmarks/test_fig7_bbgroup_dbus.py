@@ -1,0 +1,12 @@
+"""Bench FIG7 — regenerate the var.mount isolation experiment."""
+
+from repro.experiments import fig7_bbgroup_dbus
+
+
+def test_fig7_bbgroup_dbus(regenerate):
+    result = regenerate(fig7_bbgroup_dbus.run, fig7_bbgroup_dbus.render)
+    # Paper: dbus.service launch advanced 450 -> 195 ms (~2.3x) by
+    # isolating var.mount alone; shape check: >100 ms and 1.3-4x.
+    assert result.dbus_advanced_by_ms > 100
+    assert 1.3 <= result.advance_factor <= 4.0
+    assert result.boosted_ms("var.mount")[0] < result.conventional_ms("var.mount")[0]

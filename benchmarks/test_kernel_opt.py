@@ -1,0 +1,13 @@
+"""Bench T-KERNELOPT — regenerate the §2.4 kernel optimization sweep."""
+
+import pytest
+
+from repro.experiments import kernel_opt
+from repro.quantities import msec, sec
+
+
+def test_kernel_opt(regenerate):
+    result = regenerate(kernel_opt.run, kernel_opt.render)
+    # Paper: 6.127 s unoptimized -> 0.698 s after conventional optimization.
+    assert result.unoptimized_ns == pytest.approx(sec(6.127), rel=0.05)
+    assert result.optimized_ns == pytest.approx(msec(698), rel=0.05)

@@ -1,0 +1,14 @@
+"""Bench T-PORTABILITY — regenerate the §4 cross-device claim."""
+
+from repro.experiments import portability
+
+
+def test_portability(regenerate):
+    result = regenerate(portability.run, portability.render)
+    # §4: BB applies seamlessly across consumer-electronics classes.
+    assert result.helps_everywhere
+    # On the TV it delivers the headline ~57 %.
+    assert 0.50 <= result.reduction("smart TV (UE48H6200)") <= 0.62
+    # And a substantial cut (>25 %) on every other device class.
+    for device, _, _ in result.rows:
+        assert result.reduction(device) > 0.25, device

@@ -1,0 +1,13 @@
+"""Bench T-PRESTART — regenerate the §5 launch-acceleration comparison."""
+
+from repro.experiments import prestart
+
+
+def test_prestart(regenerate):
+    result = regenerate(prestart.run, prestart.render)
+    # §5: static building wins for the BB Group; pre-fork's overhead
+    # exceeds its benefit; pre-link pays only off the critical path.
+    assert result.static_wins_for_group
+    assert result.prefork_group_net_ms < 0
+    assert result.prelink_group_ms <= result.static_group_ms
+    assert result.prelink_others_ms > result.prelink_group_ms

@@ -1,0 +1,15 @@
+"""Bench T-SCALING — regenerate the platform-size scaling sweep."""
+
+from repro.experiments import scaling
+
+
+def test_scaling(regenerate):
+    result = regenerate(scaling.run, scaling.render)
+    # The conventional boot grows with the platform; BB stays nearly flat
+    # because the BB Group does not grow.
+    assert result.no_bb_growth > 2.0
+    assert result.bb_growth < 1.4
+    # BB wins at every scale, and its edge widens with growth.
+    reductions = [(1 - bb / no_bb) for _, _, no_bb, bb in result.rows]
+    assert all(r > 0.3 for r in reductions)
+    assert reductions[-1] > reductions[0]

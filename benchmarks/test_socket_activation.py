@@ -1,0 +1,11 @@
+"""Bench T-SOCKETS — regenerate the socket-activation comparison."""
+
+from repro.experiments import socket_activation
+
+
+def test_socket_activation(regenerate):
+    result = regenerate(socket_activation.run, socket_activation.render)
+    # Activation overlaps client and daemon initialization.
+    assert result.activated_all_up_ms < result.ordered_all_up_ms
+    assert result.activated_first_client_ms <= result.ordered_first_client_ms
+    assert result.all_up_speedup_ms > 20

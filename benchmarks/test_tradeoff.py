@@ -1,0 +1,12 @@
+"""Bench T-TRADEOFF — regenerate the §4.3 trade-off measurements."""
+
+from repro.experiments import tradeoff
+
+
+def test_tradeoff(regenerate):
+    result = regenerate(tradeoff.run, tradeoff.render)
+    # Paper: deferred-task overhead < 15 ms average, no second-launch cost,
+    # boosted RCU costs more CPU when uncontended.
+    assert result.mean_overhead_ms < 15.0
+    assert abs(result.second_launch_overhead_ms) < 1.0
+    assert result.rcu_uncontended_cpu_ratio > 1.0

@@ -1,0 +1,11 @@
+"""Bench T-VARIANCE — regenerate the §2.5.3/§3.3 consistency study."""
+
+from repro.experiments import variance
+
+
+def test_variance(regenerate):
+    result = regenerate(lambda: variance.run(instances=10), variance.render)
+    # §3.3: BB maintains a consistent boot time while other services churn.
+    assert result.bb_stddev_ms < result.no_bb_stddev_ms
+    assert result.spread_reduction > 2.0
+    assert result.bb_cv <= result.no_bb_cv

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Post-mortem analysis of a boot: blame, critical chain, trace export.
+
+The administrator's toolkit after a boot regresses: which units took
+longest (`systemd-analyze blame` style), which chain actually gated boot
+completion (`critical-chain` style, isolation-aware), and a Perfetto
+trace of the whole run for timeline inspection.
+
+Usage::
+
+    python examples/boot_analysis.py
+"""
+
+from repro import BBConfig, BootSimulation, opensource_tv_workload
+from repro.analysis.blame import render_blame, render_critical_chain
+from repro.analysis.chrome_trace import tracer_to_chrome_json
+
+
+def main() -> None:
+    print("booting the TV with full BB...")
+    simulation = BootSimulation(opensource_tv_workload(), BBConfig.full())
+    report = simulation.run()
+    print(f"boot completed at {report.boot_complete_ms:.0f} ms\n")
+
+    print("slowest service starts (blame):")
+    print(render_blame(report, top=10))
+
+    print("\nthe chain that actually gated boot completion:")
+    print(render_critical_chain(report, simulation.manager.registry,
+                                "fasttv.service"))
+
+    out = "tv_boot.trace.json"
+    with open(out, "w") as handle:
+        handle.write(tracer_to_chrome_json(simulation.sim.tracer))
+    print(f"\nfull timeline written to {out} — open it at "
+          "https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

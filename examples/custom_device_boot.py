@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Bring BB to your own device: build a set-top box from scratch.
+
+Shows the full public API surface a downstream user touches: define a
+hardware platform, write services as unit-file text (with the
+``[X-Simulation]`` cost section), declare what "booted" means, and compare
+the conventional boot against BB — exactly the porting exercise §4 claims
+takes little effort ("BB can be seamlessly and easily applied to a wide
+range of consumer electronics").
+
+Usage::
+
+    python examples/custom_device_boot.py
+"""
+
+from repro import BBConfig, BootSimulation
+from repro.hw.memory import DRAMModel
+from repro.hw.platform import HardwarePlatform
+from repro.hw.storage import StorageDevice
+from repro.initsys.registry import UnitRegistry
+from repro.quantities import GiB, MiB
+from repro.workloads.base import Workload
+
+SETTOP_UNITS = {
+    "multi-user.target": """\
+[Unit]
+Requires=streamer.service
+Wants=epg-cache.service telemetry.service
+""",
+    "flash.mount": """\
+[Unit]
+Description=Mount the content cache partition
+
+[Service]
+Type=oneshot
+
+[X-Simulation]
+InitCpuNs=5000000
+ExecBytes=16384
+ProvidesPaths=/cache
+""",
+    "ipc.service": """\
+[Unit]
+Description=Message bus
+Requires=flash.mount
+After=flash.mount
+
+[Service]
+Type=notify
+
+[X-Simulation]
+InitCpuNs=90000000
+ExecBytes=327680
+RcuSyncs=2
+Processes=3
+""",
+    "decoder.service": """\
+[Unit]
+Description=Hardware video decoder bring-up
+Requires=ipc.service
+After=ipc.service
+
+[Service]
+Type=notify
+
+[X-Simulation]
+InitCpuNs=120000000
+HwSettleNs=200000000
+RcuSyncs=2
+ExecBytes=262144
+""",
+    "streamer.service": """\
+[Unit]
+Description=The streaming app; ready means video playing
+Requires=ipc.service decoder.service
+After=ipc.service decoder.service
+
+[Service]
+Type=notify
+
+[X-Simulation]
+InitCpuNs=600000000
+ExecBytes=4194304
+RcuSyncs=2
+Processes=2
+""",
+    "epg-cache.service": """\
+[Unit]
+Description=Program-guide prefetcher (not boot critical)
+Wants=ipc.service
+After=ipc.service
+
+[Service]
+Type=simple
+
+[X-Simulation]
+InitCpuNs=250000000
+ExecBytes=2097152
+""",
+    "telemetry.service": """\
+[Unit]
+Description=Phone-home daemon that thinks it is important
+Before=flash.mount
+
+[Service]
+Type=oneshot
+
+[X-Simulation]
+InitCpuNs=180000000
+ExecBytes=1048576
+""",
+}
+
+
+def settop_platform() -> HardwarePlatform:
+    return HardwarePlatform(
+        name="settop-one",
+        cpu_cores=2,
+        dram=DRAMModel(size_bytes=GiB(2)),
+        storage=StorageDevice("settop-emmc", seq_read_bps=MiB(140),
+                              rand_read_bps=MiB(45), capacity_bytes=GiB(16)),
+    )
+
+
+def settop_registry() -> UnitRegistry:
+    registry = UnitRegistry()
+    for name, text in SETTOP_UNITS.items():
+        registry.load_unit_text(text, name=name)
+    return registry
+
+
+def main() -> None:
+    workload = Workload(
+        name="settop-box",
+        platform_factory=settop_platform,
+        registry_factory=settop_registry,
+        completion_units=("streamer.service",),
+        preexisting_paths=frozenset({"/", "/run"}),
+    )
+
+    conventional = BootSimulation(workload, BBConfig.none()).run()
+    boosted = BootSimulation(workload, BBConfig.full()).run()
+
+    print(f"set-top box, conventional boot: {conventional.boot_complete_ms:7.1f} ms")
+    print(f"set-top box, with BB:           {boosted.boot_complete_ms:7.1f} ms")
+    print(f"\nBB Group found automatically: {sorted(boosted.bb_group)}")
+    print("(telemetry.service's Before=flash.mount was ignored by the "
+          "Isolator — that is the whole point)")
+    print(f"ordering edges dropped: {boosted.ignored_edges}")
+    for unit in ("ipc.service", "decoder.service", "streamer.service"):
+        before = conventional.unit_ready_ns[unit] / 1e6
+        after = boosted.unit_ready_ns[unit] / 1e6
+        print(f"  {unit:20s} ready {before:7.1f} -> {after:7.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

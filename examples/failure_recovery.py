@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Failure injection, recovery, timeouts, and shutdown on the mini stack.
+
+Demonstrates the life-cycle half of the init scheme (§2.5): a flaky
+service recovered by ``Restart=on-failure``, a hung service killed by its
+start-timeout watchdog, failure propagation along ``Requires``, and a
+clean reverse-order shutdown — the parts of an init scheme that never
+show up in a happy-path boot demo.
+
+Usage::
+
+    python examples/failure_recovery.py
+"""
+
+from repro.hw.presets import ue48h6200
+from repro.initsys.executor import JobExecutor, PathRegistry
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.shutdown import ShutdownSequencer
+from repro.initsys.transaction import JobState, Transaction
+from repro.initsys.units import RestartPolicy, ServiceType, SimCost, Unit
+from repro.kernel.rcu import RCUSubsystem
+from repro.quantities import msec
+from repro.sim import Simulator
+
+
+def build_registry() -> UnitRegistry:
+    return UnitRegistry([
+        Unit(name="goal.target",
+             requires=["app.service"],
+             wants=["flaky.service", "hung.service", "victim.service"]),
+        Unit(name="base.service", service_type=ServiceType.ONESHOT,
+             cost=SimCost(init_cpu_ns=msec(5), exec_bytes=0)),
+        Unit(name="app.service", requires=["base.service"],
+             after=["base.service"], service_type=ServiceType.NOTIFY,
+             cost=SimCost(init_cpu_ns=msec(20), exec_bytes=0)),
+        # Crashes twice, then comes up on the third attempt.
+        Unit(name="flaky.service", service_type=ServiceType.ONESHOT,
+             failures_before_success=2,
+             restart_policy=RestartPolicy.ON_FAILURE,
+             restart_delay_ns=msec(40),
+             cost=SimCost(init_cpu_ns=msec(10), exec_bytes=0)),
+        # Hangs forever; the watchdog gives it 50 ms per attempt.
+        Unit(name="hung.service", service_type=ServiceType.ONESHOT,
+             start_timeout_ns=msec(50),
+             restart_policy=RestartPolicy.ON_FAILURE, max_restarts=1,
+             restart_delay_ns=msec(10),
+             cost=SimCost(init_cpu_ns=msec(10_000), exec_bytes=0)),
+        # Requires the hung service: fails by propagation.
+        Unit(name="victim.service", requires=["hung.service"],
+             service_type=ServiceType.ONESHOT,
+             cost=SimCost(init_cpu_ns=msec(5), exec_bytes=0)),
+    ])
+
+
+def main() -> None:
+    sim = Simulator(cores=2)
+    storage = ue48h6200().storage.attach(sim)
+    registry = build_registry()
+    transaction = Transaction(registry, ["goal.target"])
+    executor = JobExecutor(sim, transaction, storage, RCUSubsystem(sim),
+                           PathRegistry(sim))
+    executor.start_all()
+    sim.run()
+
+    print("job outcomes:")
+    for name in sorted(transaction.jobs):
+        job = transaction.job(name)
+        detail = f" after {job.attempts} attempt(s)" if job.attempts > 1 else ""
+        reason = f" — {job.failure_reason}" if job.failure_reason else ""
+        print(f"  {name:18s} {job.state.value:8s}{detail}{reason}")
+
+    assert transaction.job("flaky.service").state is JobState.DONE
+    assert transaction.job("hung.service").state is JobState.FAILED
+    assert transaction.job("victim.service").state is JobState.FAILED
+    assert transaction.job("app.service").state is JobState.DONE
+
+    print("\nshutting down the survivors in reverse dependency order:")
+    survivors = [name for name, job in transaction.jobs.items()
+                 if job.state is JobState.DONE
+                 and job.unit.unit_type.value != "target"]
+    sequencer = ShutdownSequencer(sim, registry, goal="goal.target")
+    sequencer.spawn(survivors)
+    sim.run()
+    assert sequencer.report is not None
+    for name in sequencer.report.stop_order:
+        print(f"  stopped {name}")
+    print(f"shutdown took {sequencer.report.duration_ns / 1e6:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

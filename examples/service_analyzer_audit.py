@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Audit a service set with the Service Analyzer (§3.3).
+
+Plays the system administrator of §2.5.3: fellow developers keep adding
+services with excessive, contradictory, or circular declarations.  The
+analyzer reads the unit files, reports every incorrect relation, and we
+also export the dependency graph as Graphviz DOT with the BB Group
+highlighted (render it with ``dot -Tsvg``).
+
+Usage::
+
+    python examples/service_analyzer_audit.py
+"""
+
+from repro.core.isolator import BBGroupIsolator
+from repro.graph.analyzer import ServiceAnalyzer
+from repro.graph.visualize import figure2_stats, to_dot
+from repro.initsys.registry import UnitRegistry
+from repro.workloads.tizen_tv import TV_COMPLETION_UNITS, build_tv_registry
+
+#: What careless developers merged this week (as unit-file text: the
+#: analyzer consumes exactly what systemd would).
+QUESTIONABLE_UNITS = {
+    "chat-widget.service": """\
+[Unit]
+Description=Vendor chat widget, wants to look fast
+Before=var.mount
+Requires=dbus.service
+Requires=var.mount
+
+[Service]
+Type=simple
+""",
+    "ad-daemon.service": """\
+[Unit]
+Description=Depends on a package nobody installed
+Requires=telemetry.service
+After=chat-widget.service
+Before=chat-widget.service
+
+[Service]
+Type=simple
+""",
+    "spyglass.service": """\
+[Unit]
+Description=Requires dbus twice over (transitively redundant)
+Requires=dbus.service var.mount
+
+[Service]
+Type=oneshot
+""",
+}
+
+
+def main() -> None:
+    registry = build_tv_registry()
+    print(f"Loaded the TV service set: {len(registry)} units")
+    for name, text in QUESTIONABLE_UNITS.items():
+        registry.load_unit_text(text, name=name)
+    print(f"Merged this week's vendor drops: {len(QUESTIONABLE_UNITS)} units\n")
+
+    report = ServiceAnalyzer(registry).analyze()
+    print("Service Analyzer report:")
+    print(report.summary())
+    print(f"\nerrors that would break the boot: {report.has_errors}")
+
+    stats = figure2_stats(registry)
+    print(f"\ngraph: {stats.units} units, {stats.edges} edges "
+          f"({stats.strong_edges} strong / {stats.weak_edges} weak / "
+          f"{stats.ordering_edges} ordering)")
+
+    isolator = BBGroupIsolator(registry, TV_COMPLETION_UNITS)
+    print(f"BB Group stays at {len(isolator.group)} services regardless: "
+          f"{isolator.members_sorted()}")
+
+    dot = to_dot(registry, title="tv-with-vendor-drops",
+                 highlight=set(isolator.group))
+    out = "tv_dependency_graph.dot"
+    with open(out, "w") as handle:
+        handle.write(dot)
+    print(f"\nDOT graph written to {out} (render: dot -Tsvg {out} -o graph.svg)")
+
+
+if __name__ == "__main__":
+    main()

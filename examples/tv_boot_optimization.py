@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Walk the TV through BB's mechanisms one at a time, like the paper's
+deployment story, and draw the final bootchart.
+
+Each step enables one more BB feature (in the order the engineering
+happened: kernel deferrals, Boot-up Engine, Service Engine) and reports
+the boot-time delta it bought — the reproduction of Fig. 6's per-feature
+attribution — then renders the full-BB bootchart à la systemd-bootchart.
+
+Usage::
+
+    python examples/tv_boot_optimization.py
+"""
+
+from repro import BBConfig, BootSimulation, opensource_tv_workload
+from repro.bootchart import BootChart, render_ascii
+
+#: Feature -> the paper's Fig. 6 attribution in ms (where quantified).
+DEPLOYMENT_STEPS = [
+    ("deferred_meminit", "Core Engine: deferred memory init", 260),
+    ("deferred_journal", "Core Engine: deferred ext4 journal", 35),
+    ("defer_startup_tasks", "Boot-up Engine: defer init tasks", 124),
+    ("rcu_booster", "Core Engine: RCU Booster", 1828),
+    ("deferred_executor", "Boot-up Engine: Deferred Executor", 496),
+    ("preparser", "Service Engine: Pre-parser", 381),
+    ("group_isolation", "Service Engine: BB Group Isolator", None),
+    ("group_priority_boost", "Service Engine: BB Manager", 1101),
+    ("ondemand_modularizer", "Core Engine: On-demand Modularizer", 428),
+    ("static_bb_group", "static BB-Group binaries (§5)", None),
+]
+
+
+def main() -> None:
+    config = BBConfig.none()
+    report = BootSimulation(opensource_tv_workload(), config).run()
+    print(f"conventional boot: {report.boot_complete_ms:8.1f} ms")
+    previous = report.boot_complete_ms
+    for feature, label, paper_ms in DEPLOYMENT_STEPS:
+        config = config.with_feature(feature, True)
+        report = BootSimulation(opensource_tv_workload(), config).run()
+        saved = previous - report.boot_complete_ms
+        paper = f"(paper: {paper_ms} ms)" if paper_ms else ""
+        print(f"+ {label:42s} {report.boot_complete_ms:8.1f} ms "
+              f"saved {saved:7.1f} ms {paper}")
+        previous = report.boot_complete_ms
+
+    print("\nFinal bootchart (launch-to-ready bars, BB-Group services "
+          "race to the front):")
+    chart = BootChart.from_report(report)
+    print(render_ascii(chart, max_rows=30))
+
+
+if __name__ == "__main__":
+    main()

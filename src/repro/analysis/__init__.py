@@ -1,0 +1,12 @@
+"""Boot-report metrics and experiment table formatting."""
+
+from repro.analysis.metrics import BootReport, StageBreakdown, speedup
+from repro.analysis.report import ComparisonTable, format_table
+
+__all__ = [
+    "BootReport",
+    "ComparisonTable",
+    "StageBreakdown",
+    "format_table",
+    "speedup",
+]

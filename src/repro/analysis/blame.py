@@ -1,0 +1,128 @@
+"""Post-boot attribution tooling (the simulation's ``systemd-analyze``).
+
+Two views over a finished :class:`~repro.analysis.metrics.BootReport`:
+
+* :func:`blame` — per-unit start durations, longest first (what
+  ``systemd-analyze blame`` prints),
+* :func:`critical_chain` — the *actual* gating chain behind boot
+  completion: starting from a completion unit, repeatedly step to the
+  predecessor whose readiness the unit waited for last.  Unlike the static
+  estimate in :mod:`repro.graph.critical_path`, this reflects what really
+  gated the run — contention included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import BootReport
+from repro.analysis.report import format_table
+from repro.errors import AnalysisError
+from repro.graph.depgraph import DependencyGraph
+from repro.initsys.registry import UnitRegistry
+from repro.quantities import to_msec
+
+
+@dataclass(frozen=True, slots=True)
+class BlameEntry:
+    """One unit's start-time attribution."""
+
+    unit: str
+    started_ns: int
+    ready_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        """Launch-to-ready time."""
+        return self.ready_ns - self.started_ns
+
+
+def blame(report: BootReport, top: int | None = None) -> list[BlameEntry]:
+    """Per-unit start durations, longest first."""
+    entries = []
+    for unit, started in report.unit_started_ns.items():
+        ready = report.unit_ready_ns.get(unit)
+        if ready is None:
+            continue
+        entries.append(BlameEntry(unit=unit, started_ns=started, ready_ns=ready))
+    entries.sort(key=lambda e: (-e.duration_ns, e.unit))
+    return entries if top is None else entries[:top]
+
+
+def render_blame(report: BootReport, top: int = 15) -> str:
+    """``systemd-analyze blame``-style text."""
+    rows = [(entry.unit, f"{to_msec(entry.duration_ns):.1f} ms")
+            for entry in blame(report, top=top)]
+    return format_table(["unit", "start duration"], rows)
+
+
+@dataclass(frozen=True, slots=True)
+class ChainLink:
+    """One step of the measured critical chain."""
+
+    unit: str
+    started_ns: int
+    ready_ns: int
+    gated_by: str | None  # the predecessor this unit actually waited for
+
+
+def critical_chain(report: BootReport, registry: UnitRegistry,
+                   completion_unit: str | None = None) -> list[ChainLink]:
+    """The measured gating chain ending at the completion unit.
+
+    At each step the gating predecessor is the ordering predecessor with
+    the **latest readiness** among those that became ready at or before
+    the unit's start (the one it plausibly waited on); the walk stops at a
+    unit with no such predecessor.  When the run used BB Group isolation
+    (``report.bb_group`` non-empty), edges the Isolator dropped — from
+    outside the group into it — are excluded, mirroring the executor.
+
+    Raises:
+        AnalysisError: If the completion unit never became ready.
+    """
+    if completion_unit is None:
+        if not report.unit_ready_ns:
+            raise AnalysisError("empty report")
+        completion_unit = max(report.unit_ready_ns,
+                              key=lambda u: report.unit_ready_ns[u])
+    if completion_unit not in report.unit_ready_ns:
+        raise AnalysisError(f"{completion_unit!r} never became ready")
+
+    graph = DependencyGraph(registry)
+    chain: list[ChainLink] = []
+    current: str | None = completion_unit
+    visited: set[str] = set()
+    while current is not None and current not in visited:
+        visited.add(current)
+        started = report.unit_started_ns.get(current)
+        ready = report.unit_ready_ns.get(current)
+        if started is None or ready is None:
+            break
+        predecessors = [p for p in graph.ordering_predecessors(current)
+                        if p in report.unit_ready_ns]
+        if report.bb_group and current in report.bb_group:
+            predecessors = [p for p in predecessors if p in report.bb_group]
+        gating = None
+        gating_ready = -1
+        for predecessor in predecessors:
+            pred_ready = report.unit_ready_ns[predecessor]
+            if pred_ready <= started and pred_ready > gating_ready:
+                gating = predecessor
+                gating_ready = pred_ready
+        chain.append(ChainLink(unit=current, started_ns=started,
+                               ready_ns=ready, gated_by=gating))
+        current = gating
+    chain.reverse()
+    return chain
+
+
+def render_critical_chain(report: BootReport, registry: UnitRegistry,
+                          completion_unit: str | None = None) -> str:
+    """``systemd-analyze critical-chain``-style text."""
+    links = critical_chain(report, registry, completion_unit)
+    rows = []
+    for link in links:
+        rows.append((link.unit,
+                     f"@{to_msec(link.started_ns):.0f} ms",
+                     f"+{to_msec(link.ready_ns - link.started_ns):.0f} ms"))
+    return format_table(["unit", "started at", "took"], rows)

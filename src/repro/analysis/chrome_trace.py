@@ -1,0 +1,72 @@
+"""Chrome trace-event export: open any simulated boot in Perfetto.
+
+Converts a simulation's tracer records into the Chrome trace-event JSON
+format (the ``chrome://tracing`` / https://ui.perfetto.dev schema):
+complete events (``ph: "X"``) for spans, instant events (``ph: "i"``) for
+markers, one track (tid) per trace category.  Timestamps are microseconds
+as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.sim.tracing import Tracer
+
+#: Stable track ids per category so related spans share a row.
+_CATEGORY_TRACKS = {
+    "boot-stage": 1,
+    "kernel": 2,
+    "init-task": 3,
+    "service": 4,
+    "deferred": 5,
+    "app-launch": 6,
+    "shutdown": 7,
+    "runlevel": 8,
+    "bb": 9,
+}
+
+
+def _track(category: str) -> int:
+    return _CATEGORY_TRACKS.get(category, 10)
+
+
+def tracer_to_events(tracer: "Tracer") -> list[dict[str, Any]]:
+    """Trace-event dictionaries for every closed span and instant."""
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": "bb-boot-simulation"},
+    }]
+    for category, tid in sorted(_CATEGORY_TRACKS.items(), key=lambda kv: kv[1]):
+        events.append({"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                       "args": {"name": category}})
+    for span in tracer.iter_closed():
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "pid": 1,
+            "tid": _track(span.category),
+            "ts": span.start_ns / 1_000,  # ns -> us
+            "dur": span.duration_ns / 1_000,
+            "args": dict(span.attrs),
+        })
+    for instant in tracer.instants:
+        events.append({
+            "name": instant.name,
+            "cat": instant.category,
+            "ph": "i",
+            "s": "g",  # global scope: draw the line across all tracks
+            "pid": 1,
+            "tid": _track(instant.category),
+            "ts": instant.time_ns / 1_000,
+        })
+    return events
+
+
+def tracer_to_chrome_json(tracer: "Tracer") -> str:
+    """The full trace document as JSON text."""
+    return json.dumps({"traceEvents": tracer_to_events(tracer),
+                       "displayTimeUnit": "ms"})

@@ -1,0 +1,46 @@
+"""JSON export of boot reports, for external tooling and CI baselines."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.metrics import BootReport
+
+
+def report_to_dict(report: BootReport) -> dict[str, Any]:
+    """A JSON-ready dictionary of everything a report measures."""
+    return {
+        "workload": report.workload,
+        "features": list(report.features),
+        "stages_ns": {
+            "kernel": report.stages.kernel_ns,
+            "init_init": report.stages.init_init_ns,
+            "services": report.stages.services_ns,
+        },
+        "kernel_timings_ns": {
+            "bootloader": report.kernel_timings.bootloader_ns,
+            "meminit": report.kernel_timings.meminit_ns,
+            "core": report.kernel_timings.core_ns,
+            "initcalls": report.kernel_timings.initcalls_ns,
+            "rootfs": report.kernel_timings.rootfs_ns,
+        },
+        "boot_complete_ns": report.boot_complete_ns,
+        "all_done_ns": report.all_done_ns,
+        "bb_group": sorted(report.bb_group),
+        "rcu": {
+            "sync_count": report.rcu_sync_count,
+            "spin_ns": report.rcu_spin_ns,
+            "wall_ns": report.rcu_wall_ns,
+        },
+        "cpu_busy_ns": report.cpu_busy_ns,
+        "ignored_edges": report.ignored_edges,
+        "deferred_tasks": list(report.deferred_task_names),
+        "unit_started_ns": dict(report.unit_started_ns),
+        "unit_ready_ns": dict(report.unit_ready_ns),
+    }
+
+
+def report_to_json(report: BootReport, indent: int | None = 2) -> str:
+    """Serialize a report to JSON text."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)

@@ -1,0 +1,95 @@
+"""Boot-report metrics: everything the evaluation harness reads off a run.
+
+The report splits the boot the same way Fig. 6 does:
+
+* stage (a) — kernel initialization (power-on to init handoff),
+* stage (b) — init-scheme initialization (manager start-up tasks),
+* stages (c)+(d) — running services and applications in parallel, ending
+  at boot completion (broadcast playing + remote responding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.kernel.sequence import KernelBootTimings
+from repro.quantities import to_msec
+
+
+@dataclass(frozen=True, slots=True)
+class StageBreakdown:
+    """The three Fig. 6 stages of one boot (nanoseconds)."""
+
+    kernel_ns: int
+    init_init_ns: int
+    services_ns: int
+
+    @property
+    def total_ns(self) -> int:
+        """Power-on to boot completion."""
+        return self.kernel_ns + self.init_init_ns + self.services_ns
+
+
+@dataclass(slots=True)
+class BootReport:
+    """Everything measured from one simulated cold boot.
+
+    Attributes:
+        workload: Workload name.
+        features: BB features enabled for the run.
+        stages: The Fig. 6 stage split.
+        boot_complete_ns: Power-on to boot completion.
+        all_done_ns: Power-on to full quiescence (deferred work included).
+        kernel_timings: Per-phase kernel numbers (Fig. 6(a)).
+        unit_ready_ns: Readiness time of every started unit.
+        unit_started_ns: Launch time of every started unit.
+        bb_group: The isolated BB Group (empty without isolation).
+        rcu_sync_count / rcu_spin_ns / rcu_wall_ns: RCU subsystem stats.
+        cpu_busy_ns: Total core-nanoseconds executed.
+        ignored_edges: Ordering edges dropped by the Isolator.
+        deferred_task_names: Work postponed past completion.
+    """
+
+    workload: str
+    features: list[str]
+    stages: StageBreakdown
+    boot_complete_ns: int
+    all_done_ns: int
+    kernel_timings: KernelBootTimings
+    unit_ready_ns: dict[str, int] = field(default_factory=dict)
+    unit_started_ns: dict[str, int] = field(default_factory=dict)
+    bb_group: frozenset[str] = frozenset()
+    rcu_sync_count: int = 0
+    rcu_spin_ns: int = 0
+    rcu_wall_ns: int = 0
+    cpu_busy_ns: int = 0
+    ignored_edges: int = 0
+    deferred_task_names: list[str] = field(default_factory=list)
+
+    @property
+    def boot_complete_ms(self) -> float:
+        """Boot completion in milliseconds (the paper's unit)."""
+        return to_msec(self.boot_complete_ns)
+
+    def ready_ns(self, unit: str) -> int:
+        """Readiness time of one unit.
+
+        Raises:
+            AnalysisError: If the unit never became ready in this run.
+        """
+        try:
+            return self.unit_ready_ns[unit]
+        except KeyError:
+            raise AnalysisError(f"unit {unit!r} never became ready") from None
+
+
+def speedup(baseline_ns: int, improved_ns: int) -> float:
+    """Relative reduction, as the paper quotes it (8.1 -> 3.5 s is ~57 %).
+
+    Raises:
+        AnalysisError: If the baseline is not positive.
+    """
+    if baseline_ns <= 0:
+        raise AnalysisError(f"baseline must be positive: {baseline_ns}")
+    return 1.0 - improved_ns / baseline_ns

@@ -1,0 +1,14 @@
+"""Bootchart recording and rendering (the systemd-bootchart substitute).
+
+The paper presents Figures 5(a) and 7 as systemd-bootchart graphs: time on
+the x-axis, services stacked on the y-axis, a bar from each service's
+launch to its readiness.  :class:`~repro.bootchart.recorder.BootChart`
+extracts the same data from a finished simulation's tracer, and
+:mod:`repro.bootchart.render` draws it as ASCII art (for terminals and the
+experiment logs) or SVG (for reports).
+"""
+
+from repro.bootchart.recorder import BootChart, ChartBar
+from repro.bootchart.render import render_ascii, render_svg
+
+__all__ = ["BootChart", "ChartBar", "render_ascii", "render_svg"]

@@ -1,0 +1,74 @@
+"""ASCII and SVG bootchart rendering."""
+
+from __future__ import annotations
+
+from repro.bootchart.recorder import BootChart
+from repro.quantities import to_msec
+
+
+def render_ascii(chart: BootChart, width: int = 78,
+                 max_rows: int | None = None, label_width: int = 24) -> str:
+    """Draw the chart as fixed-width text.
+
+    Each row is ``name |   ███████   |``; ``#`` marks the launch-to-ready
+    bar, ``|`` at the top axis marks boot completion.
+    """
+    span = max(1, chart.span_ns)
+    plot_width = max(10, width - label_width - 2)
+
+    def column(t_ns: int) -> int:
+        return min(plot_width - 1, t_ns * plot_width // span)
+
+    lines = []
+    header = " " * label_width + f"0 ms {'-' * (plot_width - 14)} "
+    header += f"{to_msec(span):.0f} ms"
+    lines.append(header)
+    if chart.boot_complete_ns is not None:
+        marker = [" "] * plot_width
+        marker[column(chart.boot_complete_ns)] = "V"
+        lines.append(" " * label_width + "".join(marker) + "  <- boot complete")
+    bars = chart.bars if max_rows is None else chart.bars[:max_rows]
+    for bar in bars:
+        row = ["."] * plot_width
+        start_col = column(bar.start_ns)
+        end_col = column(bar.end_ns)
+        for col in range(start_col, max(start_col + 1, end_col + 1)):
+            row[col] = "#"
+        label = bar.name[:label_width - 1].ljust(label_width)
+        lines.append(label + "".join(row))
+    if max_rows is not None and len(chart.bars) > max_rows:
+        lines.append(f"... {len(chart.bars) - max_rows} more services")
+    return "\n".join(lines)
+
+
+def render_svg(chart: BootChart, width: int = 900, row_height: int = 14,
+               label_width: int = 180) -> str:
+    """Draw the chart as a standalone SVG document."""
+    span = max(1, chart.span_ns)
+    plot_width = width - label_width - 20
+    height = (len(chart.bars) + 2) * row_height + 30
+
+    def x(t_ns: int) -> float:
+        return label_width + t_ns * plot_width / span
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="10">',
+        f'<text x="{label_width}" y="12">0 ms</text>',
+        f'<text x="{width - 60}" y="12">{to_msec(span):.0f} ms</text>',
+    ]
+    if chart.boot_complete_ns is not None:
+        cx = x(chart.boot_complete_ns)
+        parts.append(f'<line x1="{cx:.1f}" y1="16" x2="{cx:.1f}" '
+                     f'y2="{height - 4}" stroke="red" stroke-dasharray="4 3"/>')
+        parts.append(f'<text x="{cx + 3:.1f}" y="26" fill="red">boot complete '
+                     f'({to_msec(chart.boot_complete_ns):.0f} ms)</text>')
+    for index, bar in enumerate(chart.bars):
+        y = 30 + index * row_height
+        bar_x = x(bar.start_ns)
+        bar_w = max(1.0, x(bar.end_ns) - bar_x)
+        parts.append(f'<text x="4" y="{y + row_height - 4}">{bar.name}</text>')
+        parts.append(f'<rect x="{bar_x:.1f}" y="{y + 2}" width="{bar_w:.1f}" '
+                     f'height="{row_height - 4}" fill="#4a90d9"/>')
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``boot [--workload NAME] [--bb | --no-bb | --features a,b,c] [--cores N]``
+  — run one simulated cold boot and print the stage breakdown,
+* ``experiment <id> | all`` — run an evaluation experiment and print the
+  regenerated artifact (``experiment list`` shows the ids),
+* ``bootchart [--workload NAME] [--bb] [--svg FILE]`` — boot and render
+  the bootchart (ASCII to stdout, optionally SVG to a file),
+* ``analyze [--workload NAME]`` — run the Service Analyzer,
+* ``workloads`` — list the available workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis.report import format_table
+from repro.bootchart import BootChart, render_ascii, render_svg
+from repro.core import BBConfig, BootSimulation
+from repro.graph.analyzer import ServiceAnalyzer
+from repro.workloads import (appliance_workload, camera_workload,
+                             commercial_tv_workload, opensource_tv_workload,
+                             phone_workload, wearable_workload)
+from repro.workloads.base import Workload
+
+WORKLOADS: dict[str, Callable[[], Workload]] = {
+    "tv": opensource_tv_workload,
+    "tv-commercial": commercial_tv_workload,
+    "camera": camera_workload,
+    "phone": phone_workload,
+    "wearable": wearable_workload,
+    "appliance": appliance_workload,
+}
+
+
+def _experiments() -> dict[str, tuple]:
+    from repro.experiments import (ablations, background, boot_modes,
+                                   fig1_boot_sequence, fig2_dependency_graph,
+                                   fig3_complexity, fig5_rcu_bootchart,
+                                   fig6_breakdown, fig7_bbgroup_dbus,
+                                   kernel_opt, portability, prestart, scaling,
+                                   socket_activation, tradeoff, variance)
+    return {
+        "portability": (portability.run, portability.render),
+        "scaling": (scaling.run, scaling.render),
+        "boot-modes": (boot_modes.run, boot_modes.render),
+        "sockets": (socket_activation.run, socket_activation.render),
+        "fig1": (fig1_boot_sequence.run, fig1_boot_sequence.render),
+        "fig2": (fig2_dependency_graph.run, fig2_dependency_graph.render),
+        "fig3": (fig3_complexity.run, fig3_complexity.render),
+        "fig5": (fig5_rcu_bootchart.run, fig5_rcu_bootchart.render),
+        "fig6": (fig6_breakdown.run, fig6_breakdown.render),
+        "fig7": (fig7_bbgroup_dbus.run, fig7_bbgroup_dbus.render),
+        "tradeoff": (tradeoff.run, tradeoff.render),
+        "kernel-opt": (kernel_opt.run, kernel_opt.render),
+        "background": (background.run, background.render),
+        "variance": (variance.run, variance.render),
+        "prestart": (prestart.run, prestart.render),
+        "ablations": (ablations.run, ablations.render),
+    }
+
+
+def _resolve_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise SystemExit(f"unknown workload {name!r}; "
+                         f"choose from {', '.join(WORKLOADS)}")
+
+
+def _resolve_config(args: argparse.Namespace) -> BBConfig:
+    if getattr(args, "features", None):
+        config = BBConfig.none()
+        for feature in args.features.split(","):
+            config = config.with_feature(feature.strip(), True)
+        return config
+    if getattr(args, "no_bb", False):
+        return BBConfig.none()
+    return BBConfig.full()
+
+
+def _cmd_boot(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    config = _resolve_config(args)
+    report = BootSimulation(workload, config, cores=args.cores).run()
+    if getattr(args, "json", False):
+        from repro.analysis.export import report_to_json
+        print(report_to_json(report))
+        return 0
+    features = ", ".join(report.features) or "none (conventional boot)"
+    print(f"workload: {report.workload}")
+    print(f"BB features: {features}")
+    rows = [
+        ("(a) kernel initialization", f"{report.stages.kernel_ns / 1e6:.1f} ms"),
+        ("(b) init initialization", f"{report.stages.init_init_ns / 1e6:.1f} ms"),
+        ("(c)+(d) services & applications",
+         f"{report.stages.services_ns / 1e6:.1f} ms"),
+        ("boot completion", f"{report.boot_complete_ms:.1f} ms"),
+        ("full quiescence (deferred work done)",
+         f"{report.all_done_ns / 1e6:.1f} ms"),
+    ]
+    print(format_table(["stage", "time"], rows))
+    if report.bb_group:
+        print(f"BB Group: {', '.join(sorted(report.bb_group))}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiments = _experiments()
+    if args.id == "list":
+        for name in experiments:
+            print(name)
+        return 0
+    ids = list(experiments) if args.id == "all" else [args.id]
+    for exp_id in ids:
+        if exp_id not in experiments:
+            raise SystemExit(f"unknown experiment {exp_id!r}; "
+                             f"try 'experiment list'")
+        run, render = experiments[exp_id]
+        print(render(run()))
+        print()
+    return 0
+
+
+def _cmd_bootchart(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    config = _resolve_config(args)
+    simulation = BootSimulation(workload, config)
+    report = simulation.run()
+    chart = BootChart.from_report(report)
+    print(render_ascii(chart, max_rows=args.rows))
+    if args.svg:
+        with open(args.svg, "w") as handle:
+            handle.write(render_svg(chart))
+        print(f"SVG written to {args.svg}")
+    if args.trace:
+        from repro.analysis.chrome_trace import tracer_to_chrome_json
+        with open(args.trace, "w") as handle:
+            handle.write(tracer_to_chrome_json(simulation.sim.tracer))
+        print(f"Chrome trace written to {args.trace} "
+              "(open in https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    report = ServiceAnalyzer(workload.fresh_registry()).analyze()
+    print(report.summary())
+    return 1 if report.has_errors else 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    for name, factory in WORKLOADS.items():
+        workload = factory()
+        registry = workload.fresh_registry()
+        print(f"{name:14s} {workload.name:24s} {len(registry)} units, "
+              f"completion: {', '.join(workload.completion_units)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BB (Booting Booster, EuroSys 2016) boot-stack simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    boot = sub.add_parser("boot", help="run one simulated cold boot")
+    boot.add_argument("--workload", default="tv", help="workload name")
+    boot.add_argument("--no-bb", action="store_true",
+                      help="conventional boot (default is full BB)")
+    boot.add_argument("--features", help="comma-separated BB feature list")
+    boot.add_argument("--cores", type=int, default=None,
+                      help="override the platform core count")
+    boot.add_argument("--json", action="store_true",
+                      help="emit the full boot report as JSON")
+    boot.set_defaults(fn=_cmd_boot)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper artifact")
+    experiment.add_argument("id", help="'list', 'all', or an experiment id")
+    experiment.set_defaults(fn=_cmd_experiment)
+
+    chart = sub.add_parser("bootchart", help="boot and render the bootchart")
+    chart.add_argument("--workload", default="tv")
+    chart.add_argument("--no-bb", action="store_true")
+    chart.add_argument("--features")
+    chart.add_argument("--rows", type=int, default=30)
+    chart.add_argument("--svg", help="also write an SVG to this file")
+    chart.add_argument("--trace",
+                       help="also write a Chrome/Perfetto trace JSON")
+    chart.set_defaults(fn=_cmd_bootchart, cores=None)
+
+    analyze = sub.add_parser("analyze", help="run the Service Analyzer")
+    analyze.add_argument("--workload", default="tv")
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    workloads = sub.add_parser("workloads", help="list available workloads")
+    workloads.set_defaults(fn=_cmd_workloads)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

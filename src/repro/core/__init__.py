@@ -1,0 +1,36 @@
+"""Booting Booster — the paper's contribution (§3).
+
+BB consists of three engines layered over the kernel and init substrates:
+
+* :mod:`repro.core.core_engine` — kernel space: On-demand Modularizer,
+  RCU Booster installation, deferred memory initialization,
+* :mod:`repro.core.bootup_engine` — the first module of the init scheme:
+  RCU Booster Control, Deferred Executor, On-demand Modularizer Control,
+* :mod:`repro.core.service_engine` — Booting Booster Group Isolator,
+  Booting Booster Manager, Pre-parser, Service Analyzer.
+
+:class:`~repro.core.bb.BootSimulation` composes a hardware platform, a
+workload, and a :class:`~repro.core.config.BBConfig` into one simulated
+cold boot and returns a :class:`~repro.analysis.metrics.BootReport`; every
+evaluation experiment is a pair (or sweep) of such runs.
+"""
+
+from repro.core.bb import BootingBooster, BootSimulation
+from repro.core.bootup_engine import BootupEngine
+from repro.core.config import BBConfig
+from repro.core.core_engine import CoreEngine
+from repro.core.deferred import ApplicationLaunch, LaunchReport
+from repro.core.isolator import BBGroupIsolator
+from repro.core.service_engine import ServiceEngine
+
+__all__ = [
+    "ApplicationLaunch",
+    "BBConfig",
+    "BBGroupIsolator",
+    "BootSimulation",
+    "BootingBooster",
+    "BootupEngine",
+    "CoreEngine",
+    "LaunchReport",
+    "ServiceEngine",
+]

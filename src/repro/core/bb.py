@@ -1,0 +1,180 @@
+"""The Booting Booster facade and the end-to-end boot simulation.
+
+:class:`BootSimulation` is the library's main entry point::
+
+    from repro.core import BBConfig, BootSimulation
+    from repro.workloads import opensource_tv_workload
+
+    report = BootSimulation(opensource_tv_workload(), BBConfig.full()).run()
+    print(report.boot_complete_ms)
+
+One call runs power-on to boot completion (and on to quiescence): the
+bootloader, the kernel stage configured by the Core Engine, the init
+scheme with the Boot-up Engine's controls, and the Service Engine's
+isolation and prioritization — then packages everything measurable into a
+:class:`~repro.analysis.metrics.BootReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.metrics import BootReport, StageBreakdown
+from repro.core.bootup_engine import BootupEngine
+from repro.core.config import BBConfig
+from repro.core.core_engine import CoreEngine
+from repro.core.service_engine import ServiceEngine
+from repro.errors import SimulationError
+from repro.initsys.manager import InitManager
+from repro.kernel.config import KernelConfig
+from repro.sim.engine import Simulator
+from repro.sim.process import Wait
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:
+    from repro.sim.process import ProcessGenerator
+
+
+@dataclass(slots=True)
+class BootingBooster:
+    """The three engines of §3, wired for one boot."""
+
+    core_engine: CoreEngine
+    bootup_engine: BootupEngine
+    service_engine: ServiceEngine
+
+    @property
+    def bb_group(self) -> frozenset[str]:
+        """The isolated BB Group of this boot."""
+        return self.service_engine.bb_group
+
+
+class BootSimulation:
+    """One simulated cold boot of a workload under a BB configuration.
+
+    Args:
+        workload: Device + service set (see :mod:`repro.workloads`).
+        bb: Feature flags; :meth:`BBConfig.none` is the "No BB" column.
+        cores: Override the platform's core count (scaling studies).
+        kernel_config: Override the kernel build (§2.4 studies).
+    """
+
+    def __init__(self, workload: Workload, bb: BBConfig | None = None,
+                 cores: int | None = None,
+                 kernel_config: KernelConfig | None = None,
+                 manual_bb_group: tuple[str, ...] | None = None):
+        self.workload = workload
+        self.bb = bb if bb is not None else BBConfig.none()
+        self.platform = workload.platform_factory()
+        self.cores = cores if cores is not None else self.platform.cpu_cores
+        self.kernel_config = kernel_config
+        self.manual_bb_group = manual_bb_group
+        self.sim: Simulator | None = None
+        self.booster: BootingBooster | None = None
+        self.manager: InitManager | None = None
+
+    def run(self) -> BootReport:
+        """Execute the boot and return its report.
+
+        A simulation is single-shot (device statistics and unit state are
+        consumed by the run); build a new ``BootSimulation`` per boot.
+
+        Raises:
+            SimulationError: If called twice.
+        """
+        if self.sim is not None:
+            raise SimulationError("BootSimulation.run() is single-shot; "
+                                  "create a new BootSimulation per boot")
+        sim = Simulator(cores=self.cores)
+        self.sim = sim
+        self.platform.attach(sim)
+        registry = self.workload.fresh_registry()
+
+        kernel_config = self.kernel_config
+        if kernel_config is None and self.workload.kernel_config_factory is not None:
+            kernel_config = self.workload.kernel_config_factory()
+        core_engine = CoreEngine(
+            self.platform, self.bb, kernel_config=kernel_config,
+            initcalls=self.workload.initcalls_factory(),
+            builtin_initcalls=self.workload.builtin_initcalls_factory())
+        service_engine = ServiceEngine(registry, self.workload.completion_units,
+                                       self.bb, manual_group=self.manual_bb_group)
+        bootup_engine = BootupEngine(self.bb, core_engine)
+        self.booster = BootingBooster(core_engine, bootup_engine, service_engine)
+
+        sim.spawn(self._boot(sim, registry, core_engine, bootup_engine,
+                             service_engine),
+                  name="boot", priority=10)
+        sim.run()
+        return self._build_report()
+
+    # ------------------------------------------------------------ internals
+
+    def _boot(self, sim: Simulator, registry, core_engine: CoreEngine,
+              bootup_engine: BootupEngine,
+              service_engine: ServiceEngine) -> "ProcessGenerator":
+        yield from core_engine.run_kernel(sim)
+        bootup_engine.on_init_start(sim)
+        cache = service_engine.build_cache() if self.bb.preparser else None
+        manager = InitManager(
+            sim, registry, self.platform.storage, core_engine.rcu,
+            bootup_engine.build_manager_config(self.workload.goal,
+                                               self.workload.completion_units),
+            preparser=service_engine.preparser,
+            cache=cache,
+            boot_modules=self.workload.boot_modules_factory(),
+            preexisting_paths=set(self.workload.preexisting_paths),
+            edge_filter=service_engine.edge_filter,
+            priority_fn=service_engine.priority_fn,
+            on_boot_complete=lambda: bootup_engine.on_boot_complete(sim),
+            path_faulter_factory=(
+                (lambda paths: bootup_engine.make_path_faulter(sim, paths))
+                if self.bb.ondemand_modularizer else None))
+        self.manager = manager
+        manager_process = manager.spawn()
+        yield Wait(manager_process.done)
+
+    def _build_report(self) -> BootReport:
+        sim, manager, booster = self.sim, self.manager, self.booster
+        if sim is None or manager is None or booster is None:
+            raise SimulationError("run() has not completed")
+        core_engine = booster.core_engine
+        timings = core_engine.sequence.timings
+        assert timings is not None and manager.completion is not None
+        init_init_ns = sim.tracer.find("init.initialization").duration_ns
+        boot_complete_ns = manager.completion.time_ns
+        services_ns = boot_complete_ns - timings.total_ns - init_init_ns
+
+        unit_ready: dict[str, int] = {}
+        unit_started: dict[str, int] = {}
+        assert manager.transaction is not None
+        for job in manager.transaction.jobs.values():
+            if job.ready_at_ns is not None:
+                unit_ready[job.name] = job.ready_at_ns
+            if job.started_at_ns is not None:
+                unit_started[job.name] = job.started_at_ns
+
+        rcu = core_engine.rcu
+        assert rcu is not None
+        executor = manager.executor
+        isolation_on = booster.service_engine.edge_filter is not None
+        return BootReport(
+            workload=self.workload.name,
+            features=self.bb.enabled_features(),
+            stages=StageBreakdown(kernel_ns=timings.total_ns,
+                                  init_init_ns=init_init_ns,
+                                  services_ns=services_ns),
+            boot_complete_ns=boot_complete_ns,
+            all_done_ns=manager.all_done_ns or boot_complete_ns,
+            kernel_timings=timings,
+            unit_ready_ns=unit_ready,
+            unit_started_ns=unit_started,
+            bb_group=booster.bb_group if isolation_on else frozenset(),
+            rcu_sync_count=rcu.sync_count,
+            rcu_spin_ns=rcu.spin_time_ns,
+            rcu_wall_ns=rcu.total_sync_wall_ns,
+            cpu_busy_ns=sim.cpu.stats.busy_ns,
+            ignored_edges=len(executor.ignored_edges) if executor else 0,
+            deferred_task_names=[p.name for p in manager.deferred_processes],
+        )

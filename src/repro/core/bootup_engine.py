@@ -1,0 +1,98 @@
+"""Boot-up Engine — the first module of the init scheme (§3.2).
+
+Three user-space agents:
+
+* **RCU Booster Control** — writes the kernel's sysfs knob: boosted mode
+  as soon as the init scheme starts, conventional mode at boot completion
+  (the §4.3 trade-off makes boosting a boot-window-only policy),
+* **Deferred Executor** — expressed as the manager-config flags that defer
+  the Fig. 6(b) start-up tasks and the Fig. 6(c) sub-modules,
+* **On-demand Modularizer Control** — the user-space manager that loads a
+  deferred built-in component when an application first needs it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import BBConfig
+from repro.core.core_engine import CoreEngine
+from repro.initsys.manager import ManagerConfig
+from repro.kernel.rcu import RCUSubsystem
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.process import ProcessGenerator
+
+
+class BootupEngine:
+    """User-space BB agents living inside the init scheme."""
+
+    def __init__(self, bb: BBConfig, core_engine: CoreEngine):
+        self.bb = bb
+        self.core_engine = core_engine
+        self.boost_enabled_at_ns: int | None = None
+        self.boost_disabled_at_ns: int | None = None
+
+    # ------------------------------------------------- RCU Booster Control
+
+    def on_init_start(self, engine: "Simulator") -> None:
+        """First act of the init scheme: enable the RCU Booster."""
+        rcu = self.core_engine.rcu
+        if self.bb.rcu_booster and rcu is not None:
+            rcu.write_sysfs("1")
+            self.boost_enabled_at_ns = engine.now
+            engine.tracer.instant("rcu-booster.enabled", "bb")
+
+    def on_boot_complete(self, engine: "Simulator") -> None:
+        """At completion: disable boosting, start kernel deferred work."""
+        rcu = self.core_engine.rcu
+        if self.bb.rcu_booster and rcu is not None:
+            rcu.write_sysfs("0")
+            self.boost_disabled_at_ns = engine.now
+            engine.tracer.instant("rcu-booster.disabled", "bb")
+        self.core_engine.spawn_deferred_tasks(engine)
+
+    # ------------------------------------------------- Deferred Executor
+
+    def manager_flags(self) -> dict[str, bool]:
+        """The :class:`~repro.initsys.manager.ManagerConfig` flags BB sets."""
+        return {
+            "defer_startup_tasks": self.bb.defer_startup_tasks,
+            "defer_submodules": self.bb.deferred_executor,
+            "use_preparser": self.bb.preparser,
+            "ondemand_modules": self.bb.ondemand_modularizer,
+        }
+
+    def build_manager_config(self, goal: str,
+                             completion_units: tuple[str, ...]) -> ManagerConfig:
+        """Manager configuration for this BB feature set."""
+        return ManagerConfig(goal=goal, completion_units=completion_units,
+                             **self.manager_flags())
+
+    # --------------------------------------- On-demand Modularizer Control
+
+    def demand_load(self, engine: "Simulator", initcall_name: str) -> "ProcessGenerator":
+        """Generator: load a deferred built-in driver on first use."""
+        yield from self.core_engine.demand_load_initcall(engine, initcall_name)
+
+    def make_path_faulter(self, engine: "Simulator", paths) -> "object":
+        """Device-path fault handler for the executor.
+
+        When a service opens a device whose driver was deferred
+        (``/dev/<driver>`` missing), the control loads the built-in driver
+        on demand and provides the node.  Returns the callable to pass as
+        the executor's ``path_faulter``.
+        """
+
+        def faulter(path: str) -> "ProcessGenerator":
+            driver = path.rsplit("/", 1)[-1]
+            yield from self.demand_load(engine, driver)
+            paths.provide(path)
+
+        return faulter
+
+    @property
+    def rcu(self) -> RCUSubsystem | None:
+        """The kernel RCU subsystem (after the kernel stage ran)."""
+        return self.core_engine.rcu

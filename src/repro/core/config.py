@@ -1,0 +1,68 @@
+"""The BB feature switchboard.
+
+Every mechanism of §3 is independently toggleable, which is what makes the
+Fig. 6 per-feature attribution and the ablation benches possible: measure
+with a feature off, turn it on, diff the completion times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass(frozen=True, slots=True)
+class BBConfig:
+    """Feature flags for one boot.
+
+    Attributes:
+        rcu_booster: Core Engine's RCU Booster + Boot-up Engine's control
+            (enable at init start, disable at boot completion).
+        deferred_meminit: Core Engine's deferred memory initialization.
+        deferred_journal: Defer enabling the ext4 journal of the rootfs.
+        ondemand_modularizer: Convert boot-path external modules into
+            deferred built-ins loaded on first use.
+        defer_startup_tasks: Boot-up Engine defers the six Fig. 6(b) tasks.
+        deferred_executor: Defer the init-scheme sub-modules (Fig. 6(c)).
+        preparser: Load units from the build-time cache (Fig. 6(d)).
+        group_isolation: Booting Booster Group Isolator — ignore ordering
+            declared on BB-Group services by outsiders.
+        group_priority_boost: Booting Booster Manager — run BB-Group
+            services at high CPU/I/O priority.
+        static_bb_group: Statically build BB-Group binaries (§5), removing
+            dynamic-link cost.
+    """
+
+    rcu_booster: bool = False
+    deferred_meminit: bool = False
+    deferred_journal: bool = False
+    ondemand_modularizer: bool = False
+    defer_startup_tasks: bool = False
+    deferred_executor: bool = False
+    preparser: bool = False
+    group_isolation: bool = False
+    group_priority_boost: bool = False
+    static_bb_group: bool = False
+
+    @classmethod
+    def none(cls) -> "BBConfig":
+        """The conventional boot (the paper's "No BB" column)."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "BBConfig":
+        """Everything on (the paper's "BB" column)."""
+        return cls(**{f.name: True for f in fields(cls)})
+
+    def with_feature(self, name: str, value: bool) -> "BBConfig":
+        """Copy with one flag changed (ablation helper).
+
+        Raises:
+            AttributeError: If ``name`` is not a BB feature.
+        """
+        if name not in {f.name for f in fields(self)}:
+            raise AttributeError(f"unknown BB feature {name!r}")
+        return replace(self, **{name: value})
+
+    def enabled_features(self) -> list[str]:
+        """Names of the features turned on."""
+        return [f.name for f in fields(self) if getattr(self, f.name)]

@@ -1,0 +1,67 @@
+"""Core Engine — BB's kernel-space components (§3.1).
+
+Configures the kernel boot sequence according to the BB feature flags:
+deferred memory initialization, deferred ext4 journal, and the On-demand
+Modularizer (deferrable built-in initcalls replacing external modules).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import BBConfig
+from repro.hw.platform import HardwarePlatform
+from repro.kernel.config import KernelConfig
+from repro.kernel.initcalls import InitcallRegistry
+from repro.kernel.sequence import KernelBootSequence
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.process import Process, ProcessGenerator
+
+
+class CoreEngine:
+    """Kernel-side BB: builds and owns the configured kernel boot."""
+
+    def __init__(self, platform: HardwarePlatform, bb: BBConfig,
+                 kernel_config: KernelConfig | None = None,
+                 initcalls: InitcallRegistry | None = None,
+                 builtin_initcalls: InitcallRegistry | None = None):
+        self.platform = platform
+        self.bb = bb
+        # Boot-critical drivers are compiled in under every configuration;
+        # the deferrable built-ins only exist when the On-demand
+        # Modularizer created them — without BB those drivers live as
+        # external modules loaded by the init scheme's kmod worker.
+        self.initcalls = (builtin_initcalls if builtin_initcalls is not None
+                          else InitcallRegistry())
+        if bb.ondemand_modularizer and initcalls is not None:
+            for call in initcalls.boot_sequence(defer=False):
+                self.initcalls.register(call)
+        self.sequence = KernelBootSequence(
+            platform,
+            config=kernel_config,
+            initcalls=self.initcalls,
+            deferred_meminit=bb.deferred_meminit,
+            deferred_journal=bb.deferred_journal,
+            defer_initcalls=bb.ondemand_modularizer,
+        )
+
+    def run_kernel(self, engine: "Simulator") -> "ProcessGenerator":
+        """Generator: the kernel stage (power-on to init handoff)."""
+        timings = yield from self.sequence.run(engine)
+        return timings
+
+    def spawn_deferred_tasks(self, engine: "Simulator") -> list["Process"]:
+        """Post-completion hook: deferred meminit remainder, journal remount."""
+        return self.sequence.spawn_deferred_tasks(engine)
+
+    def demand_load_initcall(self, engine: "Simulator",
+                             name: str) -> "ProcessGenerator":
+        """Generator: run a deferred built-in initcall on first use."""
+        yield from self.initcalls.load_on_demand(engine, name)
+
+    @property
+    def rcu(self):
+        """The kernel's RCU subsystem (available once the kernel ran)."""
+        return self.sequence.rcu

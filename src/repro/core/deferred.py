@@ -1,0 +1,106 @@
+"""Post-boot application launches over deferred infrastructure (§4.3).
+
+BB defers work past boot completion, so an application launched afterwards
+may find that a driver or service it needs has not started yet.  The paper
+measures this overhead at "less than 15 ms on average and the standard
+deviation less than 1.5%", and notes that "once an application triggers a
+deferred task to start, the deferred task no longer incurs an additional
+delay for following application launches".
+
+:class:`ApplicationLaunch` models one such launch: fork + exec + its own
+initialization, plus on-demand loads of any deferred built-in drivers it
+touches (through the On-demand Modularizer Control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.bootup_engine import BootupEngine
+from repro.errors import ConfigurationError
+from repro.hw.storage import AccessPattern, StorageDevice
+from repro.quantities import usec
+from repro.sim.process import Compute
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.process import ProcessGenerator
+
+
+@dataclass(slots=True)
+class LaunchReport:
+    """Measured outcome of one application launch.
+
+    Attributes:
+        app: Application name.
+        latency_ns: Total launch latency.
+        demand_loaded: Deferred drivers this launch had to load.
+    """
+
+    app: str
+    latency_ns: int
+    demand_loaded: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True, slots=True)
+class ApplicationLaunch:
+    """A post-boot application and what it depends on.
+
+    Attributes:
+        name: Application name.
+        exec_bytes: Binary read at launch.
+        init_cpu_ns: The app's own start-up CPU work.
+        needed_drivers: Deferred built-in initcalls the app touches (e.g.
+            the USB stack for a media-player app).
+    """
+
+    name: str
+    exec_bytes: int = 512 * 1024
+    init_cpu_ns: int = usec(4_000)
+    needed_drivers: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.exec_bytes < 0 or self.init_cpu_ns < 0:
+            raise ConfigurationError(f"app {self.name}: negative cost")
+
+    def launch(self, engine: "Simulator", storage: StorageDevice,
+               bootup_engine: BootupEngine,
+               reports: list[LaunchReport]) -> "ProcessGenerator":
+        """Generator: launch the app, demand-loading deferred drivers.
+
+        Appends a :class:`LaunchReport` to ``reports`` when done.
+        """
+        start = engine.now
+        span = engine.tracer.begin(f"app:{self.name}", "app-launch")
+        yield Compute(usec(300))  # fork
+        if self.exec_bytes:
+            yield from storage.read(self.exec_bytes, AccessPattern.RANDOM)
+        loaded: list[str] = []
+        for driver in self.needed_drivers:
+            registry = bootup_engine.core_engine.initcalls
+            if driver not in registry.completed:
+                loaded.append(driver)
+            yield from bootup_engine.demand_load(engine, driver)
+        yield Compute(self.init_cpu_ns)
+        engine.tracer.end(span)
+        reports.append(LaunchReport(app=self.name,
+                                    latency_ns=engine.now - start,
+                                    demand_loaded=loaded))
+
+
+def launch_sequence(engine: "Simulator", storage: StorageDevice,
+                    bootup_engine: BootupEngine,
+                    apps: Iterable[ApplicationLaunch]) -> tuple[list[LaunchReport], "ProcessGenerator"]:
+    """Build a generator that launches ``apps`` one after another.
+
+    Returns the (initially empty) report list and the generator to spawn;
+    the list fills as the generator runs.
+    """
+    reports: list[LaunchReport] = []
+
+    def runner() -> "ProcessGenerator":
+        for app in apps:
+            yield from app.launch(engine, storage, bootup_engine, reports)
+
+    return reports, runner()

@@ -1,0 +1,127 @@
+"""Pre-link, pre-fork, and static building (§5 "Pre-parser, pre-link, and
+pre-fork").
+
+The paper weighs three launch-acceleration mechanisms for BB-Group
+processes and picks only static building:
+
+* **pre-link** relocates shared libraries ahead of time, cutting the
+  dynamic-link cost — but "there are usually no preceding processes with
+  the same library for the processes in the group because it is at a very
+  early stage of the booting sequence", it carries a security cost
+  (predictable addresses), and for the group "shows no benefit" over
+  static building;
+* **pre-fork** keeps warm template processes to clone from — but "the
+  benefit ... does not exceed the overhead (increased time to pre-launch
+  user processes)" for a group executed once, early, with few processes;
+* **static building** removes the dynamic-link cost entirely with no
+  boot-time setup (this is `BBConfig.static_bb_group`).
+
+The models here quantify that §5 reasoning so the T-PRESTART bench can
+regenerate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.initsys.units import Unit
+from repro.quantities import usec
+
+
+@dataclass(frozen=True, slots=True)
+class PrelinkModel:
+    """Ahead-of-time dynamic-link relocation.
+
+    Attributes:
+        link_cost_factor: Remaining fraction of the dynamic-link cost
+            after pre-linking (relocation still validates).
+        shared_library_reuse: Fraction of the link cost that is already
+            amortized when a *preceding* process mapped the same
+            libraries; BB-Group processes run first, so for them this is
+            effectively zero.
+        aslr_weakened: Pre-linking fixes library addresses — the §5
+            security concern.
+    """
+
+    link_cost_factor: float = 0.25
+    aslr_weakened: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.link_cost_factor <= 1.0:
+            raise ConfigurationError("link_cost_factor must be in [0, 1]")
+
+    def launch_saving_ns(self, unit: Unit, preceding_same_libs: bool) -> int:
+        """Per-launch saving for a unit.
+
+        Pre-link only pays on the *cold* dynamic link; when a preceding
+        process already mapped the same libraries, the link is warm and
+        pre-link saves nothing extra.
+        """
+        if unit.static_build:
+            return 0  # nothing to pre-link
+        if preceding_same_libs:
+            return 0
+        full = unit.cost.dynamic_link_ns
+        return full - round(full * self.link_cost_factor)
+
+
+@dataclass(frozen=True, slots=True)
+class PreforkModel:
+    """Warm template processes cloned instead of fork+exec'd.
+
+    Attributes:
+        pool_setup_ns: One-time cost of launching the template pool
+            (paid during boot, before the group runs).
+        clone_cost_ns: Per-process cost of cloning from a template,
+            replacing the unit's fork + exec-read + link sequence.
+    """
+
+    pool_setup_ns: int = usec(25_000)
+    clone_cost_ns: int = usec(120)
+
+    def __post_init__(self) -> None:
+        if self.pool_setup_ns < 0 or self.clone_cost_ns < 0:
+            raise ConfigurationError("prefork costs cannot be negative")
+
+    def launch_cost_without_ns(self, unit: Unit, exec_read_ns: int) -> int:
+        """Conventional launch cost of one unit's processes."""
+        per_process = unit.cost.fork_ns
+        link = 0 if unit.static_build else unit.cost.dynamic_link_ns
+        return unit.cost.processes * per_process + exec_read_ns + link
+
+    def launch_cost_with_ns(self, unit: Unit) -> int:
+        """Launch cost when cloning from a warm template."""
+        return unit.cost.processes * self.clone_cost_ns
+
+    def template_prelaunch_ns(self, unit: Unit, exec_read_ns: int) -> int:
+        """Boot-time cost of pre-launching one warm template.
+
+        The template must itself fork, read the binary, and link — the
+        clone is cheap only because this work already happened, *during
+        the boot* ("increased time to pre-launch user processes", §5).
+        """
+        link = 0 if unit.static_build else unit.cost.dynamic_link_ns
+        return unit.cost.fork_ns + exec_read_ns + link
+
+    def net_benefit_ns(self, units: Iterable[Unit],
+                       exec_read_ns_fn) -> int:
+        """Total saving minus the full overhead for a unit set.
+
+        Overhead = the pool machinery plus every template's pre-launch.
+        Negative for the BB Group: "the benefit ... of pre-fork does not
+        exceed the overhead" (§5) because the group is small and runs once.
+        """
+        units = list(units)
+        saved = sum(self.launch_cost_without_ns(u, exec_read_ns_fn(u))
+                    - self.launch_cost_with_ns(u) for u in units)
+        overhead = self.pool_setup_ns + sum(
+            self.template_prelaunch_ns(u, exec_read_ns_fn(u)) for u in units)
+        return saved - overhead
+
+
+def static_build_saving_ns(units: Iterable[Unit]) -> int:
+    """Per-boot saving of statically building a unit set (§5's choice):
+    the whole dynamic-link cost disappears with zero boot-time setup."""
+    return sum(u.cost.dynamic_link_ns for u in units if not u.static_build)

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the BB reproduction library.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError` so
+that callers may catch library failures with a single ``except`` clause
+while still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency inside the discrete-event simulation engine.
+
+    Raised, for example, when an event is scheduled in the past, when a
+    process yields an unknown request object, or when the engine detects
+    a deadlock (no runnable work but unfinished processes).
+    """
+
+
+class DeadlockError(SimulationError):
+    """The simulation ran out of events while processes are still blocked."""
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        names = ", ".join(self.blocked) or "<unknown>"
+        super().__init__(f"simulation deadlock; blocked processes: {names}")
+
+
+class HardwareError(ReproError):
+    """Invalid hardware model configuration or an impossible device request."""
+
+
+class KernelError(ReproError):
+    """Kernel boot-sequence model failure (bad config, missing module...)."""
+
+
+class UnitError(ReproError):
+    """Base class for init-system unit problems."""
+
+
+class UnitParseError(UnitError):
+    """A unit file could not be parsed.
+
+    Attributes:
+        filename: Name of the offending unit file (may be ``"<string>"``).
+        lineno: 1-based line number of the first offending line, 0 if
+            the problem is not tied to a single line.
+    """
+
+    def __init__(self, message: str, filename: str = "<string>", lineno: int = 0):
+        self.filename = filename
+        self.lineno = lineno
+        location = f"{filename}:{lineno}" if lineno else filename
+        super().__init__(f"{location}: {message}")
+
+
+class UnitNotFoundError(UnitError):
+    """A referenced unit does not exist in the unit registry."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unit not found: {name!r}")
+
+
+class DependencyCycleError(UnitError):
+    """A transaction contains an unbreakable dependency cycle.
+
+    Attributes:
+        cycle: Unit names forming the cycle, in order.
+    """
+
+    def __init__(self, cycle: list[str]):
+        self.cycle = list(cycle)
+        super().__init__("dependency cycle: " + " -> ".join(self.cycle + self.cycle[:1]))
+
+
+class TransactionError(UnitError):
+    """A job transaction is internally inconsistent (e.g. conflicting jobs)."""
+
+
+class ServiceFailureError(UnitError):
+    """A service's start job failed during the simulated boot."""
+
+    def __init__(self, unit: str, reason: str):
+        self.unit = unit
+        self.reason = reason
+        super().__init__(f"service {unit!r} failed to start: {reason}")
+
+
+class WorkloadError(ReproError):
+    """A workload description is invalid or cannot be generated."""
+
+
+class AnalysisError(ReproError):
+    """Graph or boot-report analysis failed (e.g. no path to completion)."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid BB or simulation configuration value."""

@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning a structured result and
+``render(result)`` producing the text the paper's artifact shows.  The
+benchmark harness under ``benchmarks/`` and the examples both build on
+these drivers, so every number in EXPERIMENTS.md is regenerable from one
+function call.
+
+| module | paper artifact |
+|---|---|
+| :mod:`repro.experiments.fig1_boot_sequence` | Fig. 1 overall boot sequence |
+| :mod:`repro.experiments.fig2_dependency_graph` | Fig. 2 dependency graph |
+| :mod:`repro.experiments.fig3_complexity` | Fig. 3 group fragmentation |
+| :mod:`repro.experiments.fig5_rcu_bootchart` | Fig. 5(a) RCU Booster chart |
+| :mod:`repro.experiments.fig6_breakdown` | Fig. 6 full breakdown |
+| :mod:`repro.experiments.fig7_bbgroup_dbus` | Fig. 7 var.mount isolation |
+| :mod:`repro.experiments.tradeoff` | §4.3 performance trade-off |
+| :mod:`repro.experiments.kernel_opt` | §2.4 kernel optimization |
+| :mod:`repro.experiments.background` | §2.1-2.3 background models |
+| :mod:`repro.experiments.ablations` | design-choice ablations |
+"""

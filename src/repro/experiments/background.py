@@ -1,0 +1,106 @@
+"""T-SNAPSHOT / T-COMPRESS — the §2.1-2.3 background models.
+
+The arguments that motivate a fast *cold* boot:
+
+* §2.1 hibernation: restoring a Galaxy-S6-sized snapshot takes ~10 s just
+  for the image read; factory snapshots break with third-party apps;
+  creating the image blocks shutdown.
+* §2.1 suspend-to-RAM: fast, but lost the moment a TV is unplugged, and
+  the silent-boot-then-suspend trick breaks the EU 1 W standby rule.
+* §2.3 compression: decompression throughput (35 MiB/s on eight cores)
+  is far below modern flash (300 MiB/s UFS), so compressed images no
+  longer accelerate loading — the crossover sits at the decompressor's
+  throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.hw.presets import (emmc_ue48h6200, galaxy_s6_like, hdd_barracuda,
+                              nx300, ssd_850_evo, ue48h6200, ufs_galaxy_s6)
+from repro.hw.storage import StorageDevice
+from repro.kernel.image import KernelImage, compression_crossover_bps
+from repro.kernel.snapshot import HibernationModel, SuspendToRamModel
+from repro.quantities import MiB, to_msec, to_sec
+
+
+@dataclass(frozen=True, slots=True)
+class BackgroundResult:
+    """All §2 background measurements."""
+
+    snapshot_restore_s: dict[str, float]
+    snapshot_create_s: dict[str, float]
+    suspend_resume_s: float
+    silent_boot_meets_eu_rule: bool
+    compression_rows: tuple[tuple[str, float, float, bool], ...]
+    crossover_mib_s: float
+
+
+def run(image_mib: int = 64) -> BackgroundResult:
+    """Compute every background model on the hardware presets."""
+    hibernation = HibernationModel()
+    platforms = {"Galaxy-S6-like (3 GiB, UFS)": galaxy_s6_like(),
+                 "UE48H6200 TV (1 GiB, eMMC)": ue48h6200(),
+                 "NX300 camera (512 MiB)": nx300()}
+    restore = {name: to_sec(hibernation.restore_time_ns(p))
+               for name, p in platforms.items()}
+    create = {name: to_sec(hibernation.create_time_ns(p))
+              for name, p in platforms.items()}
+    # §2.1's success story: the NX300(M) camera with a small *factory*
+    # snapshot (no third-party apps, tiny working set) boots in ~1 s.
+    factory_camera = HibernationModel(image_fraction=0.13,
+                                      restore_overhead_ns=200_000_000,
+                                      third_party_apps=False)
+    restore["NX300 factory snapshot (small image)"] = to_sec(
+        factory_camera.restore_time_ns(nx300()))
+    create["NX300 factory snapshot (small image)"] = to_sec(
+        factory_camera.create_time_ns(nx300()))
+
+    decompress_bps = MiB(35)
+    image_plain = KernelImage(size_bytes=MiB(image_mib))
+    image_packed = KernelImage(size_bytes=MiB(image_mib), compressed=True)
+    devices: list[StorageDevice] = [ufs_galaxy_s6(), ssd_850_evo(),
+                                    emmc_ue48h6200(), hdd_barracuda(),
+                                    StorageDevice("old-NAND",
+                                                  seq_read_bps=MiB(12),
+                                                  rand_read_bps=MiB(3))]
+    compression_rows = []
+    for device in devices:
+        plain_ms = to_msec(image_plain.load_time_ns(device, decompress_bps))
+        packed_ms = to_msec(image_packed.load_time_ns(device, decompress_bps))
+        compression_rows.append((device.name, plain_ms, packed_ms,
+                                 packed_ms < plain_ms))
+
+    active_ap = SuspendToRamModel(standby_power_w=3.0)  # silent-boot trick
+    return BackgroundResult(
+        snapshot_restore_s=restore,
+        snapshot_create_s=create,
+        suspend_resume_s=to_sec(SuspendToRamModel().resume_time_ns),
+        silent_boot_meets_eu_rule=active_ap.meets_eu_standby_regulation(),
+        compression_rows=tuple(compression_rows),
+        crossover_mib_s=compression_crossover_bps(2.0, decompress_bps) / MiB(1),
+    )
+
+
+def render(result: BackgroundResult) -> str:
+    """All three background tables."""
+    snapshot_rows = [(name, f"{result.snapshot_restore_s[name]:.1f} s",
+                      f"{result.snapshot_create_s[name]:.1f} s")
+                     for name in result.snapshot_restore_s]
+    compression_rows = [(name, f"{plain:.0f} ms", f"{packed:.0f} ms",
+                         "yes" if helps else "no")
+                        for name, plain, packed, helps
+                        in result.compression_rows]
+    return ("Section 2.1 — snapshot booting (restore / create)\n"
+            + format_table(["platform", "restore", "create"], snapshot_rows)
+            + f"\nsuspend-to-RAM resume: {result.suspend_resume_s:.1f} s, "
+            "but unavailable after unplugging\n"
+            "silent boot-then-suspend meets EU 1 W standby rule: "
+            f"{'yes' if result.silent_boot_meets_eu_rule else 'no'}\n\n"
+            "Section 2.3 — does compression still accelerate image loading?\n"
+            + format_table(["storage", "plain", "compressed", "helps?"],
+                           compression_rows)
+            + f"\ncrossover: compression pays only below "
+            f"{result.crossover_mib_s:.0f} MiB/s sequential read")

@@ -1,0 +1,123 @@
+"""T-BOOTMODES — the §1/§2 decision matrix: why cold boot + BB.
+
+Every boot mechanism §2 surveys, evaluated on the TV against the three
+constraints the paper derives from how people actually use TVs:
+
+* users unplug TVs, so the mechanism must survive power loss,
+* smart TVs have third-party apps, so factory snapshot images break,
+* EU Regulation 801/2013 caps standby power at 1 W, killing the silent
+  boot-then-suspend trick.
+
+BB's cold boot is the only row that satisfies every constraint at an
+acceptable latency — the paper's whole motivation, as one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core import BBConfig, BootSimulation
+from repro.hw.presets import ue48h6200
+from repro.kernel.snapshot import HibernationModel, SuspendToRamModel
+from repro.quantities import to_sec
+from repro.workloads import opensource_tv_workload
+
+
+@dataclass(frozen=True, slots=True)
+class BootMode:
+    """One row of the decision matrix."""
+
+    name: str
+    latency_s: float
+    survives_unplug: bool
+    supports_third_party_apps: bool
+    meets_eu_standby: bool
+    note: str = ""
+
+    @property
+    def acceptable(self) -> bool:
+        """Meets every §2 constraint with a tolerable latency (§1's
+        3.5 s human-interaction bound, with a little slack)."""
+        return (self.survives_unplug and self.supports_third_party_apps
+                and self.meets_eu_standby and self.latency_s <= 4.0)
+
+
+@dataclass(frozen=True, slots=True)
+class BootModesResult:
+    """All evaluated modes."""
+
+    modes: tuple[BootMode, ...]
+
+    def mode(self, name: str) -> BootMode:
+        for mode in self.modes:
+            if mode.name == name:
+                return mode
+        raise KeyError(name)
+
+    @property
+    def winners(self) -> list[str]:
+        return [m.name for m in self.modes if m.acceptable]
+
+
+def run() -> BootModesResult:
+    """Evaluate every §2 mechanism on the TV."""
+    tv = ue48h6200()
+    conventional = BootSimulation(opensource_tv_workload(),
+                                  BBConfig.none()).run()
+    boosted = BootSimulation(opensource_tv_workload(), BBConfig.full()).run()
+    hibernation = HibernationModel()
+    factory_snapshot = HibernationModel(third_party_apps=False)
+    str_model = SuspendToRamModel()
+    silent_boot = SuspendToRamModel(standby_power_w=3.0)
+
+    modes = (
+        BootMode("cold boot (conventional)",
+                 to_sec(conventional.boot_complete_ns),
+                 survives_unplug=True, supports_third_party_apps=True,
+                 meets_eu_standby=True, note="too slow for users"),
+        BootMode("cold boot + BB", to_sec(boosted.boot_complete_ns),
+                 survives_unplug=True, supports_third_party_apps=True,
+                 meets_eu_standby=True, note="the paper's answer"),
+        BootMode("suspend-to-RAM (Instant On)",
+                 to_sec(str_model.resume_time_ns),
+                 survives_unplug=str_model.available_after_unplug(),
+                 supports_third_party_apps=True,
+                 meets_eu_standby=str_model.meets_eu_standby_regulation(),
+                 note="state lost when unplugged"),
+        BootMode("silent boot then suspend",
+                 to_sec(str_model.resume_time_ns),
+                 survives_unplug=True, supports_third_party_apps=True,
+                 meets_eu_standby=silent_boot.meets_eu_standby_regulation(),
+                 note="AP active: > 1 W standby"),
+        BootMode("snapshot boot (factory image)",
+                 to_sec(factory_snapshot.restore_time_ns(tv)),
+                 survives_unplug=True,
+                 supports_third_party_apps=False,
+                 meets_eu_standby=True,
+                 note="image invalid once apps installed"),
+        BootMode("snapshot boot (runtime image)",
+                 to_sec(hibernation.restore_time_ns(tv)),
+                 survives_unplug=True, supports_third_party_apps=True,
+                 meets_eu_standby=True,
+                 note=f"shutdown blocked "
+                      f"{to_sec(hibernation.create_time_ns(tv)):.0f} s "
+                      "writing the image"),
+    )
+    return BootModesResult(modes=modes)
+
+
+def render(result: BootModesResult) -> str:
+    """The decision matrix."""
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "NO"
+
+    rows = [(m.name, f"{m.latency_s:.1f} s", mark(m.survives_unplug),
+             mark(m.supports_third_party_apps), mark(m.meets_eu_standby),
+             m.note)
+            for m in result.modes]
+    return ("Sections 1-2 — boot mechanisms vs the TV's constraints\n"
+            + format_table(["mechanism", "latency", "unplug ok",
+                            "3rd-party apps", "EU 1 W", "note"], rows)
+            + f"\nacceptable (<~3.5 s, all constraints): "
+            f"{', '.join(result.winners) or 'none'}")

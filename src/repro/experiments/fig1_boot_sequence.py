@@ -1,0 +1,57 @@
+"""FIG1 — the overall boot sequence of a TV before BB (Fig. 1).
+
+Figure 1 shows the conventional (pre-BB, but commercially optimized) boot
+timeline: bootloader, kernel initialization (0.698 s), init-scheme
+initialization (0.195 s), then user-space services and applications up to
+the ~8.1 s completion.  This driver runs the no-BB boot and reports the
+same segmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import BootReport
+from repro.analysis.report import format_table
+from repro.core import BBConfig, BootSimulation
+from repro.quantities import to_msec
+from repro.workloads import opensource_tv_workload
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class Fig1Result:
+    """The conventional boot timeline."""
+
+    report: BootReport
+
+    @property
+    def segments_ms(self) -> dict[str, float]:
+        """Named segments of the timeline, in order, in milliseconds."""
+        timings = self.report.kernel_timings
+        return {
+            "bootloader": to_msec(timings.bootloader_ns),
+            "kernel (memory init)": to_msec(timings.meminit_ns),
+            "kernel (core + drivers)": to_msec(timings.core_ns
+                                               + timings.initcalls_ns),
+            "kernel (rootfs mount)": to_msec(timings.rootfs_ns),
+            "init scheme initialization": to_msec(self.report.stages.init_init_ns),
+            "services & applications": to_msec(self.report.stages.services_ns),
+        }
+
+
+def run(workload: Workload | None = None) -> Fig1Result:
+    """Run the conventional (No BB) boot."""
+    report = BootSimulation(workload or opensource_tv_workload(),
+                            BBConfig.none()).run()
+    return Fig1Result(report=report)
+
+
+def render(result: Fig1Result) -> str:
+    """The Fig. 1 timeline as a table."""
+    rows = [(name, f"{value:.1f} ms")
+            for name, value in result.segments_ms.items()]
+    rows.append(("TOTAL (boot completion)",
+                 f"{result.report.boot_complete_ms:.1f} ms"))
+    return ("Figure 1 — overall booting sequence of a TV (conventional)\n"
+            + format_table(["segment", "duration"], rows))

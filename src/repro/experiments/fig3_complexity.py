@@ -1,0 +1,91 @@
+"""FIG3 — dependency complexity from a single new service (Fig. 3).
+
+Figure 3 shows how adding one service (``c`` in group *a*, required by
+service ``a`` of group *b*, while group *b*'s earlier members must precede
+group *a*) fragments group *b* and, pushed further, creates a cycle across
+the groups.  This driver builds the scenario, measures fragmentation
+before and after, and demonstrates the cycle case through the Service
+Analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.graph.analyzer import AnalyzerReport, ServiceAnalyzer
+from repro.graph.fragmentation import FragmentationReport, group_fragmentation
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.units import Unit
+
+
+def _grouped_registry(with_new_service: bool) -> tuple[UnitRegistry, dict[str, str]]:
+    """Two developer groups; optionally the disruptive new service c."""
+    units = [
+        # group a
+        Unit(name="a1.service"),
+        Unit(name="a2.service", after=["a1.service"]),
+        # group b: b1 -> b2 -> b3 chain
+        Unit(name="b1.service"),
+        Unit(name="b2.service", after=["b1.service"]),
+        Unit(name="b3.service", after=["b2.service"]),
+    ]
+    groups = {"a1.service": "a", "a2.service": "a",
+              "b1.service": "b", "b2.service": "b", "b3.service": "b"}
+    if with_new_service:
+        # New service c joins group a; it must come after group b's head
+        # (platform init) while group b's tail requires it.
+        units.append(Unit(name="c.service", after=["b1.service"]))
+        units[4] = Unit(name="b3.service", after=["b2.service"],
+                        requires=["c.service"])
+        groups["c.service"] = "a"
+    return UnitRegistry(units), groups
+
+
+def _cyclic_registry() -> UnitRegistry:
+    """The escalated Fig. 3 case: the new dependency closes a cycle."""
+    return UnitRegistry([
+        Unit(name="a1.service"),
+        Unit(name="c.service", after=["b3.service"]),  # c after b's tail
+        Unit(name="b1.service"),
+        Unit(name="b2.service", after=["b1.service"]),
+        Unit(name="b3.service", after=["b2.service"], requires=["c.service"]),
+    ])
+
+
+@dataclass(frozen=True, slots=True)
+class Fig3Result:
+    """Fragmentation before/after, and the cycle-case analyzer report."""
+
+    before: FragmentationReport
+    after: FragmentationReport
+    cycle_report: AnalyzerReport
+
+    @property
+    def group_b_split(self) -> bool:
+        """Did the new service force group b apart?"""
+        return self.after.fragments.get("b", 0) > self.before.fragments.get("b", 0)
+
+
+def run() -> Fig3Result:
+    """Build and measure the Fig. 3 scenario."""
+    registry_before, groups_before = _grouped_registry(with_new_service=False)
+    registry_after, groups_after = _grouped_registry(with_new_service=True)
+    return Fig3Result(
+        before=group_fragmentation(registry_before, groups_before),
+        after=group_fragmentation(registry_after, groups_after),
+        cycle_report=ServiceAnalyzer(_cyclic_registry()).analyze(),
+    )
+
+
+def render(result: Fig3Result) -> str:
+    """Fragment counts per group, before and after the new service."""
+    groups = sorted(set(result.before.fragments) | set(result.after.fragments))
+    rows = [(g, result.before.fragments.get(g, 0),
+             result.after.fragments.get(g, 0)) for g in groups]
+    cycles = (len(result.cycle_report.of_kind("cycle"))
+              + len(result.cycle_report.of_kind("ordering-cycle")))
+    return ("Figure 3 — group fragmentation from one new service\n"
+            + format_table(["group", "fragments before", "fragments after"], rows)
+            + f"\nescalated case: analyzer reports {cycles} cycle(s) "
+            "across the groups")

@@ -1,0 +1,82 @@
+"""T-SCALING — boot time vs platform size (§2.5 / §3.3 extended).
+
+The paper gives two points on the growth curve: 136 services (the
+open-source set) and the commercialization fork that "virtually doubles
+the number of services".  This sweep fills in the curve: the same TV
+structure scaled from small to beyond-commercial size, booted with and
+without BB.  The conventional boot grows roughly linearly with platform
+size; BB's completion time stays nearly flat because the BB Group — the
+only thing on its critical path — does not grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core import BBConfig, BootSimulation
+from repro.workloads.tizen_tv import TvWorkloadParams, opensource_tv_workload
+
+#: Scale factors applied to the variable parts of the TV service set.
+SCALE_FACTORS = (0.5, 1.0, 1.5, 2.0, 2.5)
+
+
+def scaled_params(factor: float, seed: int = 2016) -> TvWorkloadParams:
+    """The TV workload's structural counts scaled by ``factor``."""
+    base = TvWorkloadParams(seed=seed)
+    return TvWorkloadParams(
+        seed=seed,
+        infra_services=max(1, round(base.infra_services * factor)),
+        middleware_services=max(1, round(base.middleware_services * factor)),
+        app_services=max(1, round(base.app_services * factor)),
+        noise_before_var=max(1, round(base.noise_before_var * factor)),
+        noise_before_dbus=max(1, round(base.noise_before_dbus * factor)),
+        noise_before_fasttv=max(1, round(base.noise_before_fasttv * factor)),
+        boot_module_count=max(4, round(base.boot_module_count * factor)),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingResult:
+    """One row per scale factor."""
+
+    rows: tuple[tuple[float, int, float, float], ...]
+    # (factor, service count, no-BB ms, BB ms)
+
+    @property
+    def no_bb_growth(self) -> float:
+        """Conventional boot-time ratio, largest/smallest platform."""
+        return self.rows[-1][2] / self.rows[0][2]
+
+    @property
+    def bb_growth(self) -> float:
+        """BB boot-time ratio, largest/smallest platform."""
+        return self.rows[-1][3] / self.rows[0][3]
+
+
+def run(factors: tuple[float, ...] = SCALE_FACTORS) -> ScalingResult:
+    """Sweep the platform size under both configurations."""
+    rows = []
+    for factor in factors:
+        params = scaled_params(factor)
+        workload = opensource_tv_workload(params)
+        services = len(workload.fresh_registry()) - 1  # minus the target
+        no_bb = BootSimulation(opensource_tv_workload(params),
+                               BBConfig.none()).run().boot_complete_ms
+        bb = BootSimulation(opensource_tv_workload(params),
+                            BBConfig.full()).run().boot_complete_ms
+        rows.append((factor, services, no_bb, bb))
+    return ScalingResult(rows=tuple(rows))
+
+
+def render(result: ScalingResult) -> str:
+    """The scaling series."""
+    rows = [(f"{factor:.1f}x", services, f"{no_bb:.0f} ms", f"{bb:.0f} ms",
+             f"{(1 - bb / no_bb):.0%}")
+            for factor, services, no_bb, bb in result.rows]
+    return ("Platform-size scaling sweep (No BB vs BB)\n"
+            + format_table(["scale", "services", "No BB", "BB", "reduction"],
+                           rows)
+            + f"\ngrowth largest/smallest: No BB {result.no_bb_growth:.2f}x, "
+            f"BB {result.bb_growth:.2f}x — the BB Group does not grow, so "
+            "neither does BB's boot")

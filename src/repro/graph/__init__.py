@@ -1,0 +1,33 @@
+"""Dependency-graph tooling: the Service Analyzer and its relatives.
+
+* :mod:`repro.graph.depgraph` — typed dependency graph built from a unit
+  registry (the data behind Fig. 2),
+* :mod:`repro.graph.analyzer` — the Service Engine's Service Analyzer
+  (§3.3): cycles, contradictions, redundancies, dangling references,
+* :mod:`repro.graph.critical_path` — longest-path analysis to the boot
+  completion definition,
+* :mod:`repro.graph.fragmentation` — the Fig. 3 group-fragmentation model,
+* :mod:`repro.graph.visualize` — Graphviz DOT export with the paper's
+  red (strong) / green (weak) edge colouring, and Fig. 2 statistics.
+"""
+
+from repro.graph.analyzer import AnalyzerReport, Finding, ServiceAnalyzer
+from repro.graph.critical_path import CriticalPath, critical_path
+from repro.graph.depgraph import DependencyGraph, DependencyKind, GraphEdge
+from repro.graph.fragmentation import FragmentationReport, group_fragmentation
+from repro.graph.visualize import figure2_stats, to_dot
+
+__all__ = [
+    "AnalyzerReport",
+    "CriticalPath",
+    "DependencyGraph",
+    "DependencyKind",
+    "Finding",
+    "FragmentationReport",
+    "GraphEdge",
+    "ServiceAnalyzer",
+    "critical_path",
+    "figure2_stats",
+    "group_fragmentation",
+    "to_dot",
+]

@@ -1,0 +1,212 @@
+"""The Service Analyzer (§3.3).
+
+"Service Analyzer investigates the relations between services by reading
+the configuration files of software packages and reports incorrect
+relations (i.e., circular dependencies and contradicting requirements)."
+
+Findings, ordered by severity:
+
+* ``cycle`` — a strong ordering cycle (unbootable transaction),
+* ``ordering-cycle`` — a cycle involving weak edges (systemd will break it
+  by dropping a wanted job, possibly surprising its owner),
+* ``contradiction`` — mutually impossible declarations (A before B and B
+  before A; A requires B while conflicting with it),
+* ``dangling`` — requirement references to units that do not exist,
+* ``redundant`` — duplicate declarations and requires edges implied by a
+  transitive chain (excess declarations are exactly what §2.5.3 says
+  developers add "to feel safer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.depgraph import DependencyGraph, DependencyKind
+from repro.initsys.registry import UnitRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One analyzer finding.
+
+    Attributes:
+        kind: ``cycle`` / ``ordering-cycle`` / ``contradiction`` /
+            ``dangling`` / ``redundant``.
+        units: The units involved, in a meaningful order.
+        detail: Human-readable explanation.
+    """
+
+    kind: str
+    units: tuple[str, ...]
+    detail: str
+
+
+@dataclass(slots=True)
+class AnalyzerReport:
+    """All findings of one analyzer run."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> list[Finding]:
+        """Findings filtered by kind."""
+        return [f for f in self.findings if f.kind == kind]
+
+    @property
+    def has_errors(self) -> bool:
+        """Whether any finding makes the boot sequence incorrect."""
+        return any(f.kind in ("cycle", "contradiction", "dangling")
+                   for f in self.findings)
+
+    def summary(self) -> str:
+        """One-line-per-finding report text."""
+        if not self.findings:
+            return "no findings"
+        return "\n".join(f"[{f.kind}] {' -> '.join(f.units)}: {f.detail}"
+                         for f in self.findings)
+
+
+class ServiceAnalyzer:
+    """Analyzes a unit registry for incorrect or wasteful declarations."""
+
+    def __init__(self, registry: UnitRegistry):
+        self.registry = registry
+        self.graph = DependencyGraph(registry)
+
+    def analyze(self) -> AnalyzerReport:
+        """Run every check and collect the findings."""
+        report = AnalyzerReport()
+        self._find_cycles(report)
+        self._find_contradictions(report)
+        self._find_dangling(report)
+        self._find_redundant(report)
+        return report
+
+    # -------------------------------------------------------------- checks
+
+    def _ordering_adjacency(self, strong_only: bool) -> dict[str, list[str]]:
+        adjacency: dict[str, list[str]] = {name: [] for name in self.graph.node_names}
+        for edge in self.graph.edges:
+            if not edge.kind.is_ordering:
+                continue
+            if strong_only and not edge.kind.is_strong:
+                continue
+            if edge.predecessor in adjacency and edge.successor in adjacency:
+                adjacency[edge.predecessor].append(edge.successor)
+        return adjacency
+
+    def _find_cycles(self, report: AnalyzerReport) -> None:
+        strong_cycles = self._cycles_in(self._ordering_adjacency(strong_only=True))
+        for cycle in strong_cycles:
+            report.findings.append(Finding(
+                kind="cycle", units=tuple(cycle),
+                detail="strong ordering cycle; no valid start order exists"))
+        strong_nodes = {frozenset(c) for c in strong_cycles}
+        for cycle in self._cycles_in(self._ordering_adjacency(strong_only=False)):
+            if frozenset(cycle) in strong_nodes:
+                continue  # already reported as a hard cycle
+            report.findings.append(Finding(
+                kind="ordering-cycle", units=tuple(cycle),
+                detail="cycle through weak edges; a wanted job will be dropped"))
+
+    def _cycles_in(self, adjacency: dict[str, list[str]]) -> list[list[str]]:
+        """Distinct elementary cycles found by DFS (one per back edge set)."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in adjacency}
+        parent: dict[str, str] = {}
+        cycles: list[list[str]] = []
+        seen_sets: set[frozenset[str]] = set()
+        for root in adjacency:
+            if color[root] != WHITE:
+                continue
+            stack = [(root, 0)]
+            color[root] = GRAY
+            while stack:
+                node, index = stack[-1]
+                children = adjacency[node]
+                if index < len(children):
+                    stack[-1] = (node, index + 1)
+                    child = children[index]
+                    if color[child] == GRAY:
+                        cycle = [node]
+                        walker = node
+                        while walker != child:
+                            walker = parent[walker]
+                            cycle.append(walker)
+                        cycle.reverse()
+                        key = frozenset(cycle)
+                        if key not in seen_sets:
+                            seen_sets.add(key)
+                            cycles.append(cycle)
+                    elif color[child] == WHITE:
+                        color[child] = GRAY
+                        parent[child] = node
+                        stack.append((child, 0))
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+        return cycles
+
+    def _find_contradictions(self, report: AnalyzerReport) -> None:
+        # Only strong orderings contradict; mutual Wants is merely an
+        # ordering cycle the transaction can break.
+        ordering_pairs: dict[tuple[str, str], list[DependencyKind]] = {}
+        for edge in self.graph.edges:
+            if edge.kind.is_strong:
+                ordering_pairs.setdefault((edge.predecessor, edge.successor),
+                                          []).append(edge.kind)
+        for (pred, succ), kinds in ordering_pairs.items():
+            if (succ, pred) in ordering_pairs and pred < succ:
+                report.findings.append(Finding(
+                    kind="contradiction", units=(pred, succ),
+                    detail=(f"both orders declared: {pred} before {succ} "
+                            f"and {succ} before {pred}")))
+        for edge in self.graph.edges_of_kind(DependencyKind.CONFLICTS):
+            declaring = self.registry.get(edge.declared_by)
+            if edge.successor in declaring.requires or edge.successor in declaring.wants:
+                report.findings.append(Finding(
+                    kind="contradiction", units=(edge.declared_by, edge.successor),
+                    detail=(f"{edge.declared_by} both pulls in and conflicts "
+                            f"with {edge.successor}")))
+
+    def _find_dangling(self, report: AnalyzerReport) -> None:
+        for referrer, missing in sorted(self.registry.dangling_references().items()):
+            for name in missing:
+                report.findings.append(Finding(
+                    kind="dangling", units=(referrer, name),
+                    detail=f"{referrer} references missing unit {name}"))
+
+    def _find_redundant(self, report: AnalyzerReport) -> None:
+        # Duplicate declarations within one unit.
+        for unit in self.registry:
+            for attr in ("requires", "wants", "before", "after"):
+                values = getattr(unit, attr)
+                duplicates = {v for v in values if values.count(v) > 1}
+                for dup in sorted(duplicates):
+                    report.findings.append(Finding(
+                        kind="redundant", units=(unit.name, dup),
+                        detail=f"{unit.name} declares {attr}={dup} more than once"))
+        # Transitively implied requires: A requires B, B requires C, and A
+        # also requires C directly.
+        requires_map = {u.name: set(u.requires) for u in self.registry}
+        for unit in self.registry:
+            direct = requires_map[unit.name]
+            for dep in sorted(direct):
+                reachable = self._reachable_requires(dep, requires_map)
+                implied = direct & reachable
+                for extra in sorted(implied):
+                    report.findings.append(Finding(
+                        kind="redundant", units=(unit.name, extra),
+                        detail=(f"{unit.name} requires {extra} directly, but it "
+                                f"is already implied through {dep}")))
+
+    def _reachable_requires(self, start: str,
+                            requires_map: dict[str, set[str]]) -> set[str]:
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            name = stack.pop()
+            for dep in requires_map.get(name, ()):  # missing units: no expansion
+                if dep not in seen:
+                    seen.add(dep)
+                    stack.append(dep)
+        return seen

@@ -1,0 +1,101 @@
+"""Critical-path analysis: the longest dependency chain to boot completion.
+
+Gives the analytical lower bound on user-space boot time with unlimited
+cores: no in-order scheme can complete before the costliest chain of
+strong dependencies finishes.  Used by the reports to show how close BB
+gets to the theoretical floor, and by DESIGN ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import AnalysisError
+from repro.graph.depgraph import DependencyGraph
+from repro.hw.storage import AccessPattern, StorageDevice
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.units import Unit
+
+
+def estimate_start_ns(unit: Unit, storage: StorageDevice | None = None) -> int:
+    """Serial duration estimate of one unit's start job.
+
+    Includes fork, exec image read (if a storage model is supplied),
+    dynamic linking, initialization CPU, and hardware settle; RCU waits
+    are excluded (they depend on run-time contention).
+    """
+    cost = unit.cost
+    total = cost.fork_ns * cost.processes + cost.init_cpu_ns + cost.hw_settle_ns
+    if not unit.static_build:
+        total += cost.dynamic_link_ns
+    if storage is not None and cost.exec_bytes:
+        total += storage.read_time_ns(cost.exec_bytes, AccessPattern.RANDOM)
+    total += cost.ready_extra_ns
+    return total
+
+
+@dataclass(frozen=True, slots=True)
+class CriticalPath:
+    """The costliest strong chain ending at a completion unit.
+
+    Attributes:
+        units: Chain from the earliest ancestor to the completion unit.
+        length_ns: Sum of the chain's estimated start durations.
+    """
+
+    units: tuple[str, ...]
+    length_ns: int
+
+
+def critical_path(registry: UnitRegistry, completion_units: Iterable[str],
+                  storage: StorageDevice | None = None,
+                  duration_fn: Callable[[Unit], int] | None = None) -> CriticalPath:
+    """Longest-path over the strong ordering edges to any completion unit.
+
+    Args:
+        registry: The unit set.
+        completion_units: The boot-completion definition.
+        storage: Optional storage model for exec-read estimates.
+        duration_fn: Override for the per-unit duration estimate.
+
+    Raises:
+        AnalysisError: If the strong ordering graph is cyclic or a
+            completion unit is unknown.
+    """
+    goals = list(completion_units)
+    for goal in goals:
+        if goal not in registry:
+            raise AnalysisError(f"completion unit {goal!r} not in registry")
+    if duration_fn is None:
+        def duration_fn(unit: Unit) -> int:
+            return estimate_start_ns(unit, storage)
+
+    graph = DependencyGraph(registry)
+    durations = {u.name: duration_fn(u) for u in registry}
+
+    # Longest path via memoized DFS over strong predecessors.
+    best: dict[str, tuple[int, tuple[str, ...]]] = {}
+    in_progress: set[str] = set()
+
+    def longest_to(name: str) -> tuple[int, tuple[str, ...]]:
+        if name in best:
+            return best[name]
+        if name in in_progress:
+            raise AnalysisError(f"strong ordering cycle through {name!r}")
+        in_progress.add(name)
+        predecessors = [e.predecessor for e in graph.incoming(name)
+                        if e.kind.is_strong and e.predecessor in registry]
+        if predecessors:
+            tail_len, tail_units = max((longest_to(p) for p in predecessors),
+                                       key=lambda item: (item[0], item[1]))
+            result = (tail_len + durations[name], tail_units + (name,))
+        else:
+            result = (durations[name], (name,))
+        in_progress.discard(name)
+        best[name] = result
+        return result
+
+    length, units = max((longest_to(goal) for goal in goals),
+                        key=lambda item: (item[0], item[1]))
+    return CriticalPath(units=units, length_ns=length)

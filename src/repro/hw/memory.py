@@ -1,0 +1,59 @@
+"""DRAM model and the memory-initialization cost that BB defers.
+
+On the UE48H6200 the kernel's full memory initialization (struct-page
+setup, zeroing, zone init) costs 370 ms for 1 GiB; BB's Core Engine
+initializes only the region required to start user space (110 ms) and
+defers the remainder until after boot completion (Fig. 6(a)).  The model
+scales both figures linearly with DRAM size, which is why "modern
+large-memory computing devices ... may take too much time" (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.quantities import BYTES_PER_GIB, msec
+
+
+@dataclass(frozen=True, slots=True)
+class DRAMModel:
+    """DRAM size and its kernel-initialization cost model.
+
+    Attributes:
+        size_bytes: Installed DRAM.
+        full_init_ns_per_gib: Kernel time to initialize 1 GiB completely.
+        early_fraction: Fraction of DRAM that must be initialized before
+            the first user process can start (the BB deferred-meminit
+            boundary).  Calibrated so 1 GiB gives 110 ms early / 370 ms full.
+    """
+
+    size_bytes: int
+    full_init_ns_per_gib: int = msec(370)
+    early_fraction: float = 110 / 370
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise HardwareError(f"DRAM size must be positive: {self.size_bytes}")
+        if not 0.0 < self.early_fraction <= 1.0:
+            raise HardwareError(
+                f"early_fraction must be in (0, 1]: {self.early_fraction}")
+        if self.full_init_ns_per_gib <= 0:
+            raise HardwareError("full_init_ns_per_gib must be positive")
+
+    @property
+    def gib(self) -> float:
+        """DRAM size in GiB."""
+        return self.size_bytes / BYTES_PER_GIB
+
+    def full_init_ns(self) -> int:
+        """Time to initialize all of DRAM during kernel boot (no BB)."""
+        return round(self.gib * self.full_init_ns_per_gib)
+
+    def early_init_ns(self) -> int:
+        """Time to initialize only the boot-required region (BB)."""
+        return round(self.full_init_ns() * self.early_fraction)
+
+    def deferred_init_ns(self) -> int:
+        """Remaining initialization performed after boot completion (BB)."""
+        return self.full_init_ns() - self.early_init_ns()

@@ -1,0 +1,58 @@
+"""Peripheral hardware components and their initialization costs.
+
+A TV carries the broadcast path (tuner, demultiplexer, video/audio
+decoders, display panel), HDMI inputs, USB, and network interfaces.  Each
+peripheral needs a driver (a kernel initcall or module, see
+:mod:`repro.kernel.initcalls`) and a hardware bring-up time; BB's
+On-demand Modularizer defers the non-boot-critical ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+
+class PeripheralClass(enum.Enum):
+    """Broad peripheral category, used to decide boot criticality."""
+
+    BROADCAST = "broadcast"  # tuner, demux, video/audio path
+    DISPLAY = "display"
+    INPUT = "input"  # remote-control receiver
+    CONNECTIVITY = "connectivity"  # network, Bluetooth
+    EXPANSION = "expansion"  # USB, SD card
+    PLATFORM = "platform"  # clocks, power domains, buses
+
+
+@dataclass(frozen=True, slots=True)
+class Peripheral:
+    """A hardware component attached to the board.
+
+    Attributes:
+        name: Component name, e.g. ``"tuner"``.
+        klass: Category; BROADCAST/DISPLAY/INPUT are boot critical on a TV.
+        hw_init_ns: Hardware bring-up time once its driver runs.
+        driver: Name of the kernel driver that services it.
+    """
+
+    name: str
+    klass: PeripheralClass
+    hw_init_ns: int
+    driver: str
+
+    def __post_init__(self) -> None:
+        if self.hw_init_ns < 0:
+            raise HardwareError(f"{self.name}: negative init time")
+
+    @property
+    def boot_critical_for_tv(self) -> bool:
+        """Whether a TV needs this peripheral before boot completion.
+
+        Boot completion for a TV is "channel video/audio playing and remote
+        control responding" (§2), which needs the broadcast path, the
+        display, and the input receiver — not USB or networking.
+        """
+        return self.klass in (PeripheralClass.BROADCAST, PeripheralClass.DISPLAY,
+                              PeripheralClass.INPUT, PeripheralClass.PLATFORM)

@@ -1,0 +1,136 @@
+"""Board and storage presets with the paper's published figures.
+
+Each preset is a factory (fresh objects each call, so simulations never
+share mutable device state).
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import DRAMModel
+from repro.hw.peripherals import Peripheral, PeripheralClass
+from repro.hw.platform import HardwarePlatform
+from repro.hw.storage import StorageDevice
+from repro.quantities import GiB, MiB, msec, usec
+
+
+def emmc_ue48h6200() -> StorageDevice:
+    """The TV's 8 GiB eMMC: 117 MiB/s sequential, 37 MiB/s random read (§4)."""
+    return StorageDevice("eMMC", seq_read_bps=MiB(117), rand_read_bps=MiB(37),
+                         capacity_bytes=GiB(8))
+
+
+def ssd_850_evo() -> StorageDevice:
+    """Samsung SSD 850 Evo 500 GB: 515 / 379 MiB/s (§4)."""
+    return StorageDevice("SSD-850-Evo", seq_read_bps=MiB(515), rand_read_bps=MiB(379),
+                         request_latency_ns=usec(40), capacity_bytes=GiB(500))
+
+
+def hdd_barracuda() -> StorageDevice:
+    """Seagate Barracuda 3TB: 165 / 65 MB/s (§4; decimal MB in the paper).
+
+    We convert the decimal figures to bytes/second exactly (1 MB = 10^6 B).
+    """
+    return StorageDevice("HDD-Barracuda", seq_read_bps=165 * 10**6,
+                         rand_read_bps=65 * 10**6,
+                         request_latency_ns=usec(8_000),  # seek-dominated
+                         capacity_bytes=3 * 10**12)
+
+
+def ufs_galaxy_s6() -> StorageDevice:
+    """Galaxy S6 UFS 2.0 internal storage: ~300 MiB/s sequential read (§2.1)."""
+    return StorageDevice("UFS-2.0", seq_read_bps=MiB(300), rand_read_bps=MiB(120),
+                         request_latency_ns=usec(50), capacity_bytes=GiB(32))
+
+
+def _tv_peripherals() -> dict[str, Peripheral]:
+    components = [
+        Peripheral("tuner", PeripheralClass.BROADCAST, hw_init_ns=msec(60), driver="tuner_drv"),
+        Peripheral("demux", PeripheralClass.BROADCAST, hw_init_ns=msec(25), driver="demux_drv"),
+        Peripheral("video-decoder", PeripheralClass.BROADCAST, hw_init_ns=msec(35),
+                   driver="vdec_drv"),
+        Peripheral("audio-decoder", PeripheralClass.BROADCAST, hw_init_ns=msec(20),
+                   driver="adec_drv"),
+        Peripheral("display-panel", PeripheralClass.DISPLAY, hw_init_ns=msec(45),
+                   driver="panel_drv"),
+        Peripheral("remote-receiver", PeripheralClass.INPUT, hw_init_ns=msec(8),
+                   driver="ir_drv"),
+        Peripheral("hdmi", PeripheralClass.EXPANSION, hw_init_ns=msec(30), driver="hdmi_drv"),
+        Peripheral("usb", PeripheralClass.EXPANSION, hw_init_ns=msec(40), driver="usb_drv"),
+        Peripheral("ethernet", PeripheralClass.CONNECTIVITY, hw_init_ns=msec(35),
+                   driver="eth_drv"),
+        Peripheral("wifi", PeripheralClass.CONNECTIVITY, hw_init_ns=msec(55), driver="wifi_drv"),
+        Peripheral("bluetooth", PeripheralClass.CONNECTIVITY, hw_init_ns=msec(30),
+                   driver="bt_drv"),
+        Peripheral("power-domains", PeripheralClass.PLATFORM, hw_init_ns=msec(10),
+                   driver="pm_drv"),
+    ]
+    return {p.name: p for p in components}
+
+
+def ue48h6200() -> HardwarePlatform:
+    """The evaluation board: 2014 Samsung UHD Smart TV UE48H6200 (§4).
+
+    Four Cortex-A9 cores, 1 GiB DRAM, 8 GiB eMMC.
+    """
+    return HardwarePlatform(
+        name="UE48H6200",
+        cpu_cores=4,
+        dram=DRAMModel(size_bytes=GiB(1)),
+        storage=emmc_ue48h6200(),
+        peripherals=_tv_peripherals(),
+    )
+
+
+def nx300() -> HardwarePlatform:
+    """NX300-like Tizen camera (§2.1): dual core, 512 MiB DRAM, small flash."""
+    peripherals = {
+        "lens": Peripheral("lens", PeripheralClass.BROADCAST, hw_init_ns=msec(120),
+                           driver="lens_drv"),
+        "sensor": Peripheral("sensor", PeripheralClass.BROADCAST, hw_init_ns=msec(80),
+                             driver="sensor_drv"),
+        "display-panel": Peripheral("display-panel", PeripheralClass.DISPLAY,
+                                    hw_init_ns=msec(40), driver="panel_drv"),
+        "shutter-button": Peripheral("shutter-button", PeripheralClass.INPUT,
+                                     hw_init_ns=msec(5), driver="key_drv"),
+        "wifi": Peripheral("wifi", PeripheralClass.CONNECTIVITY, hw_init_ns=msec(55),
+                           driver="wifi_drv"),
+        "usb": Peripheral("usb", PeripheralClass.EXPANSION, hw_init_ns=msec(40),
+                          driver="usb_drv"),
+    }
+    return HardwarePlatform(
+        name="NX300",
+        cpu_cores=2,
+        dram=DRAMModel(size_bytes=MiB(512)),
+        storage=StorageDevice("eMMC-camera", seq_read_bps=MiB(90), rand_read_bps=MiB(25),
+                              capacity_bytes=GiB(4)),
+        peripherals=peripherals,
+    )
+
+
+def galaxy_s6_like() -> HardwarePlatform:
+    """Galaxy-S6-like phone (§2.1/§2.3): 8 cores, 3 GiB DRAM, UFS 2.0.
+
+    Used by the snapshot-booting and compression background models: reading
+    a 3 GiB hibernation image at ~300 MiB/s costs ~10 s, and 8-core
+    decompression reaches only 35 MiB/s.
+    """
+    peripherals = {
+        "display-panel": Peripheral("display-panel", PeripheralClass.DISPLAY,
+                                    hw_init_ns=msec(50), driver="panel_drv"),
+        "touchscreen": Peripheral("touchscreen", PeripheralClass.INPUT,
+                                  hw_init_ns=msec(15), driver="touch_drv"),
+        "modem": Peripheral("modem", PeripheralClass.BROADCAST, hw_init_ns=msec(200),
+                            driver="modem_drv"),
+        "wifi": Peripheral("wifi", PeripheralClass.CONNECTIVITY, hw_init_ns=msec(55),
+                           driver="wifi_drv"),
+        "usb": Peripheral("usb", PeripheralClass.EXPANSION, hw_init_ns=msec(40),
+                          driver="usb_drv"),
+    }
+    return HardwarePlatform(
+        name="Galaxy-S6-like",
+        cpu_cores=8,
+        dram=DRAMModel(size_bytes=GiB(3)),
+        storage=ufs_galaxy_s6(),
+        peripherals=peripherals,
+        decompress_bps=MiB(35),
+    )

@@ -1,0 +1,121 @@
+"""Block-storage device model.
+
+A device is characterized by sequential and random read/write throughput
+plus a fixed per-request latency.  Requests are serialized through a
+simulation mutex — a single flash channel — so concurrent readers queue,
+which matters when many services read their binaries at once during boot.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.errors import HardwareError
+from repro.quantities import transfer_time_ns, usec
+from repro.sim.process import Timeout
+from repro.sim.sync import PriorityMutex
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.process import ProcessGenerator
+
+
+class AccessPattern(enum.Enum):
+    """Access pattern of a storage request; selects the throughput figure."""
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+class StorageDevice:
+    """A storage device with published throughput figures.
+
+    Args:
+        name: Device label, e.g. ``"eMMC"``.
+        seq_read_bps: Sequential read throughput in bytes/second.
+        rand_read_bps: Random read throughput in bytes/second.
+        seq_write_bps: Sequential write throughput; defaults to half the
+            sequential read figure (typical for consumer eMMC).
+        rand_write_bps: Random write throughput; defaults to half random read.
+        request_latency_ns: Fixed per-request setup latency.
+        capacity_bytes: Device capacity; reads beyond it are rejected.
+    """
+
+    def __init__(self, name: str, seq_read_bps: int, rand_read_bps: int,
+                 seq_write_bps: int | None = None,
+                 rand_write_bps: int | None = None,
+                 request_latency_ns: int = usec(100),
+                 capacity_bytes: int | None = None):
+        if seq_read_bps <= 0 or rand_read_bps <= 0:
+            raise HardwareError(f"{name}: throughput must be positive")
+        self.name = name
+        self.seq_read_bps = seq_read_bps
+        self.rand_read_bps = rand_read_bps
+        self.seq_write_bps = seq_write_bps if seq_write_bps is not None else seq_read_bps // 2
+        self.rand_write_bps = rand_write_bps if rand_write_bps is not None else rand_read_bps // 2
+        if self.seq_write_bps <= 0 or self.rand_write_bps <= 0:
+            raise HardwareError(f"{name}: write throughput must be positive")
+        self.request_latency_ns = request_latency_ns
+        self.capacity_bytes = capacity_bytes
+        self._channel: PriorityMutex | None = None
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.requests = 0
+
+    def attach(self, engine: "Simulator") -> "StorageDevice":
+        """Bind the device to a simulator (creates the channel lock).
+
+        The channel is a :class:`~repro.sim.sync.PriorityMutex`: queued
+        requests are served by process priority, modelling the I/O
+        scheduling classes init schemes set via ``ioprio_set`` (§2.5).
+        """
+        self._channel = PriorityMutex(engine, name=f"{self.name}.channel",
+                                      wake_cost_ns=0)
+        return self
+
+    def read_time_ns(self, nbytes: int,
+                     pattern: AccessPattern = AccessPattern.SEQUENTIAL) -> int:
+        """Pure transfer time for a read, excluding queueing."""
+        bps = self.seq_read_bps if pattern is AccessPattern.SEQUENTIAL else self.rand_read_bps
+        return self.request_latency_ns + transfer_time_ns(nbytes, bps)
+
+    def write_time_ns(self, nbytes: int,
+                      pattern: AccessPattern = AccessPattern.SEQUENTIAL) -> int:
+        """Pure transfer time for a write, excluding queueing."""
+        bps = self.seq_write_bps if pattern is AccessPattern.SEQUENTIAL else self.rand_write_bps
+        return self.request_latency_ns + transfer_time_ns(nbytes, bps)
+
+    def read(self, nbytes: int,
+             pattern: AccessPattern = AccessPattern.SEQUENTIAL) -> "ProcessGenerator":
+        """Generator: perform a read in simulated time (queues on the channel)."""
+        yield from self._transfer(nbytes, self.read_time_ns(nbytes, pattern), is_write=False)
+
+    def write(self, nbytes: int,
+              pattern: AccessPattern = AccessPattern.SEQUENTIAL) -> "ProcessGenerator":
+        """Generator: perform a write in simulated time (queues on the channel)."""
+        yield from self._transfer(nbytes, self.write_time_ns(nbytes, pattern), is_write=True)
+
+    def _transfer(self, nbytes: int, duration_ns: int, is_write: bool) -> "ProcessGenerator":
+        if nbytes < 0:
+            raise HardwareError(f"{self.name}: negative transfer size {nbytes}")
+        if self.capacity_bytes is not None and nbytes > self.capacity_bytes:
+            raise HardwareError(
+                f"{self.name}: transfer of {nbytes} B exceeds capacity "
+                f"{self.capacity_bytes} B")
+        if self._channel is None:
+            raise HardwareError(f"{self.name}: device not attached to a simulator")
+        yield from self._channel.acquire()
+        try:
+            yield Timeout(duration_ns)
+            self.requests += 1
+            if is_write:
+                self.bytes_written += nbytes
+            else:
+                self.bytes_read += nbytes
+        finally:
+            self._channel.release()
+
+    def __repr__(self) -> str:
+        return (f"StorageDevice({self.name!r}, seq={self.seq_read_bps // (1 << 20)} MiB/s, "
+                f"rand={self.rand_read_bps // (1 << 20)} MiB/s)")

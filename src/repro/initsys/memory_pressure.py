@@ -1,0 +1,120 @@
+"""Memory-pressure management (§2.5).
+
+Modern init schemes "adjust priorities between user processes and choose
+the victim to be expelled from the main memory when the memory pressure
+becomes critical".  The manager tracks each running unit's resident
+memory against the platform's DRAM budget and, past a critical threshold,
+expels victims — never a protected (BB-Group) unit, preferring the largest
+low-importance resident first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import ConfigurationError
+from repro.initsys.units import Unit
+
+#: Default fraction of DRAM available to services (rest is kernel/graphics).
+DEFAULT_BUDGET_FRACTION = 0.6
+
+#: Default usage fraction of the budget at which reclaim starts.
+DEFAULT_CRITICAL_FRACTION = 0.9
+
+
+@dataclass(slots=True)
+class PressureEvent:
+    """One reclaim decision."""
+
+    requested_by: str
+    victims: list[str]
+    freed_bytes: int
+
+
+class MemoryPressureManager:
+    """Tracks resident services and expels victims under pressure.
+
+    Args:
+        dram_bytes: Platform DRAM size.
+        budget_fraction: Fraction of DRAM the service set may use.
+        critical_fraction: Budget fraction at which reclaim triggers.
+        protected: Unit names that are never chosen as victims (the BB
+            Group in a BB system).
+        importance_fn: Lower value = expelled first; defaults to negative
+            memory size (biggest consumer goes first).
+    """
+
+    def __init__(self, dram_bytes: int,
+                 budget_fraction: float = DEFAULT_BUDGET_FRACTION,
+                 critical_fraction: float = DEFAULT_CRITICAL_FRACTION,
+                 protected: Iterable[str] = (),
+                 importance_fn: Callable[[Unit], float] | None = None):
+        if dram_bytes <= 0:
+            raise ConfigurationError("DRAM size must be positive")
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ConfigurationError("budget_fraction must be in (0, 1]")
+        if not 0.0 < critical_fraction <= 1.0:
+            raise ConfigurationError("critical_fraction must be in (0, 1]")
+        self.budget_bytes = round(dram_bytes * budget_fraction)
+        self.critical_bytes = round(self.budget_bytes * critical_fraction)
+        self.protected = frozenset(protected)
+        self._importance_fn = importance_fn
+        self.resident: dict[str, Unit] = {}
+        self.used_bytes = 0
+        self.events: list[PressureEvent] = []
+
+    def _importance(self, unit: Unit) -> float:
+        if self._importance_fn is not None:
+            return self._importance_fn(unit)
+        return -float(unit.cost.memory_bytes)
+
+    @property
+    def pressure(self) -> float:
+        """Current usage as a fraction of the budget."""
+        return self.used_bytes / self.budget_bytes
+
+    def admit(self, unit: Unit) -> PressureEvent | None:
+        """Account a newly started unit; reclaim if pressure is critical.
+
+        Returns the reclaim event if one was needed, else ``None``.
+
+        Raises:
+            ConfigurationError: If the unit alone exceeds the whole budget,
+                or pressure cannot be relieved (every resident protected).
+        """
+        if unit.cost.memory_bytes > self.budget_bytes:
+            raise ConfigurationError(
+                f"{unit.name}: needs {unit.cost.memory_bytes} B, budget is "
+                f"{self.budget_bytes} B")
+        self.resident[unit.name] = unit
+        self.used_bytes += unit.cost.memory_bytes
+        if self.used_bytes <= self.critical_bytes:
+            return None
+        return self._reclaim(requested_by=unit.name)
+
+    def release(self, name: str) -> None:
+        """Account a stopped/expelled unit."""
+        unit = self.resident.pop(name, None)
+        if unit is not None:
+            self.used_bytes -= unit.cost.memory_bytes
+
+    def _reclaim(self, requested_by: str) -> PressureEvent:
+        event = PressureEvent(requested_by=requested_by, victims=[],
+                              freed_bytes=0)
+        candidates = sorted(
+            (u for name, u in self.resident.items()
+             if name not in self.protected and name != requested_by),
+            key=lambda u: (self._importance(u), u.name))
+        for victim in candidates:
+            if self.used_bytes <= self.critical_bytes:
+                break
+            self.release(victim.name)
+            event.victims.append(victim.name)
+            event.freed_bytes += victim.cost.memory_bytes
+        if self.used_bytes > self.critical_bytes:
+            raise ConfigurationError(
+                "memory pressure critical and every resident unit is "
+                "protected; cannot reclaim")
+        self.events.append(event)
+        return event

@@ -1,0 +1,117 @@
+"""The Advanced Boot Script baseline (§2.5.2): run-levels.
+
+Advanced Boot Script [Gooch 2002] was the first in-order init scheme with
+parallelism, but with two limitations the paper calls out:
+
+1. "It is based on run-levels ... and run-levels are in a total order.
+   Programs in different run-levels cannot be invoked in parallel."
+2. "It does not allow system developers ... to prioritize specific
+   programs for faster booting."
+
+The scheme derives each unit's run-level from its dependency depth (the
+longest ordering chain beneath it), starts one level at a time, runs the
+level's units fully in parallel, and only advances when **every** unit of
+the level is ready — the inter-level barrier that systemd removed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hw.storage import StorageDevice
+from repro.initsys.executor import PathRegistry, ServiceRunner
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.transaction import Transaction
+from repro.initsys.units import UnitType
+from repro.kernel.rcu import RCUSubsystem
+from repro.sim.process import Wait
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.process import Process, ProcessGenerator
+
+
+class AdvancedBootScript:
+    """Run-level init: in-order, parallel within a level, barrier between."""
+
+    def __init__(self, engine: "Simulator", registry: UnitRegistry,
+                 storage: StorageDevice, rcu: RCUSubsystem,
+                 goal: str, completion_units: tuple[str, ...],
+                 preexisting_paths: set[str] | None = None):
+        self._engine = engine
+        self.registry = registry
+        self.storage = storage
+        self.rcu = rcu
+        self.goal = goal
+        self.completion_units = completion_units
+        self.paths = PathRegistry(engine, preexisting=preexisting_paths)
+        self.transaction: Transaction | None = None
+        self.levels: list[list[str]] = []
+        self.boot_complete_ns: int | None = None
+
+    def compute_levels(self) -> list[list[str]]:
+        """Partition the transaction into run-levels by dependency depth."""
+        assert self.transaction is not None
+        predecessors: dict[str, list[str]] = {name: []
+                                              for name in self.transaction.jobs}
+        for edge in self.transaction.edges:
+            predecessors[edge.successor].append(edge.predecessor)
+
+        depth: dict[str, int] = {}
+
+        def depth_of(name: str) -> int:
+            if name in depth:
+                return depth[name]
+            depth[name] = 0  # cycle guard; transaction is already acyclic
+            preds = predecessors[name]
+            depth[name] = 1 + max((depth_of(p) for p in preds), default=-1)
+            return depth[name]
+
+        max_depth = 0
+        for name in self.transaction.jobs:
+            max_depth = max(max_depth, depth_of(name))
+        levels: list[list[str]] = [[] for _ in range(max_depth + 1)]
+        for name in sorted(self.transaction.jobs):
+            levels[depth[name]].append(name)
+        return levels
+
+    def spawn(self) -> "Process":
+        """Start the run-level init as the init process."""
+        return self._engine.spawn(self.run(), name="abs-init", priority=50)
+
+    def run(self) -> "ProcessGenerator":
+        """Generator: the whole run-level boot."""
+        engine = self._engine
+        self.registry.apply_install_sections()
+        self.transaction = Transaction(self.registry, [self.goal])
+        self.levels = self.compute_levels()
+        runner = ServiceRunner(engine, self.storage, self.rcu, self.paths)
+        remaining_completion = set(self.completion_units)
+
+        for level_index, level in enumerate(self.levels):
+            span = engine.tracer.begin(f"runlevel-{level_index}", "runlevel")
+            workers = []
+            for name in level:
+                job = self.transaction.job(name)
+                job.started = engine.completion(f"{name}.started")
+                job.ready = engine.completion(f"{name}.ready")
+                if job.unit.unit_type is UnitType.TARGET:
+                    job.started.fire(name)
+                    job.ready.fire(name)
+                    job.started_at_ns = job.ready_at_ns = engine.now
+                    job.done_at_ns = engine.now
+                    continue
+                workers.append(engine.spawn(runner.run(job),
+                                            name=f"abs:{name}", priority=100))
+            # The run-level barrier: nothing from the next level starts
+            # until everything in this one is done.
+            for worker in workers:
+                if worker.alive:
+                    yield Wait(worker.done)
+            engine.tracer.end(span)
+            for name in level:
+                remaining_completion.discard(name)
+            if not remaining_completion and self.boot_complete_ns is None:
+                self.boot_complete_ns = engine.now
+                engine.tracer.instant("boot.complete", "boot-stage")
+        return self.boot_complete_ns

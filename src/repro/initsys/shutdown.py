@@ -1,0 +1,107 @@
+"""Shutdown sequencing: the other half of process life-cycle management.
+
+§2.5: the init process "takes charge of user process management,
+including boot-up and shut-down sequences".  Shutdown matters to BB's
+story because the hibernation alternative must *write* its snapshot at
+shutdown (§2.1), so a TV that powers off slowly cannot be unplugged —
+exactly the user behaviour that rules snapshot booting out.
+
+Stop semantics mirror systemd: units stop in reverse dependency order — a
+unit is stopped only after everything that depends on it has stopped —
+with independent units stopping in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.transaction import EdgeKind, Transaction
+from repro.initsys.units import Unit, UnitType
+from repro.sim.process import Compute, Wait
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.process import Process, ProcessGenerator
+    from repro.sim.sync import Completion
+
+
+@dataclass(slots=True)
+class ShutdownReport:
+    """Outcome of one shutdown sequence."""
+
+    duration_ns: int
+    stop_order: list[str]
+
+    @property
+    def stopped(self) -> int:
+        """Number of units stopped."""
+        return len(self.stop_order)
+
+
+class ShutdownSequencer:
+    """Stops a booted system's units in reverse dependency order."""
+
+    def __init__(self, engine: "Simulator", registry: UnitRegistry,
+                 goal: str = "multi-user.target"):
+        self._engine = engine
+        self.registry = registry
+        self.goal = goal
+        self.report: ShutdownReport | None = None
+
+    def spawn(self, running_units: Iterable[str] | None = None) -> "Process":
+        """Start the shutdown as a simulated process.
+
+        Args:
+            running_units: Units currently up; defaults to the goal's
+                whole transaction.
+        """
+        return self._engine.spawn(self.run(running_units), name="shutdown",
+                                  priority=40)
+
+    def run(self, running_units: Iterable[str] | None = None) -> "ProcessGenerator":
+        """Generator: execute the full shutdown; returns the report."""
+        engine = self._engine
+        start = engine.now
+        transaction = Transaction(self.registry, [self.goal])
+        if running_units is None:
+            names = [n for n in transaction.jobs
+                     if transaction.job(n).unit.unit_type is not UnitType.TARGET]
+        else:
+            names = [n for n in running_units if n in transaction]
+
+        # Reverse the boot ordering: a unit stops once all its ordering
+        # successors (the units that needed it) have stopped.
+        name_set = set(names)
+        stop_gates: dict[str, "Completion"] = {
+            name: engine.completion(f"{name}.stopped") for name in names}
+        blockers: dict[str, list[str]] = {name: [] for name in names}
+        for edge in transaction.edges:
+            if edge.kind is EdgeKind.WEAK:
+                continue  # weak ordering does not constrain shutdown
+            if edge.predecessor in name_set and edge.successor in name_set:
+                blockers[edge.predecessor].append(edge.successor)
+
+        stop_order: list[str] = []
+
+        def stopper(unit: Unit) -> "ProcessGenerator":
+            for successor in blockers[unit.name]:
+                gate = stop_gates[successor]
+                if not gate.fired:
+                    yield Wait(gate)
+            span = engine.tracer.begin(f"stop:{unit.name}", "shutdown")
+            yield Compute(unit.cost.stop_ns)
+            engine.tracer.end(span)
+            stop_order.append(unit.name)
+            stop_gates[unit.name].fire(unit.name)
+
+        workers = [engine.spawn(stopper(transaction.job(name).unit),
+                                name=f"stop:{name}", priority=40)
+                   for name in names]
+        for worker in workers:
+            if worker.alive:
+                yield Wait(worker.done)
+        self.report = ShutdownReport(duration_ns=engine.now - start,
+                                     stop_order=stop_order)
+        return self.report

@@ -1,0 +1,88 @@
+"""The sequential rcS baseline (§2.5, "BSD init" / SysVinit lineage).
+
+One service at a time, in a deterministic topological order of the
+declared dependencies: correct, but with zero parallelism — the scheme the
+multi-core init evolution left behind.  Used by the ablation benches to
+show where in-order parallel execution (systemd) and BB stand relative to
+the starting point.
+"""
+
+from __future__ import annotations
+
+from graphlib import TopologicalSorter
+from typing import TYPE_CHECKING
+
+from repro.errors import DependencyCycleError
+from repro.hw.storage import StorageDevice
+from repro.initsys.executor import PathRegistry, ServiceRunner
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.transaction import Transaction
+from repro.initsys.units import UnitType
+from repro.kernel.rcu import RCUSubsystem
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.process import Process, ProcessGenerator
+
+
+class SysVInitScheme:
+    """Start every unit of the goal's closure strictly sequentially."""
+
+    def __init__(self, engine: "Simulator", registry: UnitRegistry,
+                 storage: StorageDevice, rcu: RCUSubsystem,
+                 goal: str, completion_units: tuple[str, ...],
+                 preexisting_paths: set[str] | None = None):
+        self._engine = engine
+        self.registry = registry
+        self.storage = storage
+        self.rcu = rcu
+        self.goal = goal
+        self.completion_units = completion_units
+        self.paths = PathRegistry(engine, preexisting=preexisting_paths)
+        self.transaction: Transaction | None = None
+        self.boot_complete_ns: int | None = None
+
+    def start_order(self) -> list[str]:
+        """Deterministic topological order of the transaction's units.
+
+        Raises:
+            DependencyCycleError: If the ordering graph is cyclic even
+                after the transaction's weak-job cycle breaking.
+        """
+        assert self.transaction is not None
+        sorter: TopologicalSorter[str] = TopologicalSorter()
+        for name in self.transaction.jobs:
+            sorter.add(name)
+        for edge in self.transaction.edges:
+            sorter.add(edge.successor, edge.predecessor)
+        try:
+            return list(sorter.static_order())
+        except Exception as exc:  # graphlib.CycleError
+            raise DependencyCycleError([self.goal]) from exc
+
+    def spawn(self) -> "Process":
+        """Start the sequential init as the init process."""
+        return self._engine.spawn(self.run(), name="sysv-init", priority=50)
+
+    def run(self) -> "ProcessGenerator":
+        """Generator: the whole sequential boot."""
+        engine = self._engine
+        self.registry.apply_install_sections()
+        self.transaction = Transaction(self.registry, [self.goal])
+        runner = ServiceRunner(engine, self.storage, self.rcu, self.paths)
+        remaining_completion = set(self.completion_units)
+        for name in self.start_order():
+            job = self.transaction.job(name)
+            job.started = engine.completion(f"{name}.started")
+            job.ready = engine.completion(f"{name}.ready")
+            if job.unit.unit_type is UnitType.TARGET:
+                job.started.fire(name)
+                job.ready.fire(name)
+                job.started_at_ns = job.ready_at_ns = job.done_at_ns = engine.now
+            else:
+                yield from runner.run(job)
+            remaining_completion.discard(name)
+            if not remaining_completion and self.boot_complete_ns is None:
+                self.boot_complete_ns = engine.now
+                engine.tracer.instant("boot.complete", "boot-stage")
+        return self.boot_complete_ns

@@ -1,0 +1,53 @@
+"""Kernel boot-sequence models.
+
+This package models everything between the power-on signal and the first
+user process (plus the background §2 models the paper uses to motivate a
+fast cold boot):
+
+* :mod:`repro.kernel.bootloader` — ROM + bootloader stage,
+* :mod:`repro.kernel.image` — kernel image load, with the §2.3 compression
+  trade-off model,
+* :mod:`repro.kernel.meminit` — memory initialization (full vs BB-deferred),
+* :mod:`repro.kernel.initcalls` — initcall levels, built-in vs deferred
+  drivers (the On-demand Modularizer substrate),
+* :mod:`repro.kernel.modules` — external ``.ko`` loading with per-module
+  syscall and storage costs,
+* :mod:`repro.kernel.rootfs` — root filesystem mount, ext4 journal deferral,
+* :mod:`repro.kernel.rcu` — ``synchronize_rcu`` under the conventional
+  ticket spinlock (Algorithm 1) vs the boosted mutex (Algorithm 2),
+* :mod:`repro.kernel.config` — kernel build configuration (§2.4 debug
+  features and modularization),
+* :mod:`repro.kernel.sequence` — the orchestrated kernel boot,
+* :mod:`repro.kernel.snapshot` — §2.1 hibernation / suspend-to-RAM models.
+"""
+
+from repro.kernel.bootloader import Bootloader
+from repro.kernel.config import DebugFeature, KernelConfig
+from repro.kernel.image import KernelImage
+from repro.kernel.initcalls import Initcall, InitcallLevel, InitcallRegistry
+from repro.kernel.meminit import MemoryInitializer
+from repro.kernel.modules import KernelModule, ModuleLoader
+from repro.kernel.rcu import RCUMode, RCUSubsystem
+from repro.kernel.rootfs import RootFilesystem
+from repro.kernel.sequence import KernelBootSequence, KernelBootTimings
+from repro.kernel.snapshot import HibernationModel, SuspendToRamModel
+
+__all__ = [
+    "Bootloader",
+    "DebugFeature",
+    "HibernationModel",
+    "Initcall",
+    "InitcallLevel",
+    "InitcallRegistry",
+    "KernelBootSequence",
+    "KernelBootTimings",
+    "KernelConfig",
+    "KernelImage",
+    "KernelModule",
+    "MemoryInitializer",
+    "ModuleLoader",
+    "RCUMode",
+    "RCUSubsystem",
+    "RootFilesystem",
+    "SuspendToRamModel",
+]

@@ -1,0 +1,60 @@
+"""ROM and bootloader stage.
+
+Upon the power-on signal the CPU runs instructions from internal ROM,
+which load the bootloader from a predefined storage location; the
+bootloader initializes the hardware needed to start the kernel, then loads
+and launches the kernel image (§2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import KernelError
+from repro.hw.platform import HardwarePlatform
+from repro.kernel.image import KernelImage
+from repro.quantities import msec
+from repro.sim.process import Timeout
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.process import ProcessGenerator
+
+
+@dataclass(frozen=True, slots=True)
+class Bootloader:
+    """The pre-kernel boot stage.
+
+    Attributes:
+        rom_stage_ns: Internal-ROM execution time (mask ROM + BL1).
+        hw_init_ns: Bootloader hardware initialization (DRAM controller,
+            clocks, storage controller) before the kernel can run.
+        loader_size_bytes: The bootloader binary itself, read from storage.
+    """
+
+    rom_stage_ns: int = msec(20)
+    hw_init_ns: int = msec(30)
+    loader_size_bytes: int = 512 * 1024
+
+    def __post_init__(self) -> None:
+        if min(self.rom_stage_ns, self.hw_init_ns, self.loader_size_bytes) < 0:
+            raise KernelError("bootloader parameters cannot be negative")
+
+    def run(self, engine: "Simulator", platform: HardwarePlatform,
+            image: KernelImage) -> "ProcessGenerator":
+        """Generator: execute the full pre-kernel stage.
+
+        ROM stage, bootloader load, hardware init, then the kernel image
+        load (including the §2.3 decompression pipeline when compressed).
+        """
+        span = engine.tracer.begin("bootloader", "boot-stage")
+        yield Timeout(self.rom_stage_ns)
+        yield from platform.storage.read(self.loader_size_bytes)
+        yield Timeout(self.hw_init_ns)
+        # The image loader bypasses the filesystem: raw sequential read,
+        # possibly pipelined with decompression.
+        load_ns = image.load_time_ns(platform.storage, platform.decompress_bps)
+        yield Timeout(load_ns)
+        engine.tracer.end(span)
+        return span

@@ -1,0 +1,160 @@
+"""Multicore CPU model with a priority run queue.
+
+Every :class:`~repro.sim.process.Compute` request goes through this model,
+so at most ``cores`` simulated activities make CPU progress at any instant —
+the fundamental constraint that makes boot parallelism (and the damage done
+by spinning RCU waiters) come out of the simulation rather than being
+asserted.
+
+Scheduling is priority-based (lower number first, FIFO within a priority)
+and time-sliced: a long computation is split into ``quantum_ns`` slices, and
+between slices the process goes back through the run queue.  A priority
+change therefore takes effect within one quantum — this is the hook the
+Booting Booster Manager uses to push BB-Group services ahead of everything
+else.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.process import Process
+
+#: Default scheduler quantum: 1 ms, the granularity of priority decisions.
+DEFAULT_QUANTUM_NS = 1_000_000
+
+#: Default dispatch (context-switch) cost charged per scheduling decision.
+DEFAULT_SWITCH_COST_NS = 2_000
+
+
+@dataclass(order=True, slots=True)
+class _RunQueueEntry:
+    priority: int
+    seq: int
+    process: "Process" = field(compare=False)
+    remaining_ns: int = field(compare=False)
+
+
+@dataclass(slots=True)
+class CpuStats:
+    """Aggregate CPU accounting for a finished (or running) simulation.
+
+    Attributes:
+        busy_ns: Total core-nanoseconds spent executing process slices.
+        switch_ns: Total core-nanoseconds spent on dispatch overhead.
+        dispatches: Number of scheduling decisions taken.
+        peak_runnable: Maximum length of the run queue observed (queued,
+            not counting processes already on cores).
+    """
+
+    busy_ns: int = 0
+    switch_ns: int = 0
+    dispatches: int = 0
+    peak_runnable: int = 0
+
+    def utilization(self, cores: int, elapsed_ns: int) -> float:
+        """Fraction of total core capacity used over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return (self.busy_ns + self.switch_ns) / (cores * elapsed_ns)
+
+
+class CPU:
+    """An N-core processor shared by all simulated processes.
+
+    Args:
+        engine: Owning simulator.
+        cores: Number of cores (the UE48H6200 preset uses 4).
+        quantum_ns: Maximum slice per scheduling decision.
+        switch_cost_ns: Overhead charged to the core per dispatch.
+    """
+
+    def __init__(self, engine: "Simulator", cores: int,
+                 quantum_ns: int = DEFAULT_QUANTUM_NS,
+                 switch_cost_ns: int = DEFAULT_SWITCH_COST_NS):
+        if cores < 1:
+            raise SimulationError(f"CPU needs at least one core, got {cores}")
+        if quantum_ns <= 0:
+            raise SimulationError(f"quantum must be positive, got {quantum_ns}")
+        if switch_cost_ns < 0:
+            raise SimulationError(f"switch cost cannot be negative: {switch_cost_ns}")
+        self._engine = engine
+        self.cores = cores
+        self.quantum_ns = quantum_ns
+        self.switch_cost_ns = switch_cost_ns
+        self.stats = CpuStats()
+        self._idle_cores = cores
+        self._run_queue: list[_RunQueueEntry] = []
+        self._seq = 0
+
+    @property
+    def idle_cores(self) -> int:
+        """Number of cores currently not executing a slice."""
+        return self._idle_cores
+
+    @property
+    def runnable(self) -> int:
+        """Number of processes queued for a core (excluding those on cores)."""
+        return len(self._run_queue)
+
+    def submit(self, process: "Process", ns: int) -> None:
+        """Enqueue ``ns`` nanoseconds of work for ``process`` (engine internal).
+
+        The process is resumed via the engine once the full amount has been
+        executed.  Zero-length computations resume immediately without a
+        scheduling round-trip.
+        """
+        if ns == 0:
+            self._engine._resume(process, None)
+            return
+        self._enqueue(process, ns)
+        self._dispatch()
+
+    def _enqueue(self, process: "Process", remaining_ns: int) -> None:
+        entry = _RunQueueEntry(priority=process.priority, seq=self._seq,
+                               process=process, remaining_ns=remaining_ns)
+        self._seq += 1
+        heapq.heappush(self._run_queue, entry)
+        if len(self._run_queue) > self.stats.peak_runnable:
+            self.stats.peak_runnable = len(self._run_queue)
+
+    def _dispatch(self) -> None:
+        """Hand idle cores to the highest-priority queued work."""
+        while self._idle_cores > 0 and self._run_queue:
+            entry = heapq.heappop(self._run_queue)
+            if entry.process._pending_interrupt is not None:
+                # Interrupted while queued: deliver instead of running.
+                self._engine._resume(entry.process, None)
+                continue
+            self._idle_cores -= 1
+            slice_ns = min(self.quantum_ns, entry.remaining_ns)
+            self.stats.dispatches += 1
+            self.stats.switch_ns += self.switch_cost_ns
+            done_at = self._engine.now + self.switch_cost_ns + slice_ns
+            self._engine._schedule_at(done_at,
+                                      lambda e=entry, s=slice_ns: self._slice_done(e, s))
+
+    def _slice_done(self, entry: _RunQueueEntry, slice_ns: int) -> None:
+        self._idle_cores += 1
+        self.stats.busy_ns += slice_ns
+        entry.process.cpu_time_ns += slice_ns
+        entry.remaining_ns -= slice_ns
+        if entry.remaining_ns > 0 and entry.process._pending_interrupt is None:
+            # Re-read the priority: BB Manager may have boosted the process
+            # while it was running, and it must take effect promptly.
+            self._enqueue(entry.process, entry.remaining_ns)
+        else:
+            # Finished — or interrupted, in which case the remaining work
+            # is abandoned and the interrupt is delivered by the resume.
+            self._engine._resume(entry.process, None)
+        self._dispatch()
+
+    def __repr__(self) -> str:
+        return (f"CPU(cores={self.cores}, idle={self._idle_cores}, "
+                f"runnable={len(self._run_queue)})")

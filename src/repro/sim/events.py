@@ -1,0 +1,84 @@
+"""The time-ordered event queue.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.
+The monotonically increasing sequence number makes ordering of same-time
+events deterministic (FIFO in scheduling order), which is what makes whole
+simulations bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True, slots=True)
+class ScheduledEvent:
+    """A callback scheduled at an absolute simulation time.
+
+    Comparison order is ``(time_ns, seq)`` so the heap pops events in time
+    order with FIFO tie-breaking.  ``cancelled`` events stay in the heap and
+    are skipped when popped (lazy deletion).
+    """
+
+    time_ns: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`ScheduledEvent` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return self._live
+
+    def push(self, time_ns: int, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute time ``time_ns``."""
+        if time_ns < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time_ns}")
+        event = ScheduledEvent(time_ns=time_ns, seq=self._seq, callback=callback)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            SimulationError: If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            event.executed = True
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> int | None:
+        """Time of the earliest live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time_ns
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Cancel a scheduled event (lazy deletion; idempotent; cancelling
+        an event that already ran is a harmless no-op)."""
+        if not event.cancelled and not event.executed:
+            event.cancelled = True
+            self._live -= 1

@@ -1,0 +1,36 @@
+"""Workload definitions: the service sets the boot simulations run.
+
+* :mod:`repro.workloads.base` — the :class:`Workload` bundle consumed by
+  :class:`~repro.core.bb.BootSimulation`,
+* :mod:`repro.workloads.tizen_tv` — the evaluation workload: a synthetic
+  Tizen-TV service set calibrated to the paper's UE48H6200 measurements
+  (136 open-source services, Fig. 2 statistics, the seven-member BB
+  Group), plus the ~250-service commercialization fork,
+* :mod:`repro.workloads.generator` — parameterized random service-graph
+  generator for property tests and scaling studies,
+* :mod:`repro.workloads.camera` / :mod:`repro.workloads.phone` — the
+  NX300-like and phone-like porting targets (§4).
+"""
+
+from repro.workloads.appliance import appliance_workload
+from repro.workloads.base import Workload
+from repro.workloads.camera import camera_workload
+from repro.workloads.generator import GeneratorParams, generate_workload
+from repro.workloads.phone import phone_workload
+from repro.workloads.tizen_tv import (commercial_tv_workload,
+                                      opensource_tv_workload,
+                                      perturbed_tv_workload)
+from repro.workloads.wearable import wearable_workload
+
+__all__ = [
+    "GeneratorParams",
+    "Workload",
+    "appliance_workload",
+    "camera_workload",
+    "commercial_tv_workload",
+    "generate_workload",
+    "opensource_tv_workload",
+    "perturbed_tv_workload",
+    "phone_workload",
+    "wearable_workload",
+]

@@ -1,0 +1,69 @@
+"""The workload bundle a boot simulation consumes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.hw.platform import HardwarePlatform
+from repro.initsys.registry import UnitRegistry
+from repro.kernel.initcalls import InitcallRegistry
+from repro.kernel.modules import KernelModule
+
+
+@dataclass(slots=True)
+class Workload:
+    """Everything that varies between devices in a boot simulation.
+
+    Attributes:
+        name: Workload label.
+        platform_factory: Builds a fresh hardware platform per run.
+        registry_factory: Builds a fresh unit registry per run (fresh so
+            runs never share mutable unit state).
+        completion_units: The boot-completion definition (§2): for a TV,
+            the broadcast app and the remote-input service.
+        goal: Target unit whose transaction is the user-space boot.
+        boot_modules_factory: External ``.ko`` modules the conventional
+            boot loads before completion (On-demand Modularizer's prey).
+        builtin_initcalls_factory: Initcalls compiled into the kernel in
+            every configuration (boot-critical drivers); they run in the
+            kernel stage regardless of BB.
+        initcalls_factory: The On-demand Modularizer's deferred-builtin
+            pool — these exist only when the Modularizer created them
+            (otherwise the same drivers are the external boot modules).
+        preexisting_paths: Simulated filesystem paths present at init
+            start (kernel-mounted filesystems).
+        groups: Unit name to developer-group label (Fig. 3 analysis).
+        expected_bb_group: For validation/tests: the services the paper
+            (or the workload author) expects the Isolator to find.
+    """
+
+    name: str
+    platform_factory: Callable[[], HardwarePlatform]
+    registry_factory: Callable[[], UnitRegistry]
+    completion_units: tuple[str, ...]
+    goal: str = "multi-user.target"
+    boot_modules_factory: Callable[[], tuple[KernelModule, ...]] = tuple
+    builtin_initcalls_factory: Callable[[], InitcallRegistry] = InitcallRegistry
+    initcalls_factory: Callable[[], InitcallRegistry] = InitcallRegistry
+    kernel_config_factory: "Callable[[], object] | None" = None
+    preexisting_paths: frozenset[str] = frozenset()
+    groups: dict[str, str] = field(default_factory=dict)
+    expected_bb_group: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.completion_units:
+            raise WorkloadError(f"workload {self.name!r} has no completion units")
+
+    def fresh_registry(self) -> UnitRegistry:
+        """A fresh registry instance (validated to contain the goal)."""
+        registry = self.registry_factory()
+        if self.goal not in registry:
+            raise WorkloadError(
+                f"workload {self.name!r}: goal {self.goal!r} not in registry")
+        for unit in self.completion_units:
+            if unit not in registry:
+                raise WorkloadError(
+                    f"workload {self.name!r}: completion unit {unit!r} missing")
+        return registry

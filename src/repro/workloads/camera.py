@@ -1,0 +1,71 @@
+"""An NX300-like Tizen camera workload (§2.1 / §4 porting claim).
+
+Boot completion for a camera: "lenses and sensors are ready to capture the
+scene and the display is showing what the lenses are seeing" (§2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hw.presets import nx300
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.units import ServiceType, SimCost, Unit
+from repro.quantities import KiB, MiB, msec
+from repro.workloads.base import Workload
+
+CAMERA_COMPLETION_UNITS = ("capture.service",)
+
+
+def build_camera_registry(seed: int = 7, extra_services: int = 24) -> UnitRegistry:
+    """A camera-shaped unit set: capture chain + background daemons."""
+    rng = random.Random(seed)
+    registry = UnitRegistry()
+    registry.add(Unit(name="multi-user.target", requires=["capture.service"]))
+    registry.add(Unit(name="var.mount", service_type=ServiceType.ONESHOT,
+                      provides_paths=["/var"],
+                      cost=SimCost(init_cpu_ns=msec(5), exec_bytes=KiB(16))))
+    registry.add(Unit(name="dbus.service", service_type=ServiceType.NOTIFY,
+                      requires=["var.mount"], after=["var.mount"],
+                      cost=SimCost(init_cpu_ns=msec(80), exec_bytes=KiB(300),
+                                   rcu_syncs=2, processes=3)))
+    registry.add(Unit(name="lens.service", service_type=ServiceType.NOTIFY,
+                      requires=["dbus.service"], after=["dbus.service"],
+                      cost=SimCost(init_cpu_ns=msec(60), exec_bytes=KiB(220),
+                                   rcu_syncs=2, hw_settle_ns=msec(120))))
+    registry.add(Unit(name="sensor.service", service_type=ServiceType.NOTIFY,
+                      requires=["dbus.service"], after=["dbus.service"],
+                      cost=SimCost(init_cpu_ns=msec(70), exec_bytes=KiB(260),
+                                   rcu_syncs=2, hw_settle_ns=msec(80))))
+    registry.add(Unit(name="display.service", service_type=ServiceType.NOTIFY,
+                      requires=["dbus.service"], after=["dbus.service"],
+                      cost=SimCost(init_cpu_ns=msec(55), exec_bytes=KiB(240),
+                                   rcu_syncs=1, hw_settle_ns=msec(40))))
+    registry.add(Unit(name="capture.service", service_type=ServiceType.NOTIFY,
+                      description="The camera application (boot completion)",
+                      requires=["lens.service", "sensor.service",
+                                "display.service"],
+                      after=["lens.service", "sensor.service", "display.service"],
+                      cost=SimCost(init_cpu_ns=msec(220), exec_bytes=MiB(2),
+                                   rcu_syncs=2, processes=2)))
+    for index in range(extra_services):
+        registry.add(Unit(
+            name=f"camera-bg-{index:02d}.service",
+            service_type=ServiceType.SIMPLE,
+            wants=["dbus.service"], after=["dbus.service"],
+            wanted_by=["multi-user.target"],
+            cost=SimCost(init_cpu_ns=msec(rng.randint(20, 80)),
+                         exec_bytes=KiB(rng.randint(100, 600)),
+                         rcu_syncs=rng.choice((0, 1)))))
+    return registry
+
+
+def camera_workload(seed: int = 7) -> Workload:
+    """The NX300-like camera workload."""
+    return Workload(
+        name="nx300-camera",
+        platform_factory=nx300,
+        registry_factory=lambda: build_camera_registry(seed),
+        completion_units=CAMERA_COMPLETION_UNITS,
+        preexisting_paths=frozenset({"/", "/run"}),
+    )

@@ -1,0 +1,109 @@
+"""Parameterized random service-graph generator.
+
+Produces arbitrary-size workloads with a TV-like shape (a critical chain
+plus layered daemons) for property-based tests and scaling studies: vary
+the service count, dependency density, or cost distribution and measure
+how each init scheme responds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.hw.presets import ue48h6200
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.units import ServiceType, SimCost, Unit
+from repro.quantities import KiB, msec
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorParams:
+    """Shape of a generated workload.
+
+    Attributes:
+        seed: RNG seed (generation is deterministic given the params).
+        services: Total generated services (besides target + chain).
+        chain_length: Length of the critical Requires chain ending at the
+            completion service.
+        want_density: Probability a generated service wants an earlier one.
+        order_density: Probability of an extra After edge to an earlier
+            service.
+        mean_cpu_ms: Mean service initialization CPU.
+        mean_exec_kib: Mean binary size.
+        rcu_sync_mean: Mean synchronize_rcu calls per service.
+    """
+
+    seed: int = 1
+    services: int = 50
+    chain_length: int = 5
+    want_density: float = 0.3
+    order_density: float = 0.15
+    mean_cpu_ms: float = 50.0
+    mean_exec_kib: int = 300
+    rcu_sync_mean: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.services < 0 or self.chain_length < 1:
+            raise WorkloadError("invalid generator sizes")
+        if not 0.0 <= self.want_density <= 1.0:
+            raise WorkloadError("want_density must be a probability")
+        if not 0.0 <= self.order_density <= 1.0:
+            raise WorkloadError("order_density must be a probability")
+
+
+def generate_registry(params: GeneratorParams) -> UnitRegistry:
+    """Generate a unit registry with the given shape."""
+    rng = random.Random(params.seed)
+    registry = UnitRegistry()
+    chain_names = [f"chain-{i:02d}.service" for i in range(params.chain_length)]
+    registry.add(Unit(name="multi-user.target", requires=[chain_names[-1]]))
+
+    def cost() -> SimCost:
+        cpu = max(1.0, rng.expovariate(1.0 / params.mean_cpu_ms))
+        exec_kib = max(16, round(rng.gauss(params.mean_exec_kib,
+                                           params.mean_exec_kib / 3)))
+        syncs = max(0, round(rng.gauss(params.rcu_sync_mean, 0.7)))
+        return SimCost(init_cpu_ns=msec(cpu), exec_bytes=KiB(exec_kib),
+                       rcu_syncs=syncs)
+
+    previous = None
+    for name in chain_names:
+        registry.add(Unit(name=name, service_type=ServiceType.NOTIFY,
+                          requires=[previous] if previous else [],
+                          after=[previous] if previous else [],
+                          cost=cost()))
+        previous = name
+
+    earlier: list[str] = list(chain_names)
+    for index in range(params.services):
+        name = f"gen-{index:03d}.service"
+        wants = []
+        after = []
+        if earlier and rng.random() < params.want_density:
+            wants.append(rng.choice(earlier))
+        if earlier and rng.random() < params.order_density:
+            after.append(rng.choice(earlier))
+        registry.add(Unit(name=name,
+                          service_type=rng.choice((ServiceType.SIMPLE,
+                                                   ServiceType.NOTIFY,
+                                                   ServiceType.ONESHOT)),
+                          wants=wants, after=after,
+                          wanted_by=["multi-user.target"],
+                          cost=cost()))
+        earlier.append(name)
+    return registry
+
+
+def generate_workload(params: GeneratorParams = GeneratorParams()) -> Workload:
+    """A complete workload around :func:`generate_registry`."""
+    completion = (f"chain-{params.chain_length - 1:02d}.service",)
+    return Workload(
+        name=f"generated-{params.seed}-{params.services}",
+        platform_factory=ue48h6200,
+        registry_factory=lambda: generate_registry(params),
+        completion_units=completion,
+        preexisting_paths=frozenset({"/", "/run"}),
+    )

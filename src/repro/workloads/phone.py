@@ -1,0 +1,70 @@
+"""A phone-like workload (Samsung Z1/Z3, §4 porting claim).
+
+Boot completion for a phone: "the user can make a phone call" (§2) — the
+telephony stack plus the home screen's input handling.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hw.presets import galaxy_s6_like
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.units import ServiceType, SimCost, Unit
+from repro.quantities import KiB, MiB, msec
+from repro.workloads.base import Workload
+
+PHONE_COMPLETION_UNITS = ("telephony.service", "home-screen.service")
+
+
+def build_phone_registry(seed: int = 11, extra_services: int = 60) -> UnitRegistry:
+    """A phone-shaped unit set: telephony chain + a big app tail."""
+    rng = random.Random(seed)
+    registry = UnitRegistry()
+    registry.add(Unit(name="multi-user.target",
+                      requires=["telephony.service", "home-screen.service"]))
+    registry.add(Unit(name="data.mount", service_type=ServiceType.ONESHOT,
+                      provides_paths=["/data"],
+                      cost=SimCost(init_cpu_ns=msec(8), exec_bytes=KiB(16))))
+    registry.add(Unit(name="dbus.service", service_type=ServiceType.NOTIFY,
+                      requires=["data.mount"], after=["data.mount"],
+                      cost=SimCost(init_cpu_ns=msec(100), exec_bytes=KiB(350),
+                                   rcu_syncs=2, processes=3)))
+    registry.add(Unit(name="modem.service", service_type=ServiceType.NOTIFY,
+                      requires=["dbus.service"], after=["dbus.service"],
+                      cost=SimCost(init_cpu_ns=msec(150), exec_bytes=KiB(500),
+                                   rcu_syncs=3, hw_settle_ns=msec(350))))
+    registry.add(Unit(name="telephony.service", service_type=ServiceType.NOTIFY,
+                      requires=["modem.service"], after=["modem.service"],
+                      cost=SimCost(init_cpu_ns=msec(180), exec_bytes=KiB(700),
+                                   rcu_syncs=2, processes=2)))
+    registry.add(Unit(name="display.service", service_type=ServiceType.NOTIFY,
+                      requires=["dbus.service"], after=["dbus.service"],
+                      cost=SimCost(init_cpu_ns=msec(90), exec_bytes=KiB(400),
+                                   rcu_syncs=1, hw_settle_ns=msec(50))))
+    registry.add(Unit(name="home-screen.service", service_type=ServiceType.NOTIFY,
+                      requires=["display.service", "dbus.service"],
+                      after=["display.service", "dbus.service"],
+                      cost=SimCost(init_cpu_ns=msec(420), exec_bytes=MiB(4),
+                                   rcu_syncs=2, processes=2)))
+    for index in range(extra_services):
+        registry.add(Unit(
+            name=f"phone-app-{index:02d}.service",
+            service_type=ServiceType.SIMPLE,
+            wants=["dbus.service"], after=["dbus.service"],
+            wanted_by=["multi-user.target"],
+            cost=SimCost(init_cpu_ns=msec(rng.randint(25, 110)),
+                         exec_bytes=KiB(rng.randint(200, 1500)),
+                         rcu_syncs=rng.choice((0, 0, 1, 2)))))
+    return registry
+
+
+def phone_workload(seed: int = 11) -> Workload:
+    """The phone workload on Galaxy-S6-like hardware."""
+    return Workload(
+        name="tizen-phone",
+        platform_factory=galaxy_s6_like,
+        registry_factory=lambda: build_phone_registry(seed),
+        completion_units=PHONE_COMPLETION_UNITS,
+        preexisting_paths=frozenset({"/", "/run"}),
+    )

@@ -1,0 +1,89 @@
+"""Tests for the blame / critical-chain attribution tooling."""
+
+import pytest
+
+from repro.analysis.blame import (blame, critical_chain, render_blame,
+                                  render_critical_chain)
+from repro.core import BBConfig, BootSimulation
+from repro.errors import AnalysisError
+from repro.workloads import opensource_tv_workload
+
+
+@pytest.fixture(scope="module")
+def bb_run():
+    simulation = BootSimulation(opensource_tv_workload(), BBConfig.full())
+    report = simulation.run()
+    return simulation, report
+
+
+def test_blame_sorted_longest_first(bb_run):
+    _, report = bb_run
+    entries = blame(report)
+    durations = [e.duration_ns for e in entries]
+    assert durations == sorted(durations, reverse=True)
+    assert entries[0].unit == "fasttv.service"  # the heavyweight app
+
+
+def test_blame_top_limits(bb_run):
+    _, report = bb_run
+    assert len(blame(report, top=5)) == 5
+
+
+def test_blame_render(bb_run):
+    _, report = bb_run
+    text = render_blame(report, top=3)
+    assert "fasttv.service" in text
+    assert "ms" in text
+
+
+def test_critical_chain_is_the_bb_chain(bb_run):
+    """Under full BB the measured gating chain is the paper's critical
+    path: mount -> dbus -> broadcast driver service -> fasttv."""
+    simulation, report = bb_run
+    links = critical_chain(report, simulation.manager.registry,
+                           "fasttv.service")
+    names = [link.unit for link in links]
+    assert names[-1] == "fasttv.service"
+    assert "dbus.service" in names
+    assert names[0] in ("var.mount", "dbus.socket")
+    # Under isolation, no out-of-group service gates the chain.
+    assert all(name in report.bb_group for name in names)
+
+
+def test_chain_times_are_monotone(bb_run):
+    simulation, report = bb_run
+    links = critical_chain(report, simulation.manager.registry,
+                           "fasttv.service")
+    for earlier, later in zip(links, links[1:]):
+        assert earlier.ready_ns <= later.started_ns + 1
+
+
+def test_conventional_chain_includes_the_abusers():
+    """Without isolation the vendor services really do gate the chain."""
+    simulation = BootSimulation(opensource_tv_workload(), BBConfig.none())
+    report = simulation.run()
+    links = critical_chain(report, simulation.manager.registry,
+                           "fasttv.service")
+    names = {link.unit for link in links}
+    assert any(name.startswith("vendor-") for name in names)
+
+
+def test_default_completion_is_latest_ready(bb_run):
+    simulation, report = bb_run
+    links = critical_chain(report, simulation.manager.registry)
+    assert links[-1].unit == max(report.unit_ready_ns,
+                                 key=lambda u: report.unit_ready_ns[u])
+
+
+def test_unknown_completion_rejected(bb_run):
+    simulation, report = bb_run
+    with pytest.raises(AnalysisError):
+        critical_chain(report, simulation.manager.registry, "ghost.service")
+
+
+def test_render_critical_chain(bb_run):
+    simulation, report = bb_run
+    text = render_critical_chain(report, simulation.manager.registry,
+                                 "fasttv.service")
+    assert "@" in text
+    assert "fasttv.service" in text

@@ -1,0 +1,55 @@
+"""Tests for the Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.analysis.chrome_trace import tracer_to_chrome_json, tracer_to_events
+from repro.core import BBConfig, BootSimulation
+from repro.workloads import camera_workload
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    sim = BootSimulation(camera_workload(), BBConfig.full())
+    sim.run()
+    return sim
+
+
+def test_document_parses_and_has_events(simulation):
+    doc = json.loads(tracer_to_chrome_json(simulation.sim.tracer))
+    assert doc["displayTimeUnit"] == "ms"
+    assert len(doc["traceEvents"]) > 20
+
+
+def test_spans_become_complete_events(simulation):
+    events = tracer_to_events(simulation.sim.tracer)
+    service_events = [e for e in events
+                      if e.get("ph") == "X" and e.get("cat") == "service"]
+    assert any(e["name"] == "capture.service" for e in service_events)
+    for event in service_events:
+        assert event["dur"] >= 0
+        assert event["ts"] >= 0
+
+
+def test_boot_complete_is_a_global_instant(simulation):
+    events = tracer_to_events(simulation.sim.tracer)
+    markers = [e for e in events if e.get("ph") == "i"
+               and e["name"] == "boot.complete"]
+    assert len(markers) == 1
+    assert markers[0]["s"] == "g"
+
+
+def test_categories_get_named_tracks(simulation):
+    events = tracer_to_events(simulation.sim.tracer)
+    names = {e["args"]["name"] for e in events if e.get("ph") == "M"
+             and e["name"] == "thread_name"}
+    assert {"service", "kernel", "boot-stage"} <= names
+
+
+def test_timestamps_are_microseconds(simulation):
+    events = tracer_to_events(simulation.sim.tracer)
+    report_ns = simulation.manager.boot_complete_ns
+    marker = next(e for e in events if e.get("ph") == "i"
+                  and e["name"] == "boot.complete")
+    assert marker["ts"] == pytest.approx(report_ns / 1_000)

@@ -1,0 +1,43 @@
+"""Tests for the JSON report export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import report_to_dict, report_to_json
+from repro.core import BBConfig, BootSimulation
+from repro.workloads import camera_workload
+
+
+@pytest.fixture(scope="module")
+def report():
+    return BootSimulation(camera_workload(), BBConfig.full()).run()
+
+
+def test_dict_covers_the_report(report):
+    data = report_to_dict(report)
+    assert data["boot_complete_ns"] == report.boot_complete_ns
+    assert data["stages_ns"]["kernel"] == report.stages.kernel_ns
+    assert data["bb_group"] == sorted(report.bb_group)
+    assert data["unit_ready_ns"]["capture.service"] == \
+        report.ready_ns("capture.service")
+
+
+def test_json_round_trips(report):
+    data = json.loads(report_to_json(report))
+    assert data["workload"] == "nx300-camera"
+    assert isinstance(data["rcu"]["sync_count"], int)
+
+
+def test_json_is_deterministic(report):
+    assert report_to_json(report) == report_to_json(report)
+
+
+def test_cli_json_flag(capsys):
+    from repro.cli import main
+
+    code = main(["boot", "--workload", "camera", "--json"])
+    assert code == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["workload"] == "nx300-camera"
+    assert data["boot_complete_ns"] > 0

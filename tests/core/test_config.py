@@ -1,0 +1,36 @@
+"""Tests for the BB feature switchboard."""
+
+import pytest
+
+from repro.core.config import BBConfig
+
+
+def test_none_has_no_features():
+    assert BBConfig.none().enabled_features() == []
+
+
+def test_full_has_every_feature():
+    config = BBConfig.full()
+    assert config.rcu_booster
+    assert config.deferred_meminit
+    assert config.group_isolation
+    assert len(config.enabled_features()) == 10
+
+
+def test_with_feature_round_trip():
+    config = BBConfig.none().with_feature("rcu_booster", True)
+    assert config.rcu_booster
+    assert not config.preparser
+    back = config.with_feature("rcu_booster", False)
+    assert back == BBConfig.none()
+
+
+def test_with_feature_unknown_rejected():
+    with pytest.raises(AttributeError, match="unknown BB feature"):
+        BBConfig.none().with_feature("warp_drive", True)
+
+
+def test_config_is_immutable():
+    config = BBConfig.none()
+    with pytest.raises(Exception):
+        config.rcu_booster = True

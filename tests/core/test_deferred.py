@@ -1,0 +1,64 @@
+"""Tests for post-boot application launches over deferred work (§4.3)."""
+
+import pytest
+
+from repro.core import ApplicationLaunch, BBConfig, BootSimulation
+from repro.core.deferred import launch_sequence
+from repro.errors import ConfigurationError
+from repro.quantities import msec
+from repro.workloads import opensource_tv_workload
+
+
+def boot_then_launch(apps, bb=None):
+    simulation = BootSimulation(opensource_tv_workload(),
+                                bb or BBConfig.full())
+    simulation.run()
+    sim = simulation.sim
+    bootup = simulation.booster.bootup_engine
+    reports, runner = launch_sequence(sim, simulation.platform.storage,
+                                      bootup, apps)
+    sim.spawn(runner, name="app-launcher")
+    sim.run()
+    return reports
+
+
+def test_app_without_deferred_needs_launches_fast():
+    reports = boot_then_launch([ApplicationLaunch("browser")])
+    assert len(reports) == 1
+    assert reports[0].demand_loaded == []
+
+
+def test_first_launch_pays_demand_load_second_does_not():
+    """§4.3: 'once an application triggers a deferred task to start, the
+    deferred task no longer incurs an additional delay'."""
+    app = ApplicationLaunch("media-player", needed_drivers=("usb_drv",))
+    reports = boot_then_launch([app, app])
+    first, second = reports
+    assert first.demand_loaded == ["usb_drv"]
+    assert second.demand_loaded == []
+    assert second.latency_ns < first.latency_ns
+
+
+def test_deferred_overhead_is_bounded():
+    """§4.3: overhead of deferring is < 15 ms on average for apps that
+    depend on deferred tasks (excluding the device's own settle time,
+    which the app would pay in any boot scheme)."""
+    plain = boot_then_launch([ApplicationLaunch("app")])
+    deferred = boot_then_launch([ApplicationLaunch("app",
+                                                   needed_drivers=("bt_drv",))])
+    overhead = deferred[0].latency_ns - plain[0].latency_ns
+    # bt_drv: 30 ms hardware settle + on-demand machinery; the machinery
+    # itself (overhead minus settle) stays under the paper's 15 ms bound.
+    machinery = overhead - msec(30)
+    assert machinery < msec(15)
+
+
+def test_invalid_app_rejected():
+    with pytest.raises(ConfigurationError):
+        ApplicationLaunch("bad", exec_bytes=-1)
+
+
+def test_launch_reports_accumulate_in_order():
+    apps = [ApplicationLaunch(f"app{i}") for i in range(3)]
+    reports = boot_then_launch(apps)
+    assert [r.app for r in reports] == ["app0", "app1", "app2"]

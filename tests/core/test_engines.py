@@ -1,0 +1,149 @@
+"""Tests for the three BB engines as components."""
+
+import pytest
+
+from repro.core import BBConfig, BootSimulation
+from repro.core.bootup_engine import BootupEngine
+from repro.core.core_engine import CoreEngine
+from repro.core.service_engine import ServiceEngine
+from repro.hw.presets import ue48h6200
+from repro.kernel.initcalls import Initcall, InitcallLevel, InitcallRegistry
+from repro.kernel.rcu import RCUMode
+from repro.quantities import msec
+from repro.sim import Simulator
+from repro.workloads import opensource_tv_workload
+from repro.workloads.tizen_tv import TV_COMPLETION_UNITS, build_tv_registry
+
+
+def make_core_engine(bb, initcalls=None):
+    sim = Simulator(cores=4)
+    platform = ue48h6200().attach(sim)
+    return sim, CoreEngine(platform, bb, initcalls=initcalls)
+
+
+def drive_kernel(sim, core_engine):
+    def boot():
+        yield from core_engine.run_kernel(sim)
+
+    sim.spawn(boot(), name="kernel")
+    sim.run()
+
+
+class TestCoreEngine:
+    def test_initcalls_only_installed_with_ondemand(self):
+        registry = InitcallRegistry()
+        registry.register(Initcall("usb_drv", InitcallLevel.DEVICE,
+                                   cpu_ns=msec(1), deferrable=True))
+        _, without = make_core_engine(BBConfig.none(), initcalls=registry)
+        assert len(without.initcalls) == 0
+        registry2 = InitcallRegistry()
+        registry2.register(Initcall("usb_drv", InitcallLevel.DEVICE,
+                                    cpu_ns=msec(1), deferrable=True))
+        _, with_od = make_core_engine(
+            BBConfig.none().with_feature("ondemand_modularizer", True),
+            initcalls=registry2)
+        assert len(with_od.initcalls) == 1
+
+    def test_deferred_kernel_flags_propagate(self):
+        _, engine = make_core_engine(BBConfig.full())
+        assert engine.sequence.meminit.deferred
+        assert engine.sequence.rootfs.deferred_journal
+
+    def test_demand_load_initcall_runs_once(self):
+        registry = InitcallRegistry()
+        registry.register(Initcall("usb_drv", InitcallLevel.DEVICE,
+                                   cpu_ns=msec(2), deferrable=True))
+        sim, engine = make_core_engine(
+            BBConfig.none().with_feature("ondemand_modularizer", True),
+            initcalls=registry)
+
+        def scenario():
+            yield from engine.run_kernel(sim)
+            yield from engine.demand_load_initcall(sim, "usb_drv")
+
+        sim.spawn(scenario(), name="s")
+        sim.run()
+        assert "usb_drv" in engine.initcalls.completed
+
+
+class TestBootupEngine:
+    def test_rcu_boost_window(self):
+        """RCU Booster is enabled at init start and disabled at completion."""
+        sim, core = make_core_engine(BBConfig.full())
+        drive_kernel(sim, core)
+        bootup = BootupEngine(BBConfig.full(), core)
+        bootup.on_init_start(sim)
+        assert core.rcu.mode is RCUMode.BOOSTED
+        bootup.on_boot_complete(sim)
+        assert core.rcu.mode is RCUMode.CONVENTIONAL
+        assert bootup.boost_enabled_at_ns is not None
+        assert bootup.boost_disabled_at_ns is not None
+
+    def test_no_boost_without_the_feature(self):
+        sim, core = make_core_engine(BBConfig.none())
+        drive_kernel(sim, core)
+        bootup = BootupEngine(BBConfig.none(), core)
+        bootup.on_init_start(sim)
+        assert core.rcu.mode is RCUMode.CONVENTIONAL
+
+    def test_manager_flags_mirror_config(self):
+        sim, core = make_core_engine(BBConfig.full())
+        bootup = BootupEngine(BBConfig.full(), core)
+        flags = bootup.manager_flags()
+        assert flags == {"defer_startup_tasks": True, "defer_submodules": True,
+                         "use_preparser": True, "ondemand_modules": True}
+
+    def test_build_manager_config(self):
+        sim, core = make_core_engine(BBConfig.none())
+        bootup = BootupEngine(BBConfig.none(), core)
+        config = bootup.build_manager_config("multi-user.target",
+                                             ("fasttv.service",))
+        assert config.goal == "multi-user.target"
+        assert not config.use_preparser
+
+    def test_completion_spawns_kernel_deferred_tasks(self):
+        sim, core = make_core_engine(BBConfig.full())
+        drive_kernel(sim, core)
+        bootup = BootupEngine(BBConfig.full(), core)
+        bootup.on_init_start(sim)
+        bootup.on_boot_complete(sim)
+        sim.run()
+        assert core.sequence.meminit.remainder_done
+        assert core.sequence.rootfs.journal_enabled
+
+
+class TestServiceEngine:
+    def test_hooks_gated_by_flags(self):
+        registry = build_tv_registry()
+        off = ServiceEngine(registry, TV_COMPLETION_UNITS, BBConfig.none())
+        assert off.edge_filter is None
+        assert off.priority_fn is None
+        on = ServiceEngine(build_tv_registry(), TV_COMPLETION_UNITS,
+                           BBConfig.full())
+        assert on.edge_filter is not None
+        assert on.priority_fn is not None
+
+    def test_static_builds_applied_to_group(self):
+        engine = ServiceEngine(build_tv_registry(), TV_COMPLETION_UNITS,
+                               BBConfig.full())
+        assert engine.registry.get("fasttv.service").static_build
+        assert not engine.registry.get("app-00.service").static_build
+
+    def test_priority_fn_boosts_group_members(self):
+        engine = ServiceEngine(build_tv_registry(), TV_COMPLETION_UNITS,
+                               BBConfig.full())
+        fasttv = engine.registry.get("fasttv.service")
+        app = engine.registry.get("app-00.service")
+        assert engine.priority_fn(fasttv) < engine.priority_fn(app)
+
+    def test_analyzer_runs_clean_on_tv_workload(self):
+        engine = ServiceEngine(build_tv_registry(), TV_COMPLETION_UNITS,
+                               BBConfig.none())
+        report = engine.analyze()
+        assert not report.has_errors
+
+    def test_cache_covers_whole_registry(self):
+        engine = ServiceEngine(build_tv_registry(), TV_COMPLETION_UNITS,
+                               BBConfig.full())
+        cache = engine.build_cache()
+        assert cache.unit_count == len(engine.registry)

@@ -1,0 +1,71 @@
+"""Tests for the §5 pre-link / pre-fork / static-build models."""
+
+import pytest
+
+from repro.core.prestart import (PreforkModel, PrelinkModel,
+                                 static_build_saving_ns)
+from repro.errors import ConfigurationError
+from repro.initsys.units import SimCost, Unit
+from repro.quantities import msec, usec
+
+
+def unit(name="u.service", link_us=900, static=False, procs=1, exec_kib=256):
+    return Unit(name=name, static_build=static,
+                cost=SimCost(dynamic_link_ns=usec(link_us), processes=procs,
+                             exec_bytes=exec_kib * 1024))
+
+
+class TestPrelink:
+    def test_cold_link_saving(self):
+        model = PrelinkModel(link_cost_factor=0.25)
+        saving = model.launch_saving_ns(unit(link_us=1000),
+                                        preceding_same_libs=False)
+        assert saving == usec(750)
+
+    def test_warm_libraries_save_nothing_extra(self):
+        model = PrelinkModel()
+        assert model.launch_saving_ns(unit(), preceding_same_libs=True) == 0
+
+    def test_static_unit_saves_nothing(self):
+        model = PrelinkModel()
+        assert model.launch_saving_ns(unit(static=True),
+                                      preceding_same_libs=False) == 0
+
+    def test_security_flag(self):
+        assert PrelinkModel().aslr_weakened
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrelinkModel(link_cost_factor=1.5)
+
+
+class TestPrefork:
+    def test_clone_is_cheaper_per_launch(self):
+        model = PreforkModel()
+        u = unit(procs=2)
+        without = model.launch_cost_without_ns(u, exec_read_ns=msec(5))
+        with_pool = model.launch_cost_with_ns(u)
+        assert with_pool < without
+
+    def test_template_prelaunch_carries_the_real_cost(self):
+        model = PreforkModel()
+        u = unit()
+        prelaunch = model.template_prelaunch_ns(u, exec_read_ns=msec(5))
+        assert prelaunch >= msec(5)
+
+    def test_net_benefit_negative_for_small_early_group(self):
+        """§5: pre-fork does not pay for the BB Group."""
+        model = PreforkModel()
+        group = [unit(name=f"g{i}.service") for i in range(7)]
+        net = model.net_benefit_ns(group, lambda u: msec(5))
+        assert net < 0
+
+    def test_invalid_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PreforkModel(pool_setup_ns=-1)
+
+
+def test_static_build_saving_counts_dynamic_units_only():
+    units = [unit(link_us=1000), unit(name="s.service", link_us=1000,
+                                      static=True)]
+    assert static_build_saving_ns(units) == usec(1000)

@@ -1,0 +1,59 @@
+"""Integration tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ablations.run()
+
+
+def test_every_feature_matters_except_static_build(result):
+    """Removing any feature (except the unquantified static build) from
+    the full configuration costs boot time."""
+    for feature, delta in result.leave_one_out_ms.items():
+        if feature == "static_bb_group":
+            continue
+        assert delta > 0, f"removing {feature} should slow the boot"
+
+
+def test_rcu_and_priorities_dominate(result):
+    ordered = sorted(result.leave_one_out_ms.items(), key=lambda kv: -kv[1])
+    top_two = {name for name, _ in ordered[:2]}
+    assert top_two == {"rcu_booster", "group_priority_boost"}
+
+
+def test_sequential_is_by_far_the_slowest_scheme(result):
+    assert result.scheme_ms["sequential rcS"] > \
+        2 * result.scheme_ms["out-of-order"]
+
+
+def test_out_of_order_without_path_check_misboots(result):
+    assert result.scheme_violations["out-of-order"] > 0
+    assert result.scheme_violations["out-of-order + path-check"] == 0
+
+
+def test_bb_scales_with_cores_no_bb_suffers_more_on_one_core(result):
+    one_core_none, one_core_bb = result.core_scaling_ms[1]
+    four_core_none, four_core_bb = result.core_scaling_ms[4]
+    assert one_core_none > four_core_none
+    assert one_core_bb > four_core_bb
+    # BB's advantage exists at every core count.
+    for cores, (none, bb) in result.core_scaling_ms.items():
+        assert bb < none
+
+
+def test_commercialization_hurts_no_bb_much_more_than_bb(result):
+    open_none, open_bb = result.growth_ms["open-source (136 services)"]
+    comm_none, comm_bb = result.growth_ms["commercial fork (>250 services)"]
+    # No-BB boot roughly doubles; BB stays within ~15%.
+    assert comm_none > 1.5 * open_none
+    assert comm_bb < 1.15 * open_bb
+
+
+def test_render(result):
+    text = ablations.render(result)
+    assert "Ablation 1" in text
+    assert "Ablation 4" in text

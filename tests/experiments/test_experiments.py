@@ -1,0 +1,180 @@
+"""Integration tests: every experiment driver reproduces its artifact's
+shape (who wins, by roughly what factor, where crossovers fall)."""
+
+import pytest
+
+from repro.experiments import (background, fig1_boot_sequence, fig2_dependency_graph,
+                               fig3_complexity, fig5_rcu_bootchart,
+                               fig6_breakdown, fig7_bbgroup_dbus, kernel_opt,
+                               tradeoff)
+from repro.quantities import msec, sec
+
+
+class TestFig1:
+    def test_segments_and_total(self):
+        result = fig1_boot_sequence.run()
+        segments = result.segments_ms
+        assert segments["kernel (memory init)"] == pytest.approx(370, rel=0.05)
+        assert segments["init scheme initialization"] == pytest.approx(195,
+                                                                       rel=0.05)
+        assert result.report.boot_complete_ms == pytest.approx(8100, rel=0.05)
+        assert "Figure 1" in fig1_boot_sequence.render(result)
+
+
+class TestFig2:
+    def test_graph_statistics(self):
+        result = fig2_dependency_graph.run()
+        assert result.opensource.units == 137
+        assert result.growth_factor == pytest.approx(2.0, abs=0.2)
+        assert result.opensource.weak_edges > result.opensource.strong_edges
+        assert result.opensource_dot.startswith("digraph")
+        assert "2.0" in fig2_dependency_graph.render(result)[:2000]
+
+
+class TestFig3:
+    def test_new_service_fragments_group_b(self):
+        result = fig3_complexity.run()
+        assert result.group_b_split
+        assert result.before.fragments["b"] == 1
+        assert result.after.fragments["b"] == 2
+
+    def test_escalated_case_has_cycle(self):
+        result = fig3_complexity.run()
+        cycles = (result.cycle_report.of_kind("cycle")
+                  + result.cycle_report.of_kind("ordering-cycle"))
+        assert len(cycles) >= 1
+        assert "Figure 3" in fig3_complexity.render(result)
+
+
+class TestFig5:
+    def test_boosted_brings_services_up_earlier(self):
+        result = fig5_rcu_bootchart.run()
+        assert result.boosted_ready_earlier
+        # Strictly more services up at some mid-boot checkpoint.
+        rows = result.ready_at_checkpoints()
+        assert any(boosted > conventional for _, conventional, boosted in rows)
+        assert "Figure 5(a)" in fig5_rcu_bootchart.render(result)
+
+    def test_render_with_charts_includes_bars(self):
+        result = fig5_rcu_bootchart.run()
+        text = fig5_rcu_bootchart.render(result, with_charts=True)
+        assert "#" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_breakdown.run()
+
+    def test_endpoints_match_paper(self, result):
+        assert result.no_bb.boot_complete_ns == pytest.approx(sec(8.1), rel=0.05)
+        assert result.bb.boot_complete_ns == pytest.approx(sec(3.5), rel=0.05)
+        assert result.reduction == pytest.approx(0.57, abs=0.03)
+
+    def test_kernel_rows(self, result):
+        assert result.no_bb.kernel_timings.meminit_ns == pytest.approx(
+            msec(370), rel=0.05)
+        assert result.bb.kernel_timings.meminit_ns == pytest.approx(
+            msec(110), rel=0.05)
+        assert result.bb.kernel_timings.rootfs_ns == pytest.approx(
+            msec(75), rel=0.1)
+
+    def test_feature_savings_shape(self, result):
+        """Each mechanism's cumulative saving lands within 25% of the
+        paper's attribution (the big rows) or 5 ms (the small ones)."""
+        savings = result.cumulative_savings_ms
+        paper = dict(fig6_breakdown.PAPER_FEATURE_SAVINGS_MS)
+        for feature in ("rcu_booster", "deferred_executor",
+                        "defer_startup_tasks", "deferred_meminit",
+                        "ondemand_modularizer"):
+            assert savings[feature] == pytest.approx(paper[feature], rel=0.25), \
+                feature
+        assert result.bb_group_saving_ms() == pytest.approx(1101, rel=0.35)
+        # Pre-parser: loading + parsing rows combined.
+        assert savings["preparser"] == pytest.approx(381, rel=0.25)
+
+    def test_rcu_is_the_largest_single_win(self, result):
+        savings = result.cumulative_savings_ms
+        assert savings["rcu_booster"] == max(savings.values())
+
+    def test_render(self, result):
+        text = fig6_breakdown.render(result)
+        assert "Figure 6" in text
+        assert "TOTAL" in text
+        assert "1101 ms" in text
+
+
+class TestFig7:
+    def test_var_mount_isolation_advances_dbus(self):
+        result = fig7_bbgroup_dbus.run()
+        assert result.dbus_advanced_by_ms > 100
+        assert 1.3 <= result.advance_factor <= 4.0  # paper: 2.3x
+        # var.mount itself launches almost immediately once isolated.
+        assert result.boosted_ms("var.mount")[0] < 50
+        assert result.conventional_ms("var.mount")[0] > 300
+        assert "Figure 7" in fig7_bbgroup_dbus.render(result)
+
+
+class TestTradeoff:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tradeoff.run()
+
+    def test_mean_overhead_below_paper_bound(self, result):
+        assert 0 < result.mean_overhead_ms < 15.0
+
+    def test_second_launch_free(self, result):
+        assert abs(result.second_launch_overhead_ms) < 1.0
+
+    def test_boosted_rcu_costs_more_cpu_uncontended(self, result):
+        assert result.rcu_uncontended_cpu_ratio > 1.0
+
+    def test_render(self, result):
+        assert "trade-off" in tradeoff.render(result)
+
+
+class TestKernelOpt:
+    def test_sweep_matches_paper_endpoints(self):
+        result = kernel_opt.run()
+        assert result.unoptimized_ns == pytest.approx(sec(6.127), rel=0.05)
+        assert result.optimized_ns == pytest.approx(msec(698), rel=0.05)
+        times = [ns for _, ns in result.steps]
+        assert times == sorted(times, reverse=True)  # monotone improvement
+        assert "6127" in kernel_opt.render(result)
+
+
+class TestBackground:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return background.run()
+
+    def test_galaxy_snapshot_restore_about_ten_seconds(self, result):
+        assert result.snapshot_restore_s["Galaxy-S6-like (3 GiB, UFS)"] == \
+            pytest.approx(10.5, abs=1.0)
+
+    def test_creation_slower_than_restore(self, result):
+        for name in result.snapshot_restore_s:
+            assert result.snapshot_create_s[name] > result.snapshot_restore_s[name]
+
+    def test_compression_helps_only_slow_flash(self, result):
+        helps = {name: flag for name, _, _, flag in result.compression_rows}
+        assert not helps["UFS-2.0"]
+        assert not helps["eMMC"]
+        assert helps["old-NAND"]
+
+    def test_silent_boot_violates_eu_rule(self, result):
+        assert not result.silent_boot_meets_eu_rule
+
+    def test_crossover_is_decompressor_bound(self, result):
+        assert result.crossover_mib_s == pytest.approx(35.0)
+
+    def test_nx300_factory_snapshot_is_about_one_second(self, result):
+        """§2.1: the NX300(M) achieved ~1 s with snapshot booting."""
+        assert result.snapshot_restore_s[
+            "NX300 factory snapshot (small image)"] == pytest.approx(1.0,
+                                                                     abs=0.3)
+
+    def test_render(self, result):
+        text = background.render(result)
+        assert "snapshot" in text
+        assert "crossover" in text

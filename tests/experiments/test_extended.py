@@ -1,0 +1,69 @@
+"""Tests for the extended experiments: scaling, boot modes, portability,
+prestart."""
+
+import pytest
+
+from repro.experiments import boot_modes, portability, prestart, scaling
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scaling.run(factors=(0.5, 1.0, 2.0))
+
+    def test_service_counts_scale(self, result):
+        counts = [services for _, services, _, _ in result.rows]
+        assert counts == sorted(counts)
+        assert counts[-1] > 2 * counts[0]
+
+    def test_no_bb_grows_bb_stays_flat(self, result):
+        assert result.no_bb_growth > 1.8
+        assert result.bb_growth < 1.4
+
+    def test_render(self, result):
+        assert "scaling sweep" in scaling.render(result)
+
+    def test_scaled_params_floor(self):
+        params = scaling.scaled_params(0.01)
+        assert params.infra_services >= 1
+        assert params.boot_module_count >= 4
+
+
+class TestBootModes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return boot_modes.run()
+
+    def test_only_bb_cold_boot_is_acceptable(self, result):
+        assert result.winners == ["cold boot + BB"]
+
+    def test_each_alternative_fails_its_documented_constraint(self, result):
+        assert not result.mode("suspend-to-RAM (Instant On)").survives_unplug
+        assert not result.mode("silent boot then suspend").meets_eu_standby
+        assert not result.mode(
+            "snapshot boot (factory image)").supports_third_party_apps
+        assert result.mode("snapshot boot (runtime image)").latency_s > 4.0
+
+    def test_unknown_mode_raises(self, result):
+        with pytest.raises(KeyError):
+            result.mode("teleportation")
+
+    def test_render(self, result):
+        text = boot_modes.render(result)
+        assert "cold boot + BB" in text
+        assert "NO" in text
+
+
+class TestPrestart:
+    def test_static_build_is_the_right_choice(self):
+        result = prestart.run()
+        assert result.static_wins_for_group
+        assert result.prefork_group_net_ms < 0
+        assert "Section 5" in prestart.render(result)
+
+
+class TestPortability:
+    def test_five_device_classes_all_improve(self):
+        result = portability.run()
+        assert len(result.rows) == 5
+        assert result.helps_everywhere

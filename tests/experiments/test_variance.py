@@ -1,0 +1,56 @@
+"""Tests for the boot-time variance experiment."""
+
+import pytest
+
+from repro.core import BBConfig, BootSimulation
+from repro.experiments import variance
+from repro.workloads.tizen_tv import PAPER_BB_GROUP, perturbed_tv_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    return variance.run(instances=6)
+
+
+def test_instances_actually_differ(result):
+    assert len(set(result.no_bb_ms)) > 1
+
+
+def test_bb_is_more_consistent(result):
+    assert result.bb_stddev_ms < result.no_bb_stddev_ms
+    assert result.bb_cv <= result.no_bb_cv
+
+
+def test_means_stay_near_calibration(result):
+    assert result.no_bb_mean_ms == pytest.approx(8100, rel=0.08)
+    assert result.bb_mean_ms == pytest.approx(3500, rel=0.08)
+
+
+def test_render(result):
+    text = variance.render(result)
+    assert "consistency" in text
+    assert "coefficient of variation" in text
+
+
+def test_perturbation_leaves_chain_untouched_by_default():
+    workload = perturbed_tv_workload(instance=3)
+    baseline = perturbed_tv_workload(instance=4)
+    registry_a = workload.fresh_registry()
+    registry_b = baseline.fresh_registry()
+    for name in PAPER_BB_GROUP:
+        assert registry_a.get(name).cost == registry_b.get(name).cost
+    # Non-chain units do differ between instances.
+    assert any(registry_a.get(n).cost != registry_b.get(n).cost
+               for n in registry_a.names if n not in PAPER_BB_GROUP)
+
+
+def test_perturb_chain_flag():
+    a = perturbed_tv_workload(instance=1, perturb_chain=True).fresh_registry()
+    b = perturbed_tv_workload(instance=2, perturb_chain=True).fresh_registry()
+    assert any(a.get(n).cost != b.get(n).cost for n in PAPER_BB_GROUP)
+
+
+def test_same_instance_is_deterministic():
+    a = BootSimulation(perturbed_tv_workload(5), BBConfig.none()).run()
+    b = BootSimulation(perturbed_tv_workload(5), BBConfig.none()).run()
+    assert a.boot_complete_ns == b.boot_complete_ns

@@ -1,0 +1,71 @@
+"""Shared test fixtures: a miniature TV-like unit set and boot helpers."""
+
+from __future__ import annotations
+
+from repro.hw.presets import ue48h6200
+from repro.initsys.manager import InitManager, ManagerConfig
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.units import ServiceType, SimCost, Unit
+from repro.kernel.rcu import RCUSubsystem
+from repro.quantities import msec
+from repro.sim import Simulator
+
+
+def mini_tv_registry() -> UnitRegistry:
+    """A 10-unit TV-shaped workload: mounts, dbus, broadcast path, apps."""
+    def cost(cpu_ms, *, rcu=0, hw_ms=0, bytes_kib=64, procs=1):
+        return SimCost(init_cpu_ns=msec(cpu_ms), rcu_syncs=rcu,
+                       hw_settle_ns=msec(hw_ms), exec_bytes=bytes_kib * 1024,
+                       processes=procs)
+
+    return UnitRegistry([
+        Unit(name="multi-user.target",
+             requires=["fasttv.service"],
+             wants=["messenger.service", "store.service"]),
+        Unit(name="var.mount", service_type=ServiceType.ONESHOT,
+             provides_paths=["/var"], cost=cost(4, bytes_kib=8)),
+        Unit(name="dbus.socket", service_type=ServiceType.ONESHOT,
+             provides_paths=["/run/dbus/socket"], cost=cost(2, bytes_kib=8)),
+        Unit(name="dbus.service", service_type=ServiceType.NOTIFY,
+             requires=["var.mount", "dbus.socket"],
+             after=["var.mount", "dbus.socket"],
+             provides_paths=["/run/dbus"], cost=cost(10, rcu=1, procs=3)),
+        Unit(name="tuner.service", service_type=ServiceType.NOTIFY,
+             requires=["dbus.service"], after=["dbus.service"],
+             cost=cost(8, rcu=2, hw_ms=20)),
+        Unit(name="demux.service", service_type=ServiceType.NOTIFY,
+             requires=["dbus.service"], after=["dbus.service"],
+             cost=cost(6, rcu=1, hw_ms=8)),
+        Unit(name="remote-input.service", service_type=ServiceType.SIMPLE,
+             requires=["dbus.service"], after=["dbus.service"], cost=cost(3)),
+        Unit(name="fasttv.service", service_type=ServiceType.NOTIFY,
+             requires=["tuner.service", "demux.service", "remote-input.service"],
+             after=["tuner.service", "demux.service", "remote-input.service"],
+             cost=cost(15, rcu=1, bytes_kib=512)),
+        Unit(name="messenger.service", service_type=ServiceType.SIMPLE,
+             requires=["dbus.service"], after=["dbus.service"],
+             cost=cost(120, bytes_kib=1024)),
+        Unit(name="store.service", service_type=ServiceType.SIMPLE,
+             requires=["dbus.service"], after=["dbus.service"],
+             cost=cost(150, bytes_kib=1024)),
+    ])
+
+
+COMPLETION_UNITS = ("fasttv.service", "remote-input.service")
+
+
+def boot_mini_tv(config: ManagerConfig | None = None, *, cores: int = 4,
+                 registry: UnitRegistry | None = None, **manager_kwargs):
+    """Run a full user-space boot of the mini TV; returns (sim, manager)."""
+    sim = Simulator(cores=cores)
+    platform = ue48h6200().attach(sim)
+    rcu = RCUSubsystem(sim)
+    if config is None:
+        config = ManagerConfig(completion_units=COMPLETION_UNITS)
+    if registry is None:
+        registry = mini_tv_registry()
+    manager = InitManager(sim, registry, platform.storage, rcu, config,
+                          **manager_kwargs)
+    manager.spawn()
+    sim.run()
+    return sim, manager

@@ -1,0 +1,91 @@
+"""Tests for the Service Analyzer."""
+
+from repro.graph.analyzer import ServiceAnalyzer
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.units import Unit
+
+
+def analyze(units):
+    return ServiceAnalyzer(UnitRegistry(units)).analyze()
+
+
+def test_clean_registry_has_no_findings():
+    report = analyze([
+        Unit(name="a.service"),
+        Unit(name="b.service", requires=["a.service"]),
+    ])
+    assert report.findings == []
+    assert not report.has_errors
+    assert report.summary() == "no findings"
+
+
+def test_strong_cycle_detected():
+    report = analyze([
+        Unit(name="a.service", requires=["b.service"]),
+        Unit(name="b.service", requires=["a.service"]),
+    ])
+    cycles = report.of_kind("cycle")
+    assert len(cycles) == 1
+    assert set(cycles[0].units) == {"a.service", "b.service"}
+    assert report.has_errors
+
+
+def test_weak_cycle_reported_as_ordering_cycle():
+    report = analyze([
+        Unit(name="a.service", wants=["b.service"]),
+        Unit(name="b.service", wants=["a.service"]),
+    ])
+    assert len(report.of_kind("ordering-cycle")) == 1
+    assert report.of_kind("cycle") == []
+    assert not report.has_errors  # breakable, so a warning not an error
+
+
+def test_contradicting_order_detected():
+    report = analyze([
+        Unit(name="a.service", before=["b.service"], after=["b.service"]),
+        Unit(name="b.service"),
+    ])
+    contradictions = report.of_kind("contradiction")
+    assert len(contradictions) == 1
+    assert set(contradictions[0].units) == {"a.service", "b.service"}
+
+
+def test_requires_plus_conflicts_detected():
+    report = analyze([
+        Unit(name="a.service", requires=["b.service"], conflicts=["b.service"]),
+        Unit(name="b.service"),
+    ])
+    assert any("pulls in and conflicts" in f.detail
+               for f in report.of_kind("contradiction"))
+
+
+def test_dangling_requirement_detected():
+    report = analyze([Unit(name="a.service", requires=["ghost.service"])])
+    dangling = report.of_kind("dangling")
+    assert len(dangling) == 1
+    assert dangling[0].units == ("a.service", "ghost.service")
+    assert report.has_errors
+
+
+def test_duplicate_declaration_detected():
+    report = analyze([
+        Unit(name="a.service", after=["b.service", "b.service"]),
+        Unit(name="b.service"),
+    ])
+    assert any("more than once" in f.detail for f in report.of_kind("redundant"))
+
+
+def test_transitively_implied_requires_detected():
+    report = analyze([
+        Unit(name="a.service", requires=["b.service", "c.service"]),
+        Unit(name="b.service", requires=["c.service"]),
+        Unit(name="c.service"),
+    ])
+    redundant = report.of_kind("redundant")
+    assert any(f.units == ("a.service", "c.service") for f in redundant)
+
+
+def test_summary_formats_findings():
+    report = analyze([Unit(name="a.service", requires=["ghost.service"])])
+    assert "[dangling]" in report.summary()
+    assert "a.service" in report.summary()

@@ -1,0 +1,84 @@
+"""Tests for critical-path analysis."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.graph.critical_path import critical_path, estimate_start_ns
+from repro.hw.presets import emmc_ue48h6200
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.units import SimCost, Unit
+from repro.quantities import msec
+from tests.fixtures import COMPLETION_UNITS, mini_tv_registry
+
+
+def chain_registry():
+    return UnitRegistry([
+        Unit(name="a.service", cost=SimCost(init_cpu_ns=msec(10), exec_bytes=0)),
+        Unit(name="b.service", requires=["a.service"],
+             cost=SimCost(init_cpu_ns=msec(20), exec_bytes=0)),
+        Unit(name="c.service", requires=["b.service"],
+             cost=SimCost(init_cpu_ns=msec(30), exec_bytes=0)),
+        Unit(name="side.service", cost=SimCost(init_cpu_ns=msec(500), exec_bytes=0)),
+    ])
+
+
+def test_critical_path_follows_the_chain():
+    path = critical_path(chain_registry(), ["c.service"])
+    assert path.units == ("a.service", "b.service", "c.service")
+
+
+def test_side_services_do_not_count():
+    """A heavy service off the completion closure does not affect the path."""
+    path = critical_path(chain_registry(), ["c.service"])
+    assert "side.service" not in path.units
+
+
+def test_length_includes_fixed_costs():
+    path = critical_path(chain_registry(), ["c.service"])
+    # At least the three init CPU costs.
+    assert path.length_ns >= msec(60)
+
+
+def test_custom_duration_fn():
+    path = critical_path(chain_registry(), ["c.service"],
+                         duration_fn=lambda unit: msec(1))
+    assert path.length_ns == msec(3)
+
+
+def test_storage_model_adds_exec_read_time():
+    registry = UnitRegistry([
+        Unit(name="a.service", cost=SimCost(init_cpu_ns=0, exec_bytes=1024 * 1024)),
+    ])
+    without = critical_path(registry, ["a.service"]).length_ns
+    with_storage = critical_path(registry, ["a.service"],
+                                 storage=emmc_ue48h6200()).length_ns
+    assert with_storage > without
+
+
+def test_unknown_completion_unit_rejected():
+    with pytest.raises(AnalysisError, match="not in registry"):
+        critical_path(chain_registry(), ["ghost.service"])
+
+
+def test_cycle_rejected():
+    registry = UnitRegistry([
+        Unit(name="a.service", requires=["b.service"]),
+        Unit(name="b.service", requires=["a.service"]),
+    ])
+    with pytest.raises(AnalysisError, match="cycle"):
+        critical_path(registry, ["a.service"])
+
+
+def test_mini_tv_critical_path_ends_at_fasttv():
+    path = critical_path(mini_tv_registry(), COMPLETION_UNITS,
+                         storage=emmc_ue48h6200())
+    assert path.units[-1] == "fasttv.service"
+    assert "dbus.service" in path.units
+
+
+def test_static_build_shortens_estimate():
+    dynamic = Unit(name="a.service",
+                   cost=SimCost(dynamic_link_ns=msec(5), exec_bytes=0))
+    static = Unit(name="b.service", static_build=True,
+                  cost=SimCost(dynamic_link_ns=msec(5), exec_bytes=0))
+    assert estimate_start_ns(static) < estimate_start_ns(dynamic)

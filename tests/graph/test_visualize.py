@@ -1,0 +1,52 @@
+"""Tests for DOT export and Fig. 2 statistics."""
+
+from repro.graph.visualize import figure2_stats, to_dot
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.units import Unit
+from tests.fixtures import mini_tv_registry
+
+
+def test_stats_count_edge_kinds():
+    registry = UnitRegistry([
+        Unit(name="a.service", requires=["b.service"], wants=["c.service"],
+             after=["d.service"]),
+        Unit(name="b.service", before=["c.service"]),
+        Unit(name="c.service"),
+        Unit(name="d.service"),
+        Unit(name="goal.target"),
+    ])
+    stats = figure2_stats(registry)
+    assert stats.units == 5
+    assert stats.services == 4
+    assert stats.strong_edges == 1
+    assert stats.weak_edges == 1
+    assert stats.ordering_edges == 2
+    assert stats.edges == 4
+    assert stats.max_fan_in >= 1
+    assert stats.avg_degree > 0
+
+
+def test_empty_registry_stats():
+    stats = figure2_stats(UnitRegistry())
+    assert stats.units == 0
+    assert stats.avg_degree == 0.0
+
+
+def test_dot_output_contains_nodes_and_colored_edges():
+    dot = to_dot(mini_tv_registry(), title="mini-tv")
+    assert dot.startswith('digraph "mini-tv"')
+    assert '"dbus.service"' in dot
+    assert "color=red" in dot  # requires edges
+    assert "color=green" in dot  # wants edges
+    assert dot.rstrip().endswith("}")
+
+
+def test_dot_highlight_fills_bb_group():
+    dot = to_dot(mini_tv_registry(), highlight={"fasttv.service"})
+    assert "fillcolor=lightyellow" in dot
+
+
+def test_dot_shapes_by_unit_type():
+    dot = to_dot(mini_tv_registry())
+    assert "hexagon" in dot  # target
+    assert "ellipse" in dot  # mount/socket

@@ -1,0 +1,42 @@
+"""Tests for the DRAM initialization cost model."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.memory import DRAMModel
+from repro.quantities import GiB, msec
+
+
+def test_ue48h6200_figures():
+    # The paper's Fig. 6(a): 370 ms full init, 110 ms early init for 1 GiB.
+    dram = DRAMModel(size_bytes=GiB(1))
+    assert dram.full_init_ns() == msec(370)
+    assert dram.early_init_ns() == msec(110)
+    assert dram.deferred_init_ns() == msec(260)
+
+
+def test_init_scales_with_dram_size():
+    small = DRAMModel(size_bytes=GiB(1))
+    large = DRAMModel(size_bytes=GiB(3))
+    assert large.full_init_ns() == pytest.approx(3 * small.full_init_ns(), rel=1e-6)
+
+
+def test_early_plus_deferred_equals_full():
+    for gib in (1, 2, 3, 4):
+        dram = DRAMModel(size_bytes=GiB(gib))
+        assert dram.early_init_ns() + dram.deferred_init_ns() == dram.full_init_ns()
+
+
+def test_gib_property():
+    assert DRAMModel(size_bytes=GiB(2)).gib == 2.0
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(HardwareError):
+        DRAMModel(size_bytes=0)
+    with pytest.raises(HardwareError):
+        DRAMModel(size_bytes=GiB(1), early_fraction=0.0)
+    with pytest.raises(HardwareError):
+        DRAMModel(size_bytes=GiB(1), early_fraction=1.5)
+    with pytest.raises(HardwareError):
+        DRAMModel(size_bytes=GiB(1), full_init_ns_per_gib=0)

@@ -1,0 +1,36 @@
+"""Direct tests for peripherals and storage write timing."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.peripherals import Peripheral, PeripheralClass
+from repro.hw.presets import emmc_ue48h6200
+from repro.hw.storage import AccessPattern
+from repro.quantities import MiB, msec
+
+
+def test_tv_boot_criticality_by_class():
+    critical_classes = (PeripheralClass.BROADCAST, PeripheralClass.DISPLAY,
+                        PeripheralClass.INPUT, PeripheralClass.PLATFORM)
+    for klass in PeripheralClass:
+        peripheral = Peripheral("x", klass, hw_init_ns=msec(1), driver="d")
+        assert peripheral.boot_critical_for_tv == (klass in critical_classes)
+
+
+def test_negative_init_time_rejected():
+    with pytest.raises(HardwareError):
+        Peripheral("bad", PeripheralClass.INPUT, hw_init_ns=-1, driver="d")
+
+
+def test_write_time_slower_than_read():
+    device = emmc_ue48h6200()
+    nbytes = MiB(10)
+    assert device.write_time_ns(nbytes) > device.read_time_ns(nbytes)
+    assert device.write_time_ns(nbytes, AccessPattern.RANDOM) > \
+        device.write_time_ns(nbytes, AccessPattern.SEQUENTIAL)
+
+
+def test_default_write_throughput_is_half_of_read():
+    device = emmc_ue48h6200()
+    assert device.seq_write_bps == device.seq_read_bps // 2
+    assert device.rand_write_bps == device.rand_read_bps // 2

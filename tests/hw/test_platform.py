@@ -1,0 +1,81 @@
+"""Tests for platform descriptions and presets."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.memory import DRAMModel
+from repro.hw.platform import HardwarePlatform
+from repro.hw.presets import galaxy_s6_like, nx300, ue48h6200
+from repro.quantities import GiB, MiB
+from repro.sim import Simulator
+
+
+def test_ue48h6200_matches_paper_spec():
+    board = ue48h6200()
+    assert board.cpu_cores == 4
+    assert board.dram.size_bytes == GiB(1)
+    assert board.storage.seq_read_bps == MiB(117)
+    assert board.storage.rand_read_bps == MiB(37)
+    assert board.storage.capacity_bytes == GiB(8)
+
+
+def test_tv_has_broadcast_path_peripherals():
+    board = ue48h6200()
+    for name in ("tuner", "demux", "video-decoder", "display-panel", "remote-receiver"):
+        assert board.peripheral(name).name == name
+
+
+def test_boot_critical_split_for_tv():
+    board = ue48h6200()
+    critical = {p.name for p in board.boot_critical_peripherals()}
+    deferrable = {p.name for p in board.deferrable_peripherals()}
+    assert "tuner" in critical
+    assert "display-panel" in critical
+    assert "usb" in deferrable
+    assert "wifi" in deferrable
+    assert critical.isdisjoint(deferrable)
+    assert critical | deferrable == set(board.peripherals)
+
+
+def test_unknown_peripheral_raises():
+    with pytest.raises(HardwareError, match="no peripheral"):
+        ue48h6200().peripheral("flux-capacitor")
+
+
+def test_presets_return_fresh_objects():
+    a, b = ue48h6200(), ue48h6200()
+    assert a.storage is not b.storage
+    assert a.peripherals is not b.peripherals
+
+
+def test_attach_binds_storage():
+    sim = Simulator()
+    board = ue48h6200().attach(sim)
+
+    def reader():
+        yield from board.storage.read(1024)
+
+    sim.spawn(reader(), name="r")
+    sim.run()
+    assert board.storage.bytes_read == 1024
+
+
+def test_galaxy_s6_preset_background_figures():
+    phone = galaxy_s6_like()
+    assert phone.cpu_cores == 8
+    assert phone.dram.size_bytes == GiB(3)
+    assert phone.storage.seq_read_bps == MiB(300)
+    assert phone.decompress_bps == MiB(35)
+
+
+def test_nx300_is_a_camera():
+    camera = nx300()
+    assert "lens" in camera.peripherals
+    assert "sensor" in camera.peripherals
+    assert camera.cpu_cores == 2
+
+
+def test_platform_validation():
+    with pytest.raises(HardwareError):
+        HardwarePlatform(name="bad", cpu_cores=0, dram=DRAMModel(size_bytes=GiB(1)),
+                         storage=ue48h6200().storage)

@@ -1,0 +1,120 @@
+"""Tests for the SysVinit-rcS and out-of-order baselines (§2.5)."""
+
+import pytest
+
+from repro.hw.presets import ue48h6200
+from repro.initsys.executor import JobExecutor, PathRegistry
+from repro.initsys.outoforder import OutOfOrderInitScheme
+from repro.initsys.sysv import SysVInitScheme
+from repro.initsys.transaction import Transaction
+from repro.kernel.rcu import RCUSubsystem
+from repro.sim import Simulator, Wait
+from tests.fixtures import COMPLETION_UNITS, mini_tv_registry
+
+
+def run_parallel_in_order(cores=4):
+    """The same unit set under the systemd-style executor alone (no
+    manager infrastructure), for apples-to-apples scheme comparisons."""
+    sim = Simulator(cores=cores)
+    platform = ue48h6200().attach(sim)
+    registry = mini_tv_registry()
+    registry.apply_install_sections()
+    txn = Transaction(registry, ["multi-user.target"])
+    executor = JobExecutor(sim, txn, platform.storage, RCUSubsystem(sim),
+                           PathRegistry(sim))
+    executor.start_all()
+    complete_at = {}
+
+    def watcher():
+        for name in COMPLETION_UNITS:
+            job = txn.job(name)
+            if not job.ready.fired:
+                yield Wait(job.ready)
+        complete_at["t"] = sim.now
+
+    sim.spawn(watcher(), name="watcher")
+    sim.run()
+    return complete_at["t"]
+
+
+def run_sysv(cores=4):
+    sim = Simulator(cores=cores)
+    platform = ue48h6200().attach(sim)
+    scheme = SysVInitScheme(sim, mini_tv_registry(), platform.storage,
+                            RCUSubsystem(sim), goal="multi-user.target",
+                            completion_units=COMPLETION_UNITS)
+    scheme.spawn()
+    sim.run()
+    return sim, scheme
+
+
+def run_ooo(path_check, cores=4):
+    sim = Simulator(cores=cores)
+    platform = ue48h6200().attach(sim)
+    scheme = OutOfOrderInitScheme(sim, mini_tv_registry(), platform.storage,
+                                  RCUSubsystem(sim), goal="multi-user.target",
+                                  completion_units=COMPLETION_UNITS,
+                                  path_check=path_check)
+    scheme.spawn()
+    sim.run()
+    return sim, scheme
+
+
+def test_sysv_boots_but_sequentially():
+    sim, scheme = run_sysv()
+    assert scheme.boot_complete_ns is not None
+    # Every unit started one at a time: no two service spans overlap.
+    spans = [s for s in sim.tracer.spans_in("service")]
+    spans.sort(key=lambda s: s.start_ns)
+    for earlier, later in zip(spans, spans[1:]):
+        assert earlier.end_ns <= later.start_ns
+
+
+def test_sysv_start_order_respects_dependencies():
+    sim, scheme = run_sysv()
+    order = scheme.start_order()
+    assert order.index("var.mount") < order.index("dbus.service")
+    assert order.index("dbus.service") < order.index("fasttv.service")
+
+
+def test_sysv_is_slower_than_parallel_in_order():
+    _, sysv = run_sysv()
+    parallel = run_parallel_in_order()
+    assert parallel < sysv.boot_complete_ns
+
+
+def test_sysv_gains_nothing_from_more_cores():
+    _, one_core = run_sysv(cores=1)
+    _, four_cores = run_sysv(cores=4)
+    ratio = four_cores.boot_complete_ns / one_core.boot_complete_ns
+    assert ratio > 0.95  # essentially no parallel speedup
+
+
+def test_out_of_order_without_path_check_violates_dependencies():
+    sim, scheme = run_ooo(path_check=False)
+    assert scheme.result.boot_complete_ns is not None
+    # Services started before their requirements were ready.
+    assert len(scheme.result.violations) > 0
+    violating_units = {v[0] for v in scheme.result.violations}
+    assert "dbus.service" in violating_units or "tuner.service" in violating_units
+
+
+def test_out_of_order_with_path_check_is_correct_but_polls():
+    sim, scheme = run_ooo(path_check=True)
+    assert scheme.result.violations == []
+    assert scheme.result.total_polls > 0
+
+
+def test_path_check_discovery_latency_quantized_to_poll_interval():
+    """Path-check readiness is discovered only at the next poll, so the
+    polling variant completes later than the event-driven in-order boot."""
+    _, ooo = run_ooo(path_check=True)
+    parallel = run_parallel_in_order()
+    assert parallel < ooo.result.boot_complete_ns
+
+
+def test_deterministic_baselines():
+    _, a = run_ooo(path_check=True)
+    _, b = run_ooo(path_check=True)
+    assert a.result.boot_complete_ns == b.result.boot_complete_ns
+    assert a.result.total_polls == b.result.total_polls

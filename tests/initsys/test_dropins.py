@@ -1,0 +1,88 @@
+"""Tests for drop-in directory merging (``<unit>.d/*.conf``)."""
+
+import pytest
+
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.unitfile import merge_parsed, parse_unit_file
+from repro.initsys.units import ServiceType, Unit
+
+
+class TestMergeParsed:
+    def test_scalar_override(self):
+        base = parse_unit_file("[Service]\nType=simple\n", name="x.service")
+        overlay = parse_unit_file("[Service]\nType=notify\n", name="o")
+        merged = merge_parsed(base, overlay)
+        assert merged.get("Service", "Type") == "notify"
+
+    def test_list_keys_append(self):
+        base = parse_unit_file("[Unit]\nRequires=a.service\n", name="x.service")
+        overlay = parse_unit_file("[Unit]\nRequires=b.service\n", name="o")
+        merged = merge_parsed(base, overlay)
+        assert merged.get_list("Unit", "Requires") == ["a.service", "b.service"]
+
+    def test_empty_assignment_resets_list(self):
+        base = parse_unit_file("[Unit]\nBefore=var.mount\n", name="x.service")
+        overlay = parse_unit_file("[Unit]\nBefore=\n", name="o")
+        merged = merge_parsed(base, overlay)
+        assert merged.get_list("Unit", "Before") == []
+
+    def test_new_sections_added(self):
+        base = parse_unit_file("[Unit]\nDescription=x\n", name="x.service")
+        overlay = parse_unit_file("[X-Simulation]\nInitCpuNs=5\n", name="o")
+        merged = merge_parsed(base, overlay)
+        assert merged.get("X-Simulation", "InitCpuNs") == "5"
+
+    def test_base_not_mutated(self):
+        base = parse_unit_file("[Unit]\nRequires=a.service\n", name="x.service")
+        overlay = parse_unit_file("[Unit]\nRequires=b.service\n", name="o")
+        merge_parsed(base, overlay)
+        assert base.get_list("Unit", "Requires") == ["a.service"]
+
+
+class TestLoadDirectoryDropins:
+    def test_dropins_merge_in_lexical_order(self, tmp_path):
+        (tmp_path / "app.service").write_text(
+            "[Service]\nType=simple\n[Unit]\nRequires=a.service\n")
+        dropin = tmp_path / "app.service.d"
+        dropin.mkdir()
+        (dropin / "10-type.conf").write_text("[Service]\nType=oneshot\n")
+        (dropin / "20-type.conf").write_text("[Service]\nType=notify\n")
+        (dropin / "30-deps.conf").write_text("[Unit]\nRequires=b.service\n")
+        registry = UnitRegistry()
+        registry.load_directory(tmp_path)
+        unit = registry.get("app.service")
+        assert unit.service_type is ServiceType.NOTIFY  # last wins
+        assert unit.requires == ["a.service", "b.service"]
+
+    def test_admin_neutralizes_vendor_ordering(self, tmp_path):
+        """The §4.2 counter-move: a drop-in resets a vendor's abusive
+        Before=var.mount without touching the vendor's file."""
+        (tmp_path / "vendor.service").write_text(
+            "[Unit]\nBefore=var.mount\n[Service]\nType=oneshot\n")
+        dropin = tmp_path / "vendor.service.d"
+        dropin.mkdir()
+        (dropin / "override.conf").write_text("[Unit]\nBefore=\n")
+        registry = UnitRegistry()
+        registry.load_directory(tmp_path)
+        assert registry.get("vendor.service").before == []
+
+    def test_non_conf_files_ignored(self, tmp_path):
+        (tmp_path / "app.service").write_text("[Service]\nType=simple\n")
+        dropin = tmp_path / "app.service.d"
+        dropin.mkdir()
+        (dropin / "readme.txt").write_text("not a conf")
+        registry = UnitRegistry()
+        registry.load_directory(tmp_path)
+        assert registry.get("app.service").service_type is ServiceType.SIMPLE
+
+    def test_dropin_only_simulation_costs(self, tmp_path):
+        (tmp_path / "app.service").write_text("[Service]\nType=oneshot\n")
+        dropin = tmp_path / "app.service.d"
+        dropin.mkdir()
+        (dropin / "cost.conf").write_text(
+            "[X-Simulation]\nInitCpuNs=7000000\nRcuSyncs=2\n")
+        registry = UnitRegistry()
+        registry.load_directory(tmp_path)
+        unit = registry.get("app.service")
+        assert unit.cost.init_cpu_ns == 7_000_000
+        assert unit.cost.rcu_syncs == 2

@@ -1,0 +1,227 @@
+"""Tests for the parallel job executor and service semantics."""
+
+import pytest
+
+from repro.hw.presets import emmc_ue48h6200
+from repro.initsys.executor import JobExecutor, PathRegistry
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.transaction import EdgeKind, Transaction
+from repro.initsys.units import ServiceType, SimCost, Unit
+from repro.kernel.rcu import RCUSubsystem
+from repro.quantities import msec
+from repro.sim import Simulator
+
+
+def run_transaction(units, goal="goal.target", cores=4, edge_filter=None,
+                    priority_fn=None, preexisting_paths=None):
+    sim = Simulator(cores=cores)
+    storage = emmc_ue48h6200().attach(sim)
+    rcu = RCUSubsystem(sim)
+    registry = UnitRegistry(units)
+    txn = Transaction(registry, [goal])
+    paths = PathRegistry(sim, preexisting=preexisting_paths)
+    executor = JobExecutor(sim, txn, storage, rcu, paths,
+                           edge_filter=edge_filter, priority_fn=priority_fn)
+    executor.start_all()
+    sim.run()
+    return sim, txn, executor
+
+
+def service(name, *, stype=ServiceType.ONESHOT, cpu_ms=5, exec_bytes=0,
+            **unit_kwargs):
+    return Unit(name=name, service_type=stype,
+                cost=SimCost(init_cpu_ns=msec(cpu_ms), exec_bytes=exec_bytes),
+                **unit_kwargs)
+
+
+def test_all_jobs_complete():
+    sim, txn, _ = run_transaction([
+        Unit(name="goal.target", requires=["a.service", "b.service"]),
+        service("a.service"),
+        service("b.service"),
+    ])
+    for job in txn.jobs.values():
+        assert job.ready_at_ns is not None
+
+
+def test_strong_edge_waits_for_readiness():
+    sim, txn, _ = run_transaction([
+        Unit(name="goal.target", requires=["late.service"]),
+        service("late.service", requires=["early.service"], cpu_ms=1),
+        service("early.service", cpu_ms=20),
+    ])
+    early = txn.job("early.service")
+    late = txn.job("late.service")
+    assert late.started_at_ns >= early.ready_at_ns
+
+
+def test_weak_edge_waits_only_for_launch():
+    """Wants: launch B not before launching A — B may be running while A
+    still initializes."""
+    sim, txn, _ = run_transaction([
+        Unit(name="goal.target", requires=["b.service"], wants=["a.service"]),
+        service("b.service", wants=["a.service"], cpu_ms=1),
+        # a is slow to become ready (notify with long init).
+        service("a.service", stype=ServiceType.NOTIFY, cpu_ms=50),
+    ])
+    a = txn.job("a.service")
+    b = txn.job("b.service")
+    assert b.started_at_ns >= a.started_at_ns
+    assert b.ready_at_ns < a.ready_at_ns
+
+
+def test_independent_services_run_in_parallel():
+    def total_time(cores):
+        sim, _, _ = run_transaction([
+            Unit(name="goal.target",
+                 requires=[f"s{n}.service" for n in range(4)]),
+            *[service(f"s{n}.service", cpu_ms=20) for n in range(4)],
+        ], cores=cores)
+        return sim.now
+
+    assert total_time(4) < total_time(1) / 2
+
+
+def test_simple_service_ready_at_fork_oneshot_at_exit():
+    sim, txn, _ = run_transaction([
+        Unit(name="goal.target", requires=["simple.service", "oneshot.service"]),
+        service("simple.service", stype=ServiceType.SIMPLE, cpu_ms=30),
+        service("oneshot.service", stype=ServiceType.ONESHOT, cpu_ms=30),
+    ])
+    simple = txn.job("simple.service")
+    oneshot = txn.job("oneshot.service")
+    # The simple service is ready long before its init work completes.
+    assert simple.ready_at_ns < simple.done_at_ns
+    assert oneshot.ready_at_ns == oneshot.done_at_ns
+    assert simple.ready_at_ns < oneshot.ready_at_ns
+
+
+def test_notify_service_ready_after_extra_delay():
+    units = [
+        Unit(name="goal.target", requires=["n.service"]),
+        Unit(name="n.service", service_type=ServiceType.NOTIFY,
+             cost=SimCost(init_cpu_ns=msec(5), ready_extra_ns=msec(7))),
+    ]
+    sim, txn, _ = run_transaction(units)
+    job = txn.job("n.service")
+    assert job.ready_at_ns - job.started_at_ns >= msec(12)
+
+
+def test_condition_path_missing_skips_unit():
+    sim, txn, _ = run_transaction([
+        Unit(name="goal.target", requires=["cond.service"]),
+        service("cond.service", condition_paths=["/nonexistent"]),
+    ])
+    from repro.initsys.transaction import JobState
+    assert txn.job("cond.service").state is JobState.SKIPPED
+    # Dependents are not wedged: goal still completed.
+    assert txn.job("goal.target").ready_at_ns is not None
+
+
+def test_condition_path_present_runs_unit():
+    sim, txn, _ = run_transaction([
+        Unit(name="goal.target", requires=["cond.service"]),
+        service("cond.service", condition_paths=["/var"]),
+    ], preexisting_paths={"/var"})
+    from repro.initsys.transaction import JobState
+    assert txn.job("cond.service").state is JobState.DONE
+
+
+def test_provides_paths_satisfy_later_conditions():
+    sim, txn, _ = run_transaction([
+        Unit(name="goal.target", requires=["consumer.service"]),
+        service("consumer.service", requires=["var.mount"],
+                condition_paths=["/var"]),
+        service("var.mount", provides_paths=["/var"], cpu_ms=2),
+    ])
+    from repro.initsys.transaction import JobState
+    assert txn.job("consumer.service").state is JobState.DONE
+
+
+def test_edge_filter_unblocks_isolated_service():
+    """The BB Group Isolator mechanism: dropping an out-of-group ordering
+    edge lets the critical service start immediately."""
+    units = [
+        Unit(name="goal.target", requires=["dbus.service", "slow.service"]),
+        service("dbus.service", after=["slow.service"], cpu_ms=2),
+        service("slow.service", cpu_ms=100),
+    ]
+
+    def no_filter_time():
+        _, txn, _ = run_transaction([Unit(name=u.name, service_type=u.service_type,
+                                          requires=list(u.requires),
+                                          after=list(u.after), cost=u.cost)
+                                     for u in units])
+        return txn.job("dbus.service").ready_at_ns
+
+    def filtered_time():
+        def edge_filter(edge):
+            return edge.successor != "dbus.service"
+
+        _, txn, _ = run_transaction([Unit(name=u.name, service_type=u.service_type,
+                                          requires=list(u.requires),
+                                          after=list(u.after), cost=u.cost)
+                                     for u in units], edge_filter=edge_filter)
+        return txn.job("dbus.service").ready_at_ns
+
+    assert filtered_time() < no_filter_time()
+
+
+def test_priority_fn_prioritizes_critical_work():
+    """With one core, high-priority services finish first."""
+    def ready_time(priority_fn):
+        _, txn, _ = run_transaction([
+            Unit(name="goal.target",
+                 requires=["critical.service"] + [f"bulk{n}.service" for n in range(6)]),
+            service("critical.service", cpu_ms=5),
+            *[service(f"bulk{n}.service", cpu_ms=20) for n in range(6)],
+        ], cores=1, priority_fn=priority_fn)
+        return txn.job("critical.service").ready_at_ns
+
+    boosted = ready_time(lambda u: 10 if u.name == "critical.service" else 100)
+    flat = ready_time(None)
+    assert boosted < flat
+
+
+def test_target_is_ready_when_predecessors_are():
+    sim, txn, _ = run_transaction([
+        Unit(name="goal.target", requires=["a.service"]),
+        service("a.service", cpu_ms=3),
+    ])
+    goal = txn.job("goal.target")
+    a = txn.job("a.service")
+    assert goal.ready_at_ns >= a.ready_at_ns
+
+
+def test_static_build_skips_dynamic_link():
+    def ready_time(static):
+        _, txn, _ = run_transaction([
+            Unit(name="goal.target", requires=["s.service"]),
+            Unit(name="s.service", service_type=ServiceType.ONESHOT,
+                 static_build=static,
+                 cost=SimCost(init_cpu_ns=msec(1), dynamic_link_ns=msec(4))),
+        ])
+        return txn.job("s.service").ready_at_ns
+
+    assert ready_time(True) < ready_time(False)
+
+
+def test_rcu_syncs_charged_during_init():
+    sim, txn, executor = run_transaction([
+        Unit(name="goal.target", requires=["r.service"]),
+        Unit(name="r.service", service_type=ServiceType.ONESHOT,
+             cost=SimCost(init_cpu_ns=msec(2), rcu_syncs=3)),
+    ])
+    # The RCU subsystem was exercised 3 times.
+    assert executor._runner._rcu.sync_count == 3
+
+
+def test_multi_process_service_forks_each_process():
+    units = [
+        Unit(name="goal.target", requires=["multi.service"]),
+        Unit(name="multi.service", service_type=ServiceType.ONESHOT,
+             cost=SimCost(processes=3, fork_ns=msec(1), init_cpu_ns=0)),
+    ]
+    sim, txn, _ = run_transaction(units)
+    job = txn.job("multi.service")
+    assert job.started_at_ns >= msec(3)

@@ -1,0 +1,144 @@
+"""Tests for failure injection, restart recovery, and failure propagation."""
+
+import pytest
+
+from repro.errors import ServiceFailureError
+from repro.hw.presets import emmc_ue48h6200
+from repro.initsys.executor import JobExecutor, PathRegistry
+from repro.initsys.manager import InitManager, ManagerConfig
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.transaction import JobState, Transaction
+from repro.initsys.units import RestartPolicy, ServiceType, SimCost, Unit
+from repro.kernel.rcu import RCUSubsystem
+from repro.quantities import msec
+from repro.sim import Simulator
+
+
+def run_units(units, goal="goal.target"):
+    sim = Simulator(cores=4)
+    storage = emmc_ue48h6200().attach(sim)
+    registry = UnitRegistry(units)
+    txn = Transaction(registry, [goal])
+    executor = JobExecutor(sim, txn, storage, RCUSubsystem(sim),
+                           PathRegistry(sim))
+    executor.start_all()
+    sim.run()
+    return sim, txn, executor
+
+
+def flaky(name, failures, policy=RestartPolicy.ON_FAILURE, max_restarts=3,
+          **kwargs):
+    return Unit(name=name, service_type=ServiceType.ONESHOT,
+                failures_before_success=failures, restart_policy=policy,
+                max_restarts=max_restarts, restart_delay_ns=msec(50),
+                cost=SimCost(init_cpu_ns=msec(5), exec_bytes=0), **kwargs)
+
+
+def test_healthy_unit_succeeds_first_attempt():
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", requires=["ok.service"]),
+        flaky("ok.service", failures=0),
+    ])
+    job = txn.job("ok.service")
+    assert job.state is JobState.DONE
+    assert job.attempts == 1
+    assert executor.failed_jobs == []
+
+
+def test_restart_recovers_a_flaky_unit():
+    """Monitoring and recovery (§2.5.2): restart on failure."""
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", requires=["flaky.service"]),
+        flaky("flaky.service", failures=2),
+    ])
+    job = txn.job("flaky.service")
+    assert job.state is JobState.DONE
+    assert job.attempts == 3
+    assert executor.failed_jobs == []
+    # Two restart delays were paid.
+    assert job.ready_at_ns >= 2 * msec(50)
+
+
+def test_restart_budget_exhaustion_fails_permanently():
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", wants=["doomed.service"]),
+        flaky("doomed.service", failures=10, max_restarts=2),
+    ])
+    job = txn.job("doomed.service")
+    assert job.state is JobState.FAILED
+    assert job.attempts == 3  # initial + 2 restarts
+    assert "doomed.service" in executor.failed_jobs
+    assert job.failure_reason is not None
+
+
+def test_no_restart_policy_fails_on_first_crash():
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", wants=["fragile.service"]),
+        flaky("fragile.service", failures=1, policy=RestartPolicy.NO),
+    ])
+    job = txn.job("fragile.service")
+    assert job.state is JobState.FAILED
+    assert job.attempts == 1
+
+
+def test_failure_propagates_to_strong_dependents():
+    """A unit whose requirement fails permanently fails too, instead of
+    hanging the boot."""
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", wants=["app.service"]),
+        flaky("base.service", failures=5, max_restarts=0,
+              policy=RestartPolicy.NO),
+        Unit(name="app.service", requires=["base.service"],
+             cost=SimCost(exec_bytes=0)),
+    ])
+    app = txn.job("app.service")
+    assert app.state is JobState.FAILED
+    assert "base.service" in app.failure_reason
+    assert set(executor.failed_jobs) == {"base.service", "app.service"}
+
+
+def test_weak_dependents_survive_a_failure():
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", wants=["app.service"]),
+        flaky("optional.service", failures=5, policy=RestartPolicy.NO,
+              wanted_by=[]),
+        Unit(name="app.service", wants=["optional.service"],
+             after=["optional.service"],
+             cost=SimCost(exec_bytes=0)),
+    ])
+    assert txn.job("app.service").state is JobState.DONE
+    assert txn.job("optional.service").state is JobState.FAILED
+
+
+def test_failed_completion_unit_raises_service_failure():
+    sim = Simulator(cores=4)
+    storage = emmc_ue48h6200().attach(sim)
+    registry = UnitRegistry([
+        Unit(name="multi-user.target", requires=["fasttv.service"]),
+        flaky("fasttv.service", failures=9, policy=RestartPolicy.NO),
+    ])
+    manager = InitManager(sim, registry, storage, RCUSubsystem(sim),
+                          ManagerConfig(completion_units=("fasttv.service",)))
+    manager.spawn()
+    with pytest.raises(ServiceFailureError, match="fasttv.service"):
+        sim.run()
+
+
+def test_restart_policy_round_trips_through_unit_file():
+    unit = flaky("r.service", failures=2, max_restarts=5)
+    from repro.initsys.unitfile import parse_unit_file, render_unit_file
+    back = Unit.from_parsed(parse_unit_file(render_unit_file(unit.to_parsed()),
+                                            name="r.service"))
+    assert back.restart_policy is RestartPolicy.ON_FAILURE
+    assert back.failures_before_success == 2
+    assert back.max_restarts == 5
+    assert back.restart_delay_ns == msec(50)
+
+
+def test_invalid_restart_value_rejected():
+    from repro.errors import UnitParseError
+    from repro.initsys.unitfile import parse_unit_file
+
+    with pytest.raises(UnitParseError, match="invalid Restart"):
+        Unit.from_parsed(parse_unit_file("[Service]\nRestart=sometimes\n",
+                                         name="x.service"))

@@ -1,0 +1,96 @@
+"""Tests for memory-pressure management."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.initsys.memory_pressure import MemoryPressureManager
+from repro.initsys.units import SimCost, Unit
+from repro.quantities import MiB
+
+
+def unit(name, mib):
+    return Unit(name=name, cost=SimCost(memory_bytes=MiB(mib)))
+
+
+def manager(dram_mib=100, **kwargs):
+    kwargs.setdefault("budget_fraction", 1.0)
+    kwargs.setdefault("critical_fraction", 0.8)
+    return MemoryPressureManager(MiB(dram_mib), **kwargs)
+
+
+def test_admission_accounts_usage():
+    mgr = manager()
+    assert mgr.admit(unit("a.service", 30)) is None
+    assert mgr.used_bytes == MiB(30)
+    assert mgr.pressure == pytest.approx(0.3)
+
+
+def test_reclaim_triggers_past_critical_threshold():
+    mgr = manager()
+    mgr.admit(unit("a.service", 40))
+    mgr.admit(unit("b.service", 30))
+    event = mgr.admit(unit("c.service", 30))  # 100 > 80 critical
+    assert event is not None
+    assert event.victims  # somebody was expelled
+    assert mgr.used_bytes <= mgr.critical_bytes
+
+
+def test_largest_consumer_expelled_first_by_default():
+    mgr = manager()
+    mgr.admit(unit("small.service", 10))
+    mgr.admit(unit("large.service", 50))
+    event = mgr.admit(unit("new.service", 35))
+    assert event.victims == ["large.service"]
+    assert "small.service" in mgr.resident
+
+
+def test_protected_units_never_expelled():
+    mgr = manager(protected={"fasttv.service"})
+    mgr.admit(unit("fasttv.service", 50))
+    mgr.admit(unit("app.service", 25))
+    event = mgr.admit(unit("other.service", 20))
+    assert "fasttv.service" not in event.victims
+    assert "fasttv.service" in mgr.resident
+
+
+def test_all_protected_raises():
+    mgr = manager(protected={"a.service", "b.service", "c.service"})
+    mgr.admit(unit("a.service", 40))
+    mgr.admit(unit("b.service", 30))
+    with pytest.raises(ConfigurationError, match="protected"):
+        mgr.admit(unit("c.service", 30))
+
+
+def test_oversized_unit_rejected():
+    mgr = manager(dram_mib=10)
+    with pytest.raises(ConfigurationError, match="budget"):
+        mgr.admit(unit("whale.service", 20))
+
+
+def test_release_frees_memory():
+    mgr = manager()
+    mgr.admit(unit("a.service", 30))
+    mgr.release("a.service")
+    assert mgr.used_bytes == 0
+    mgr.release("a.service")  # idempotent
+    assert mgr.used_bytes == 0
+
+
+def test_custom_importance_function():
+    """BB-style policy: importance by priority class, not size."""
+    importance = {"critical.service": 100.0, "app.service": 1.0}
+    mgr = manager(importance_fn=lambda u: importance.get(u.name, 0.0))
+    mgr.admit(unit("critical.service", 45))
+    mgr.admit(unit("app.service", 25))
+    event = mgr.admit(unit("new.service", 25))
+    # app has lower importance than critical, so it goes first.
+    assert event.victims == ["app.service"]
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        MemoryPressureManager(0)
+    with pytest.raises(ConfigurationError):
+        MemoryPressureManager(MiB(100), budget_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        MemoryPressureManager(MiB(100), critical_fraction=1.5)

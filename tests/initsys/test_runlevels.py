@@ -1,0 +1,95 @@
+"""Tests for the Advanced Boot Script (run-levels) baseline."""
+
+import pytest
+
+from repro.hw.presets import ue48h6200
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.runlevels import AdvancedBootScript
+from repro.initsys.units import ServiceType, SimCost, Unit
+from repro.kernel.rcu import RCUSubsystem
+from repro.quantities import msec
+from repro.sim import Simulator
+from tests.fixtures import COMPLETION_UNITS, mini_tv_registry
+from tests.initsys.test_baselines import run_parallel_in_order
+
+
+def run_abs(registry=None, goal="multi-user.target",
+            completion=COMPLETION_UNITS, cores=4):
+    sim = Simulator(cores=cores)
+    platform = ue48h6200().attach(sim)
+    scheme = AdvancedBootScript(sim, registry or mini_tv_registry(),
+                                platform.storage, RCUSubsystem(sim),
+                                goal=goal, completion_units=completion)
+    scheme.spawn()
+    sim.run()
+    return sim, scheme
+
+
+def test_levels_follow_dependency_depth():
+    _, scheme = run_abs()
+    level_of = {name: i for i, level in enumerate(scheme.levels)
+                for name in level}
+    assert level_of["var.mount"] < level_of["dbus.service"]
+    assert level_of["dbus.service"] < level_of["tuner.service"]
+    assert level_of["tuner.service"] < level_of["fasttv.service"]
+
+
+def test_boot_completes_correctly():
+    _, scheme = run_abs()
+    assert scheme.boot_complete_ns is not None
+    fasttv = scheme.transaction.job("fasttv.service")
+    tuner = scheme.transaction.job("tuner.service")
+    assert fasttv.started_at_ns >= tuner.ready_at_ns
+
+
+def test_parallel_within_a_level():
+    registry = UnitRegistry([
+        Unit(name="goal.target", requires=[f"s{i}.service" for i in range(4)]),
+        *[Unit(name=f"s{i}.service", service_type=ServiceType.ONESHOT,
+               cost=SimCost(init_cpu_ns=msec(20), exec_bytes=0))
+          for i in range(4)],
+    ])
+    sim, scheme = run_abs(registry, goal="goal.target",
+                          completion=("s0.service",))
+    # All four are in the same level: 4 x 20 ms on 4 cores ~ 20 ms.
+    level_of = {name: i for i, level in enumerate(scheme.levels)
+                for name in level}
+    assert len({level_of[f"s{i}.service"] for i in range(4)}) == 1
+    assert sim.now < msec(45)
+
+
+def test_barrier_blocks_across_levels():
+    """The paper's ABS limitation: a fast unit in level N+1 waits for the
+    slowest unit of level N even without any dependency between them."""
+    registry = UnitRegistry([
+        Unit(name="goal.target", requires=["fast.service", "slow.service",
+                                           "next.service"]),
+        Unit(name="slow.service", service_type=ServiceType.ONESHOT,
+             cost=SimCost(init_cpu_ns=msec(100), exec_bytes=0)),
+        Unit(name="fast.service", service_type=ServiceType.ONESHOT,
+             cost=SimCost(init_cpu_ns=msec(5), exec_bytes=0)),
+        # next depends only on fast, but shares a level with nothing: its
+        # level is max(depth)+1 so it waits for slow too.
+        Unit(name="next.service", service_type=ServiceType.ONESHOT,
+             requires=["fast.service"],
+             cost=SimCost(init_cpu_ns=msec(5), exec_bytes=0)),
+    ])
+    _, scheme = run_abs(registry, goal="goal.target",
+                        completion=("next.service",))
+    slow_ready = scheme.transaction.job("slow.service").ready_at_ns
+    next_started = scheme.transaction.job("next.service").started_at_ns
+    assert next_started >= slow_ready
+
+
+def test_slower_than_full_parallel_in_order():
+    """systemd's removal of run-levels is a real win on the same set."""
+    _, scheme = run_abs()
+    systemd_like = run_parallel_in_order()
+    assert systemd_like < scheme.boot_complete_ns
+
+
+def test_deterministic():
+    _, a = run_abs()
+    _, b = run_abs()
+    assert a.boot_complete_ns == b.boot_complete_ns
+    assert a.levels == b.levels

@@ -1,0 +1,88 @@
+"""Tests for the shutdown sequencer."""
+
+import pytest
+
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.shutdown import ShutdownSequencer
+from repro.initsys.units import ServiceType, SimCost, Unit
+from repro.quantities import msec
+from repro.sim import Simulator
+from tests.fixtures import mini_tv_registry
+
+
+def run_shutdown(registry, goal="multi-user.target", running=None):
+    sim = Simulator(cores=4)
+    sequencer = ShutdownSequencer(sim, registry, goal=goal)
+    sequencer.spawn(running)
+    sim.run()
+    return sim, sequencer.report
+
+
+def test_reverse_dependency_order():
+    """dbus stops only after everything that required it has stopped."""
+    sim, report = run_shutdown(mini_tv_registry())
+    order = report.stop_order
+    assert order.index("fasttv.service") < order.index("tuner.service")
+    assert order.index("tuner.service") < order.index("dbus.service")
+    assert order.index("dbus.service") < order.index("var.mount")
+
+
+def test_all_units_stopped():
+    registry = mini_tv_registry()
+    _, report = run_shutdown(registry)
+    # Everything but the target stops.
+    assert report.stopped == len(registry) - 1
+
+
+def test_independent_units_stop_in_parallel():
+    registry = UnitRegistry([
+        Unit(name="goal.target", requires=[f"s{i}.service" for i in range(4)]),
+        *[Unit(name=f"s{i}.service",
+               cost=SimCost(stop_ns=msec(10), exec_bytes=0))
+          for i in range(4)],
+    ])
+    sim, report = run_shutdown(registry, goal="goal.target")
+    # Four 10 ms stops on 4 cores: parallel, so ~10 ms not ~40 ms.
+    assert report.duration_ns < msec(20)
+
+
+def test_dependent_chain_stops_serially():
+    registry = UnitRegistry([
+        Unit(name="goal.target", requires=["c.service"]),
+        Unit(name="a.service", cost=SimCost(stop_ns=msec(10), exec_bytes=0)),
+        Unit(name="b.service", requires=["a.service"],
+             cost=SimCost(stop_ns=msec(10), exec_bytes=0)),
+        Unit(name="c.service", requires=["b.service"],
+             cost=SimCost(stop_ns=msec(10), exec_bytes=0)),
+    ])
+    sim, report = run_shutdown(registry, goal="goal.target")
+    assert report.stop_order == ["c.service", "b.service", "a.service"]
+    assert report.duration_ns >= msec(30)
+
+
+def test_subset_of_running_units():
+    registry = mini_tv_registry()
+    _, report = run_shutdown(registry,
+                             running=["fasttv.service", "dbus.service"])
+    assert set(report.stop_order) == {"fasttv.service", "dbus.service"}
+    assert report.stop_order[0] == "fasttv.service"
+
+
+def test_shutdown_is_deterministic():
+    _, a = run_shutdown(mini_tv_registry())
+    _, b = run_shutdown(mini_tv_registry())
+    assert a.stop_order == b.stop_order
+    assert a.duration_ns == b.duration_ns
+
+
+def test_hibernation_shutdown_story():
+    """§2.1: a hibernating TV pays shutdown + snapshot creation — the
+    window in which unplugging corrupts the image."""
+    from repro.hw.presets import ue48h6200
+    from repro.kernel.snapshot import HibernationModel
+
+    _, report = run_shutdown(mini_tv_registry())
+    snapshot_ns = HibernationModel().create_time_ns(ue48h6200())
+    total = report.duration_ns + snapshot_ns
+    # The vulnerable window dwarfs BB's whole 3.5 s cold boot.
+    assert total > 4 * 3_500_000_000 / 4  # > 3.5 s

@@ -1,0 +1,94 @@
+"""Tests for socket-activation (buffered-IPC) semantics."""
+
+import pytest
+
+from repro.experiments import socket_activation
+from repro.hw.presets import emmc_ue48h6200
+from repro.initsys.executor import JobExecutor, PathRegistry
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.transaction import Transaction
+from repro.initsys.units import ServiceType, SimCost, Unit
+from repro.kernel.rcu import RCUSubsystem
+from repro.quantities import msec
+from repro.sim import Simulator
+
+
+def run_units(units, goal="goal.target"):
+    sim = Simulator(cores=4)
+    storage = emmc_ue48h6200().attach(sim)
+    registry = UnitRegistry(units)
+    txn = Transaction(registry, [goal])
+    executor = JobExecutor(sim, txn, storage, RCUSubsystem(sim),
+                           PathRegistry(sim))
+    executor.start_all()
+    sim.run()
+    return sim, txn
+
+
+def test_client_launches_before_provider_is_ready():
+    """The client's exec happens while the daemon still initializes."""
+    sim, txn = run_units([
+        Unit(name="goal.target", requires=["daemon.service", "client.service"]),
+        Unit(name="daemon.service", service_type=ServiceType.NOTIFY,
+             cost=SimCost(init_cpu_ns=msec(100), exec_bytes=0)),
+        Unit(name="client.service", service_type=ServiceType.NOTIFY,
+             ipc_targets=["daemon.service"],
+             cost=SimCost(init_cpu_ns=msec(20), exec_bytes=0)),
+    ])
+    client = txn.job("client.service")
+    daemon = txn.job("daemon.service")
+    assert client.started_at_ns < daemon.ready_at_ns
+
+
+def test_clients_first_ipc_blocks_until_provider_ready():
+    sim, txn = run_units([
+        Unit(name="goal.target", requires=["daemon.service", "client.service"]),
+        Unit(name="daemon.service", service_type=ServiceType.NOTIFY,
+             cost=SimCost(init_cpu_ns=msec(100), exec_bytes=0)),
+        Unit(name="client.service", service_type=ServiceType.NOTIFY,
+             ipc_targets=["daemon.service"],
+             cost=SimCost(init_cpu_ns=msec(10), exec_bytes=0)),
+    ])
+    client = txn.job("client.service")
+    daemon = txn.job("daemon.service")
+    # The client cannot be ready before the daemon it calls into.
+    assert client.ready_at_ns >= daemon.ready_at_ns
+
+
+def test_ipc_to_already_ready_provider_is_free():
+    sim, txn = run_units([
+        Unit(name="goal.target", requires=["daemon.service", "late.service"]),
+        Unit(name="daemon.service", service_type=ServiceType.NOTIFY,
+             cost=SimCost(init_cpu_ns=msec(5), exec_bytes=0)),
+        Unit(name="late.service", service_type=ServiceType.NOTIFY,
+             after=["daemon.service"], ipc_targets=["daemon.service"],
+             cost=SimCost(init_cpu_ns=msec(10), exec_bytes=0)),
+    ])
+    late = txn.job("late.service")
+    # Only its own work: no extra blocking beyond ordering.
+    assert late.ready_at_ns - late.started_at_ns <= msec(12)
+
+
+def test_ipc_target_outside_transaction_ignored():
+    sim, txn = run_units([
+        Unit(name="goal.target", requires=["client.service"]),
+        Unit(name="client.service", service_type=ServiceType.NOTIFY,
+             ipc_targets=["ghost.service"],
+             cost=SimCost(init_cpu_ns=msec(10), exec_bytes=0)),
+    ])
+    assert txn.job("client.service").ready_at_ns is not None
+
+
+def test_ipc_targets_round_trip_through_unit_file():
+    from repro.initsys.unitfile import parse_unit_file, render_unit_file
+
+    unit = Unit(name="c.service", ipc_targets=["dbus.service"])
+    back = Unit.from_parsed(parse_unit_file(render_unit_file(unit.to_parsed()),
+                                            name="c.service"))
+    assert back.ipc_targets == ["dbus.service"]
+
+
+def test_experiment_shape():
+    result = socket_activation.run()
+    assert result.activated_all_up_ms < result.ordered_all_up_ms
+    assert "socket" in socket_activation.render(result)

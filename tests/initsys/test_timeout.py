@@ -1,0 +1,102 @@
+"""Tests for the JobTimeout watchdog on service starts."""
+
+import pytest
+
+from repro.hw.presets import emmc_ue48h6200
+from repro.initsys.executor import JobExecutor, PathRegistry
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.transaction import JobState, Transaction
+from repro.initsys.units import RestartPolicy, ServiceType, SimCost, Unit
+from repro.kernel.rcu import RCUSubsystem
+from repro.quantities import msec
+from repro.sim import Simulator
+
+
+def run_units(units, goal="goal.target"):
+    sim = Simulator(cores=4)
+    storage = emmc_ue48h6200().attach(sim)
+    registry = UnitRegistry(units)
+    txn = Transaction(registry, [goal])
+    executor = JobExecutor(sim, txn, storage, RCUSubsystem(sim),
+                           PathRegistry(sim))
+    executor.start_all()
+    sim.run()
+    return sim, txn, executor
+
+
+def slow_unit(name, init_ms=500, timeout_ms=50, **kwargs):
+    kwargs.setdefault("restart_policy", RestartPolicy.NO)
+    return Unit(name=name, service_type=ServiceType.ONESHOT,
+                start_timeout_ns=msec(timeout_ms),
+                cost=SimCost(init_cpu_ns=msec(init_ms), exec_bytes=0),
+                **kwargs)
+
+
+def test_hung_start_is_timed_out_and_failed():
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", wants=["hung.service"]),
+        slow_unit("hung.service"),
+    ])
+    job = txn.job("hung.service")
+    assert job.state is JobState.FAILED
+    assert "hung.service" in executor.failed_jobs
+    # The boot did not wait for the full 500 ms of work.
+    assert sim.now < msec(300)
+
+
+def test_fast_start_unaffected_by_watchdog():
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", requires=["fine.service"]),
+        slow_unit("fine.service", init_ms=10, timeout_ms=500),
+    ])
+    assert txn.job("fine.service").state is JobState.DONE
+    assert executor.failed_jobs == []
+
+
+def test_timeout_with_restart_retries():
+    """A timed-out attempt counts as a failure, so Restart= applies; the
+    unit keeps timing out and eventually fails permanently."""
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", wants=["hung.service"]),
+        slow_unit("hung.service", restart_policy=RestartPolicy.ON_FAILURE,
+                  max_restarts=2, restart_delay_ns=msec(5)),
+    ])
+    job = txn.job("hung.service")
+    assert job.state is JobState.FAILED
+    assert job.attempts == 3
+
+
+def test_timeout_releases_storage_channel():
+    """The timed-out unit was mid-read; the channel must be usable by the
+    next service."""
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", requires=["reader.service"],
+             wants=["hung.service"]),
+        # Hung during a long storage read (1 MiB at 37 MiB/s ~ 28 ms > timeout).
+        Unit(name="hung.service", service_type=ServiceType.ONESHOT,
+             start_timeout_ns=msec(10),
+             cost=SimCost(exec_bytes=1024 * 1024, init_cpu_ns=msec(500))),
+        Unit(name="reader.service", service_type=ServiceType.ONESHOT,
+             after=["hung.service"],
+             cost=SimCost(exec_bytes=512 * 1024, init_cpu_ns=msec(1))),
+    ])
+    assert txn.job("reader.service").state is JobState.DONE
+
+
+def test_no_timeout_means_infinite_patience():
+    sim, txn, executor = run_units([
+        Unit(name="goal.target", requires=["slow.service"]),
+        Unit(name="slow.service", service_type=ServiceType.ONESHOT,
+             cost=SimCost(init_cpu_ns=msec(400), exec_bytes=0)),
+    ])
+    assert txn.job("slow.service").state is JobState.DONE
+    assert sim.now >= msec(400)
+
+
+def test_timeout_round_trips_through_unit_file():
+    from repro.initsys.unitfile import parse_unit_file, render_unit_file
+
+    unit = slow_unit("t.service", timeout_ms=75)
+    back = Unit.from_parsed(parse_unit_file(render_unit_file(unit.to_parsed()),
+                                            name="t.service"))
+    assert back.start_timeout_ns == msec(75)

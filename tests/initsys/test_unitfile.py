@@ -1,0 +1,111 @@
+"""Tests for the unit-file parser (Listing 1 syntax)."""
+
+import pytest
+
+from repro.errors import UnitParseError
+from repro.initsys.unitfile import parse_unit_file, render_unit_file
+
+LISTING_1 = """\
+[Unit]
+Description=Summarized explanation of Myapp.service
+Before=socket.service
+
+[Service]
+Type=oneshot
+ExecStart=/usr/bin/myapp-service-daemon
+
+[Install]
+WantedBy=multi-user.target
+"""
+
+
+def test_parses_the_papers_listing_1():
+    parsed = parse_unit_file(LISTING_1, name="Myapp.service")
+    assert parsed.get("Unit", "Description") == "Summarized explanation of Myapp.service"
+    assert parsed.get_list("Unit", "Before") == ["socket.service"]
+    assert parsed.get("Service", "Type") == "oneshot"
+    assert parsed.get("Service", "ExecStart") == "/usr/bin/myapp-service-daemon"
+    assert parsed.get_list("Install", "WantedBy") == ["multi-user.target"]
+
+
+def test_comments_and_blank_lines_ignored():
+    text = "# comment\n; other comment\n\n[Unit]\n# inner\nDescription=x\n"
+    parsed = parse_unit_file(text)
+    assert parsed.get("Unit", "Description") == "x"
+
+
+def test_list_keys_accumulate_across_assignments():
+    text = "[Unit]\nRequires=a.service\nRequires=b.service c.service\n"
+    parsed = parse_unit_file(text)
+    assert parsed.get_list("Unit", "Requires") == ["a.service", "b.service", "c.service"]
+
+
+def test_empty_assignment_resets_list():
+    text = "[Unit]\nRequires=a.service\nRequires=\nRequires=b.service\n"
+    parsed = parse_unit_file(text)
+    assert parsed.get_list("Unit", "Requires") == ["b.service"]
+
+
+def test_scalar_keys_keep_last_value():
+    text = "[Service]\nType=simple\nType=oneshot\n"
+    parsed = parse_unit_file(text)
+    assert parsed.get("Service", "Type") == "oneshot"
+
+
+def test_backslash_continuation():
+    text = "[Unit]\nRequires=a.service \\\n    b.service\n"
+    parsed = parse_unit_file(text)
+    assert parsed.get_list("Unit", "Requires") == ["a.service", "b.service"]
+
+
+def test_dangling_continuation_rejected():
+    with pytest.raises(UnitParseError, match="dangling"):
+        parse_unit_file("[Unit]\nRequires=a.service \\\n")
+
+
+def test_assignment_outside_section_rejected():
+    with pytest.raises(UnitParseError, match="outside any section"):
+        parse_unit_file("Description=x\n")
+
+
+def test_malformed_section_rejected():
+    with pytest.raises(UnitParseError, match="malformed section"):
+        parse_unit_file("[Unit\nDescription=x\n")
+
+
+def test_missing_equals_rejected():
+    with pytest.raises(UnitParseError, match="Key=Value"):
+        parse_unit_file("[Unit]\njust words\n")
+
+
+def test_empty_key_rejected():
+    with pytest.raises(UnitParseError, match="empty key"):
+        parse_unit_file("[Unit]\n=value\n")
+
+
+def test_error_carries_location():
+    try:
+        parse_unit_file("[Unit]\nbroken line\n", name="dbus.service")
+    except UnitParseError as exc:
+        assert exc.filename == "dbus.service"
+        assert exc.lineno == 2
+    else:
+        pytest.fail("expected UnitParseError")
+
+
+def test_byte_and_line_counts():
+    parsed = parse_unit_file(LISTING_1, name="Myapp.service")
+    assert parsed.byte_count == len(LISTING_1.encode())
+    assert parsed.line_count == LISTING_1.count("\n")
+
+
+def test_render_round_trips():
+    parsed = parse_unit_file(LISTING_1, name="Myapp.service")
+    rendered = render_unit_file(parsed)
+    reparsed = parse_unit_file(rendered, name="Myapp.service")
+    assert reparsed.sections == parsed.sections
+
+
+def test_value_with_equals_sign_preserved():
+    parsed = parse_unit_file("[Service]\nEnvironment=FOO=bar\n")
+    assert parsed.get("Service", "Environment") == "FOO=bar"

@@ -1,0 +1,42 @@
+"""Tests for kernel configuration and the §2.4 optimization arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.config import DEBUG_FEATURE_COST_NS, DebugFeature, KernelConfig
+from repro.quantities import msec
+
+
+def test_commercial_kernel_has_no_diagnostics():
+    config = KernelConfig.commercial()
+    assert config.diagnostics_cost_ns() == 0
+    assert config.driver_cost_ns() == 0
+    assert config.extra_cost_ns() == config.base_cost_ns
+
+
+def test_unoptimized_kernel_pays_for_everything():
+    config = KernelConfig.unoptimized()
+    assert config.diagnostics_cost_ns() == sum(DEBUG_FEATURE_COST_NS.values())
+    assert config.driver_cost_ns() == config.eager_driver_cost_ns
+
+
+def test_unoptimized_minus_commercial_matches_section_2_4():
+    """§2.4: conventional optimization took the kernel from 6.127 s to
+    0.698 s, i.e. removed 5.429 s of diagnostics + eager-driver work."""
+    saved = (KernelConfig.unoptimized().extra_cost_ns()
+             - KernelConfig.commercial().extra_cost_ns())
+    assert saved == msec(6127 - 698)
+
+
+def test_single_feature_costs_add_up():
+    config = KernelConfig(debug_features=frozenset({DebugFeature.TRACING,
+                                                    DebugFeature.LOGGING}))
+    assert config.diagnostics_cost_ns() == (DEBUG_FEATURE_COST_NS[DebugFeature.TRACING]
+                                            + DEBUG_FEATURE_COST_NS[DebugFeature.LOGGING])
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(ConfigurationError):
+        KernelConfig(base_cost_ns=-1)
+    with pytest.raises(ConfigurationError):
+        KernelConfig(eager_driver_cost_ns=-1)

@@ -1,0 +1,92 @@
+"""Tests for initcall levels and on-demand deferral."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.initcalls import Initcall, InitcallLevel, InitcallRegistry
+from repro.quantities import msec
+from repro.sim import Simulator
+
+
+def build_registry():
+    registry = InitcallRegistry()
+    registry.register(Initcall("core_setup", InitcallLevel.CORE, cpu_ns=msec(2)))
+    registry.register(Initcall("tuner_drv", InitcallLevel.DEVICE, cpu_ns=msec(3)))
+    registry.register(Initcall("usb_drv", InitcallLevel.DEVICE, cpu_ns=msec(4),
+                               deferrable=True))
+    registry.register(Initcall("wifi_drv", InitcallLevel.LATE, cpu_ns=msec(5),
+                               hw_settle_ns=msec(2), deferrable=True))
+    return registry
+
+
+def run_boot(registry, defer):
+    sim = Simulator(cores=1, switch_cost_ns=0)
+
+    def boot():
+        yield from registry.run_boot(sim, defer=defer)
+
+    sim.spawn(boot(), name="kernel")
+    sim.run()
+    return sim
+
+
+def test_boot_sequence_is_level_ordered():
+    registry = build_registry()
+    names = [c.name for c in registry.boot_sequence(defer=False)]
+    assert names == ["core_setup", "tuner_drv", "usb_drv", "wifi_drv"]
+
+
+def test_defer_excludes_deferrable_calls():
+    registry = build_registry()
+    names = [c.name for c in registry.boot_sequence(defer=True)]
+    assert names == ["core_setup", "tuner_drv"]
+    assert registry.deferred == {"usb_drv", "wifi_drv"}
+
+
+def test_deferring_shortens_boot():
+    eager = run_boot(build_registry(), defer=False)
+    deferred = run_boot(build_registry(), defer=True)
+    assert deferred.now < eager.now
+    # Exactly the deferrable work is skipped: 4 + 5 + 2(settle) ms.
+    assert eager.now - deferred.now == msec(11)
+
+
+def test_on_demand_load_runs_once():
+    registry = build_registry()
+    sim = Simulator(cores=1, switch_cost_ns=0)
+
+    def boot_then_use():
+        yield from registry.run_boot(sim, defer=True)
+        yield from registry.load_on_demand(sim, "usb_drv")
+        before_second = sim.now
+        yield from registry.load_on_demand(sim, "usb_drv")  # no-op
+        assert sim.now == before_second
+
+    sim.spawn(boot_then_use(), name="k")
+    sim.run()
+    assert "usb_drv" in registry.completed
+    assert "usb_drv" not in registry.deferred
+    assert registry.on_demand_loads == 1
+
+
+def test_on_demand_unknown_initcall_rejected():
+    registry = build_registry()
+    sim = Simulator()
+
+    def use():
+        yield from registry.load_on_demand(sim, "nope")
+
+    sim.spawn(use(), name="u")
+    with pytest.raises(KernelError, match="unknown initcall"):
+        sim.run()
+
+
+def test_duplicate_registration_rejected():
+    registry = build_registry()
+    with pytest.raises(KernelError, match="duplicate"):
+        registry.register(Initcall("tuner_drv", InitcallLevel.DEVICE, cpu_ns=1))
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(KernelError):
+        Initcall("bad", InitcallLevel.CORE, cpu_ns=-1)

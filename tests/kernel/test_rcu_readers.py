@@ -1,0 +1,158 @@
+"""Tests for the reader-tracking RCU mode (two-phase grace periods)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.rcu import RCUMode, RCUSubsystem
+from repro.quantities import msec
+from repro.sim import Simulator, Timeout
+
+
+def make(engine=None, **kwargs):
+    sim = engine or Simulator(cores=4, switch_cost_ns=0)
+    kwargs.setdefault("reader_tracking", True)
+    kwargs.setdefault("grace_period_ns", msec(2))
+    kwargs.setdefault("expedited_grace_period_ns", msec(1))
+    return sim, RCUSubsystem(sim, **kwargs)
+
+
+def test_grace_period_waits_for_preexisting_reader():
+    sim, rcu = make()
+    done_at = {}
+
+    def reader():
+        token = rcu.read_lock()
+        yield Timeout(msec(50))
+        rcu.read_unlock(token)
+
+    def writer():
+        yield Timeout(msec(1))  # the reader is inside its section
+        yield from rcu.synchronize_rcu()
+        done_at["writer"] = sim.now
+
+    sim.spawn(reader(), name="reader")
+    sim.spawn(writer(), name="writer")
+    sim.run()
+    # GP cannot end before the reader exits at 50 ms.
+    assert done_at["writer"] >= msec(50)
+
+
+def test_grace_period_ignores_later_readers():
+    """A reader that starts after the grace period began never extends it
+    (the two-phase property that prevents writer starvation)."""
+    sim, rcu = make()
+    done_at = {}
+
+    def early_reader():
+        token = rcu.read_lock()
+        yield Timeout(msec(10))
+        rcu.read_unlock(token)
+
+    def late_reader():
+        yield Timeout(msec(5))  # arrives while the GP is in progress
+        token = rcu.read_lock()
+        yield Timeout(msec(200))
+        rcu.read_unlock(token)
+
+    def writer():
+        yield Timeout(msec(1))
+        yield from rcu.synchronize_rcu()
+        done_at["writer"] = sim.now
+
+    sim.spawn(early_reader(), name="early")
+    sim.spawn(late_reader(), name="late", daemon=True)
+    sim.spawn(writer(), name="writer")
+    sim.run()
+    # Bounded by the early reader (10 ms) + floor, NOT the late one (205 ms).
+    assert msec(10) <= done_at["writer"] <= msec(20)
+
+
+def test_no_readers_means_floor_only():
+    sim, rcu = make()
+    done_at = {}
+
+    def writer():
+        yield from rcu.synchronize_rcu()
+        done_at["writer"] = sim.now
+
+    sim.spawn(writer(), name="writer")
+    sim.run()
+    # Conventional floor (2 ms) + op cost; well under 5 ms.
+    assert done_at["writer"] <= msec(5)
+
+
+def test_boosted_mode_has_shorter_floor():
+    def run(mode):
+        sim, rcu = make()
+        rcu.set_mode(mode)
+        end = {}
+
+        def writer():
+            yield from rcu.synchronize_rcu()
+            end["t"] = sim.now
+
+        sim.spawn(writer(), name="w")
+        sim.run()
+        return end["t"]
+
+    assert run(RCUMode.BOOSTED) < run(RCUMode.CONVENTIONAL)
+
+
+def test_unbalanced_unlock_rejected():
+    sim, rcu = make()
+    with pytest.raises(KernelError, match="without a matching lock"):
+        rcu.read_unlock(0)
+
+
+def test_nested_and_concurrent_readers_counted():
+    sim, rcu = make()
+    t1 = rcu.read_lock()
+    t2 = rcu.read_lock()
+    assert rcu.active_readers == 2
+    assert rcu.reader_sections == 2
+    rcu.read_unlock(t1)
+    rcu.read_unlock(t2)
+    assert rcu.active_readers == 0
+
+
+def test_fixed_model_unaffected_by_readers():
+    """The calibrated default ignores read-side sections entirely."""
+    sim, rcu = make(reader_tracking=False)
+    done_at = {}
+    token = rcu.read_lock()  # a reader that never exits
+
+    def writer():
+        yield from rcu.synchronize_rcu()
+        done_at["writer"] = sim.now
+
+    sim.spawn(writer(), name="writer")
+    sim.run()
+    assert done_at["writer"] <= msec(5)
+
+
+def test_consecutive_grace_periods_alternate_phases():
+    sim, rcu = make()
+    done = []
+
+    def reader(delay_ms, hold_ms):
+        yield Timeout(msec(delay_ms))
+        token = rcu.read_lock()
+        yield Timeout(msec(hold_ms))
+        rcu.read_unlock(token)
+
+    def writer():
+        yield Timeout(msec(1))
+        yield from rcu.synchronize_rcu()
+        done.append(sim.now)
+        yield from rcu.synchronize_rcu()
+        done.append(sim.now)
+
+    sim.spawn(reader(0, 8), name="r1")
+    sim.spawn(reader(2, 30), name="r2")
+    sim.spawn(writer(), name="writer")
+    sim.run()
+    # r1 (phase 0) gates the first GP: ends just after 8 ms.  r2 entered
+    # at 2 ms, after the flip, so it holds phase 1 and gates the SECOND
+    # grace period until it exits at 32 ms.
+    assert msec(8) <= done[0] <= msec(15)
+    assert done[1] >= msec(32)

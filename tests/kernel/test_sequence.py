@@ -1,0 +1,84 @@
+"""Tests for the orchestrated kernel boot sequence — the Fig. 6(a) numbers."""
+
+import pytest
+
+from repro.hw.presets import ue48h6200
+from repro.kernel.sequence import KernelBootSequence
+from repro.quantities import msec
+from repro.sim import Simulator
+
+
+def boot(deferred=False):
+    sim = Simulator(cores=4)
+    platform = ue48h6200().attach(sim)
+    sequence = KernelBootSequence(platform,
+                                  deferred_meminit=deferred,
+                                  deferred_journal=deferred,
+                                  defer_initcalls=deferred)
+
+    def run():
+        yield from sequence.run(sim)
+
+    sim.spawn(run(), name="kernel")
+    sim.run()
+    return sim, sequence
+
+
+def test_conventional_kernel_boot_near_698ms():
+    """§2.4 / Fig. 6(a): the optimized no-BB kernel boots in ~698 ms."""
+    sim, sequence = boot(deferred=False)
+    assert sequence.timings.total_ns == pytest.approx(msec(698), rel=0.02)
+
+
+def test_bb_kernel_boot_near_403ms():
+    """Fig. 6(a): with deferred meminit and journal, ~403 ms."""
+    sim, sequence = boot(deferred=True)
+    assert sequence.timings.total_ns == pytest.approx(msec(403), rel=0.02)
+
+
+def test_meminit_stage_matches_figure():
+    _, conventional = boot(deferred=False)
+    _, bb = boot(deferred=True)
+    assert conventional.timings.meminit_ns == pytest.approx(msec(370), rel=0.02)
+    assert bb.timings.meminit_ns == pytest.approx(msec(110), rel=0.02)
+
+
+def test_rootfs_stage_matches_figure():
+    _, conventional = boot(deferred=False)
+    _, bb = boot(deferred=True)
+    assert conventional.timings.rootfs_ns == pytest.approx(msec(110), rel=0.05)
+    assert bb.timings.rootfs_ns == pytest.approx(msec(75), rel=0.05)
+
+
+def test_stage_timings_sum_to_total():
+    _, sequence = boot()
+    t = sequence.timings
+    assert t.total_ns == (t.bootloader_ns + t.meminit_ns + t.core_ns
+                          + t.initcalls_ns + t.rootfs_ns)
+
+
+def test_deferred_tasks_complete_the_remaining_work():
+    sim, sequence = boot(deferred=True)
+    assert not sequence.meminit.remainder_done
+    assert not sequence.rootfs.journal_enabled
+    spawned = sequence.spawn_deferred_tasks(sim)
+    assert len(spawned) == 2
+    sim.run()
+    assert sequence.meminit.remainder_done
+    assert sequence.rootfs.journal_enabled
+
+
+def test_no_deferred_tasks_when_nothing_deferred():
+    sim, sequence = boot(deferred=False)
+    assert sequence.spawn_deferred_tasks(sim) == []
+
+
+def test_rcu_subsystem_created_by_run():
+    _, sequence = boot()
+    assert sequence.rcu is not None
+
+
+def test_boot_is_deterministic():
+    _, a = boot()
+    _, b = boot()
+    assert a.timings == b.timings

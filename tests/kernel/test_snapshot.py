@@ -1,0 +1,66 @@
+"""Tests for the §2.1 suspend/hibernation background models."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hw.presets import galaxy_s6_like, ue48h6200
+from repro.kernel.snapshot import (EU_STANDBY_LIMIT_W, HibernationModel,
+                                   SuspendToRamModel)
+from repro.quantities import sec
+
+
+def test_galaxy_s6_snapshot_restore_is_about_ten_seconds():
+    """§2.1: 3 GiB at ~300 MiB/s means ~10 s just to read the image."""
+    phone = galaxy_s6_like()
+    model = HibernationModel()
+    restore = model.restore_time_ns(phone)
+    assert sec(10) <= restore <= sec(11)
+
+
+def test_snapshot_creation_blocks_shutdown_even_longer():
+    phone = galaxy_s6_like()
+    model = HibernationModel()
+    assert model.create_time_ns(phone) > model.restore_time_ns(phone) - sec(1)
+
+
+def test_partial_image_restores_faster():
+    phone = galaxy_s6_like()
+    full = HibernationModel(image_fraction=1.0)
+    half = HibernationModel(image_fraction=0.5)
+    assert half.restore_time_ns(phone) < full.restore_time_ns(phone)
+
+
+def test_factory_snapshot_unusable_with_third_party_apps():
+    assert HibernationModel(third_party_apps=False).usable_with_factory_image()
+    assert not HibernationModel(third_party_apps=True).usable_with_factory_image()
+
+
+def test_tv_snapshot_restore_is_slow_on_emmc():
+    """1 GiB at 117 MiB/s is ~8.75 s — worse than BB's 3.5 s cold boot."""
+    tv = ue48h6200()
+    restore = HibernationModel().restore_time_ns(tv)
+    assert restore > sec(8)
+
+
+def test_suspend_to_ram_is_fast_but_lost_on_unplug():
+    model = SuspendToRamModel()
+    assert model.resume_time_ns < sec(2)
+    assert not model.available_after_unplug()
+
+
+def test_eu_regulation_gate():
+    assert SuspendToRamModel(standby_power_w=0.5).meets_eu_standby_regulation()
+    # The rejected silent-boot design keeps the AP active at > 1 W.
+    assert not SuspendToRamModel(standby_power_w=3.0).meets_eu_standby_regulation()
+    assert EU_STANDBY_LIMIT_W == 1.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(KernelError):
+        HibernationModel(image_fraction=0.0)
+    with pytest.raises(KernelError):
+        HibernationModel(image_fraction=1.5)
+    with pytest.raises(KernelError):
+        SuspendToRamModel(resume_time_ns=-1)
+    with pytest.raises(KernelError):
+        SuspendToRamModel(standby_power_w=-0.1)

@@ -1,0 +1,77 @@
+"""Property-based tests of whole-boot invariants on generated workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BBConfig, BootSimulation
+from repro.initsys.transaction import JobState
+from repro.workloads import GeneratorParams, generate_workload
+
+settings.register_profile("boot", deadline=None, max_examples=12)
+settings.load_profile("boot")
+
+params_strategy = st.builds(
+    GeneratorParams,
+    seed=st.integers(0, 10_000),
+    services=st.integers(5, 40),
+    chain_length=st.integers(2, 6),
+    want_density=st.floats(0.0, 0.8),
+    order_density=st.floats(0.0, 0.5),
+    mean_cpu_ms=st.floats(5.0, 80.0),
+    rcu_sync_mean=st.floats(0.0, 2.0),
+)
+
+
+@given(params_strategy)
+def test_generated_workloads_always_complete_boot(params):
+    report = BootSimulation(generate_workload(params), BBConfig.none()).run()
+    assert report.boot_complete_ns > 0
+    assert report.all_done_ns >= report.boot_complete_ns
+
+
+@given(params_strategy)
+def test_bb_never_slower_than_conventional(params):
+    """The headline invariant: full BB never loses to the conventional
+    boot on any workload shape (small scheduling-noise slack allowed)."""
+    workload = generate_workload(params)
+    conventional = BootSimulation(workload, BBConfig.none()).run()
+    boosted = BootSimulation(generate_workload(params), BBConfig.full()).run()
+    slack = 20_000_000  # 20 ms of scheduling noise
+    assert boosted.boot_complete_ns <= conventional.boot_complete_ns + slack
+
+
+@given(params_strategy)
+def test_every_unit_starts_before_it_is_ready(params):
+    simulation = BootSimulation(generate_workload(params), BBConfig.full())
+    report = simulation.run()
+    for name, ready in report.unit_ready_ns.items():
+        assert report.unit_started_ns[name] <= ready
+
+
+@given(params_strategy)
+def test_all_jobs_reach_a_terminal_state(params):
+    simulation = BootSimulation(generate_workload(params), BBConfig.none())
+    simulation.run()
+    assert simulation.manager is not None
+    for job in simulation.manager.transaction.jobs.values():
+        assert job.state in (JobState.DONE, JobState.SKIPPED), job.name
+
+
+@given(params_strategy)
+def test_strong_dependencies_respected_in_every_run(params):
+    """In-order semantics: a unit never starts before everything it
+    Requires is ready (the correctness systemd guarantees and
+    out-of-order schemes violate)."""
+    simulation = BootSimulation(generate_workload(params), BBConfig.none())
+    report = simulation.run()
+    registry = simulation.manager.registry
+    transaction = simulation.manager.transaction
+    for job in transaction.jobs.values():
+        for dep in job.unit.requires:
+            if dep not in transaction.jobs:
+                continue
+            dep_job = transaction.job(dep)
+            if job.started_at_ns is None or dep_job.ready_at_ns is None:
+                continue
+            assert dep_job.ready_at_ns <= job.started_at_ns, \
+                f"{job.name} started before required {dep} was ready"

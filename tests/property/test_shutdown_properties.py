@@ -1,0 +1,72 @@
+"""Property-based tests for shutdown sequencing on random DAGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.presets import ue48h6200
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.shutdown import ShutdownSequencer
+from repro.initsys.units import SimCost, Unit
+from repro.quantities import msec
+from repro.sim import Simulator
+
+settings.register_profile("shutdown", deadline=None, max_examples=30)
+settings.load_profile("shutdown")
+
+
+@st.composite
+def dag_registries(draw):
+    count = draw(st.integers(min_value=2, max_value=14))
+    names = [f"s{i:02d}.service" for i in range(count)]
+    units = []
+    for index, name in enumerate(names):
+        earlier = names[:index]
+        requires = draw(st.lists(st.sampled_from(earlier), max_size=2,
+                                 unique=True)) if earlier else []
+        after = draw(st.lists(st.sampled_from(earlier), max_size=1,
+                              unique=True)) if earlier else []
+        units.append(Unit(name=name, requires=requires, after=after,
+                          cost=SimCost(stop_ns=msec(1), exec_bytes=0)))
+    units.append(Unit(name="goal.target", requires=list(names)))
+    return UnitRegistry(units)
+
+
+def run_shutdown(registry):
+    sim = Simulator(cores=4)
+    sequencer = ShutdownSequencer(sim, registry, goal="goal.target")
+    sequencer.spawn()
+    sim.run()
+    return sequencer
+
+
+@given(dag_registries())
+def test_every_unit_stops_exactly_once(registry):
+    sequencer = run_shutdown(registry)
+    stopped = sequencer.report.stop_order
+    expected = {n for n in registry.names if n != "goal.target"}
+    assert set(stopped) == expected
+    assert len(stopped) == len(expected)
+
+
+@given(dag_registries())
+def test_stop_order_is_reverse_of_boot_order(registry):
+    """A unit stops strictly before anything it requires (or orders
+    after) stops."""
+    sequencer = run_shutdown(registry)
+    position = {name: i for i, name in enumerate(sequencer.report.stop_order)}
+    for name in registry.names:
+        if name == "goal.target":
+            continue
+        unit = registry.get(name)
+        for dep in unit.requires + unit.after:
+            if dep in position:
+                assert position[name] < position[dep], \
+                    f"{name} must stop before its dependency {dep}"
+
+
+@given(dag_registries())
+def test_shutdown_is_deterministic(registry):
+    first = run_shutdown(registry).report
+    second = run_shutdown(registry).report
+    assert first.stop_order == second.stop_order
+    assert first.duration_ns == second.duration_ns

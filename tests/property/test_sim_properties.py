@@ -1,0 +1,95 @@
+"""Property-based tests of the simulation engine's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantities import format_ns, transfer_time_ns
+from repro.sim import Compute, Simulator, Timeout
+from repro.sim.events import EventQueue
+
+settings.register_profile("repro", deadline=None, max_examples=50)
+settings.load_profile("repro")
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                max_size=100))
+def test_event_queue_pops_in_time_order_fifo_ties(times):
+    queue = EventQueue()
+    for index, time_ns in enumerate(times):
+        queue.push(time_ns, lambda: None)
+    popped = []
+    while len(queue) > 0:
+        event = queue.pop()
+        popped.append((event.time_ns, event.seq))
+    assert popped == sorted(popped)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=50_000_000), min_size=1,
+                max_size=20),
+       st.integers(min_value=1, max_value=8))
+def test_cpu_work_conservation(demands, cores):
+    """Total busy time equals total demand; wall time is bounded below by
+    demand/cores and above by total demand (plus scheduling overhead)."""
+    sim = Simulator(cores=cores, switch_cost_ns=0)
+
+    def worker(ns):
+        yield Compute(ns)
+
+    for index, ns in enumerate(demands):
+        sim.spawn(worker(ns), name=f"w{index}")
+    sim.run()
+    total = sum(demands)
+    assert sim.cpu.stats.busy_ns == total
+    assert sim.now >= -(-total // cores)  # ceil division lower bound
+    assert sim.now <= total
+
+
+@given(st.lists(st.integers(min_value=1, max_value=50_000_000), min_size=1,
+                max_size=20))
+def test_single_core_serializes_exactly(demands):
+    sim = Simulator(cores=1, switch_cost_ns=0)
+
+    def worker(ns):
+        yield Compute(ns)
+
+    for index, ns in enumerate(demands):
+        sim.spawn(worker(ns), name=f"w{index}")
+    sim.run()
+    assert sim.now == sum(demands)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=10_000_000),
+                          st.integers(min_value=0, max_value=10_000_000)),
+                min_size=1, max_size=15),
+       st.integers(min_value=1, max_value=4))
+def test_mixed_workload_is_deterministic(segments, cores):
+    def run_once():
+        sim = Simulator(cores=cores)
+
+        def worker(pairs):
+            for compute_ns, sleep_ns in pairs:
+                yield Compute(compute_ns)
+                yield Timeout(sleep_ns)
+
+        for index in range(3):
+            sim.spawn(worker(list(segments)), name=f"w{index}")
+        sim.run()
+        return sim.now, sim.cpu.stats.busy_ns
+
+    assert run_once() == run_once()
+
+
+@given(st.integers(min_value=0, max_value=10**12),
+       st.integers(min_value=1, max_value=10**9))
+def test_transfer_time_non_negative_and_monotone(nbytes, bps):
+    t = transfer_time_ns(nbytes, bps)
+    assert t >= 0
+    assert transfer_time_ns(nbytes + 1, bps) >= t
+    if nbytes > 0:
+        assert transfer_time_ns(nbytes, bps + 1) <= t
+
+
+@given(st.integers(min_value=0, max_value=10**15))
+def test_format_ns_always_renders(ns):
+    text = format_ns(ns)
+    assert any(unit in text for unit in ("ns", "us", "ms", "s"))

@@ -1,0 +1,87 @@
+"""Property-based tests of transaction-building invariants on random
+dependency graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DependencyCycleError, TransactionError
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.transaction import Transaction
+from repro.initsys.units import Unit
+
+settings.register_profile("txn", deadline=None, max_examples=60)
+settings.load_profile("txn")
+
+
+@st.composite
+def random_dag_registries(draw):
+    """Registries whose Requires/Wants/After edges point strictly backwards
+    (guaranteeing acyclicity), plus a goal that wants a random subset."""
+    count = draw(st.integers(min_value=1, max_value=18))
+    names = [f"u{i:02d}.service" for i in range(count)]
+    units = []
+    for index, name in enumerate(names):
+        earlier = names[:index]
+        requires = draw(st.lists(st.sampled_from(earlier), max_size=2,
+                                 unique=True)) if earlier else []
+        wants = draw(st.lists(st.sampled_from(earlier), max_size=2,
+                              unique=True)) if earlier else []
+        after = draw(st.lists(st.sampled_from(earlier), max_size=2,
+                              unique=True)) if earlier else []
+        units.append(Unit(name=name, requires=requires, wants=wants,
+                          after=after))
+    pulled = draw(st.lists(st.sampled_from(names), min_size=1, max_size=count,
+                           unique=True))
+    units.append(Unit(name="goal.target", wants=pulled))
+    return UnitRegistry(units)
+
+
+@given(random_dag_registries())
+def test_transaction_closure_is_complete(registry):
+    """Everything a pulled unit requires/wants (transitively) is in the
+    transaction."""
+    txn = Transaction(registry, ["goal.target"])
+    for name in txn.jobs:
+        unit = registry.get(name)
+        for dep in unit.requires + unit.wants:
+            assert dep in txn, f"{name} pulled but its dep {dep} missing"
+
+
+@given(random_dag_registries())
+def test_transaction_edges_reference_only_jobs(registry):
+    txn = Transaction(registry, ["goal.target"])
+    for edge in txn.edges:
+        assert edge.predecessor in txn
+        assert edge.successor in txn
+
+
+@given(random_dag_registries())
+def test_transaction_ordering_is_acyclic(registry):
+    """After building (and any weak-cycle breaking), a topological order
+    exists over the ordering edges."""
+    from graphlib import TopologicalSorter
+
+    txn = Transaction(registry, ["goal.target"])
+    sorter = TopologicalSorter()
+    for name in txn.jobs:
+        sorter.add(name)
+    for edge in txn.edges:
+        sorter.add(edge.successor, edge.predecessor)
+    order = list(sorter.static_order())  # raises on a cycle
+    assert set(order) == set(txn.jobs)
+
+
+@given(random_dag_registries())
+def test_backward_edges_never_drop_jobs(registry):
+    """A DAG-by-construction registry needs no cycle breaking."""
+    txn = Transaction(registry, ["goal.target"])
+    assert txn.dropped_jobs == []
+
+
+@given(random_dag_registries())
+def test_transaction_is_deterministic(registry):
+    a = Transaction(registry, ["goal.target"])
+    b = Transaction(registry, ["goal.target"])
+    assert set(a.jobs) == set(b.jobs)
+    assert [(e.predecessor, e.successor, e.kind) for e in a.edges] == \
+        [(e.predecessor, e.successor, e.kind) for e in b.edges]

@@ -1,0 +1,89 @@
+"""Property-based tests for unit-file parsing and unit round-trips."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnitParseError
+from repro.initsys.unitfile import parse_unit_file, render_unit_file
+from repro.initsys.units import ServiceType, SimCost, Unit
+
+settings.register_profile("repro", deadline=None, max_examples=60)
+settings.load_profile("repro")
+
+unit_name = st.from_regex(r"[a-z][a-z0-9-]{0,20}\.(service|socket|mount|target)",
+                          fullmatch=True)
+name_lists = st.lists(unit_name, max_size=4, unique=True)
+
+
+@st.composite
+def units(draw):
+    name = draw(unit_name)
+    deps = draw(name_lists)
+    deps = [d for d in deps if d != name]
+    cost = SimCost(
+        fork_ns=draw(st.integers(0, 10**7)),
+        exec_bytes=draw(st.integers(0, 10**8)),
+        dynamic_link_ns=draw(st.integers(0, 10**7)),
+        init_cpu_ns=draw(st.integers(0, 10**9)),
+        rcu_syncs=draw(st.integers(0, 5)),
+        hw_settle_ns=draw(st.integers(0, 10**8)),
+        ready_extra_ns=draw(st.integers(0, 10**7)),
+        processes=draw(st.integers(1, 4)),
+    )
+    return Unit(
+        name=name,
+        description=draw(st.text(alphabet=string.ascii_letters + " ",
+                                 max_size=30)).strip(),
+        service_type=draw(st.sampled_from(ServiceType)),
+        requires=deps[:1],
+        wants=deps[1:2],
+        before=deps[2:3],
+        after=deps[3:4],
+        provides_paths=[f"/run/{name}"] if draw(st.booleans()) else [],
+        waits_for_paths=[f"/dev/{name}"] if draw(st.booleans()) else [],
+        cost=cost,
+        static_build=draw(st.booleans()),
+        bb_deferrable=draw(st.booleans()),
+    )
+
+
+@given(units())
+def test_unit_round_trips_through_unit_file_text(unit):
+    """Unit -> unit-file text -> parse -> Unit is the identity on every
+    semantic field."""
+    text = render_unit_file(unit.to_parsed())
+    back = Unit.from_parsed(parse_unit_file(text, name=unit.name))
+    assert back.name == unit.name
+    assert back.service_type is unit.service_type
+    assert back.requires == unit.requires
+    assert back.wants == unit.wants
+    assert back.before == unit.before
+    assert back.after == unit.after
+    assert back.provides_paths == unit.provides_paths
+    assert back.waits_for_paths == unit.waits_for_paths
+    assert back.cost == unit.cost
+    assert back.static_build == unit.static_build
+    assert back.bb_deferrable == unit.bb_deferrable
+
+
+@given(st.text(max_size=400))
+def test_parser_total_on_arbitrary_text(text):
+    """The parser either succeeds or raises UnitParseError — never
+    anything else."""
+    try:
+        parse_unit_file(text)
+    except UnitParseError:
+        pass
+
+
+@given(st.lists(st.tuples(st.sampled_from(["Requires", "Wants", "After"]),
+                          unit_name),
+                min_size=1, max_size=8))
+def test_list_accumulation_order_preserved(assignments):
+    lines = ["[Unit]"] + [f"{key}={value}" for key, value in assignments]
+    parsed = parse_unit_file("\n".join(lines))
+    for key in ("Requires", "Wants", "After"):
+        expected = [value for k, value in assignments if k == key]
+        assert parsed.get_list("Unit", key) == expected

@@ -1,0 +1,37 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+def test_clock_starts_at_zero():
+    assert SimClock().now == 0
+
+
+def test_clock_starts_at_given_time():
+    assert SimClock(start_ns=42).now == 42
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(SimulationError):
+        SimClock(start_ns=-1)
+
+
+def test_clock_advances_forward():
+    clock = SimClock()
+    clock.advance_to(100)
+    assert clock.now == 100
+    clock.advance_to(100)  # advancing to the same time is allowed
+    assert clock.now == 100
+
+
+def test_clock_rejects_backwards_motion():
+    clock = SimClock(start_ns=50)
+    with pytest.raises(SimulationError):
+        clock.advance_to(49)
+
+
+def test_clock_repr_is_readable():
+    assert "SimClock" in repr(SimClock(start_ns=1_000_000))

@@ -1,0 +1,214 @@
+"""Tests for the simulation engine: process lifecycle, requests, determinism."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.quantities import msec
+from repro.sim import Compute, Simulator, Timeout, Wait
+
+
+def test_timeout_advances_time_without_cpu():
+    sim = Simulator(cores=1)
+
+    def sleeper():
+        yield Timeout(msec(10))
+
+    sim.spawn(sleeper(), name="sleeper")
+    sim.run()
+    assert sim.now == msec(10)
+    assert sim.cpu.stats.busy_ns == 0
+
+
+def test_compute_uses_cpu_time():
+    sim = Simulator(cores=1, switch_cost_ns=0)
+
+    def worker():
+        yield Compute(msec(3))
+
+    process = sim.spawn(worker(), name="worker")
+    sim.run()
+    assert sim.now == msec(3)
+    assert process.cpu_time_ns == msec(3)
+
+
+def test_process_result_propagates():
+    sim = Simulator()
+
+    def producer():
+        yield Timeout(1)
+        return "value"
+
+    process = sim.spawn(producer(), name="producer")
+    sim.run()
+    assert process.result == "value"
+    assert not process.alive
+
+
+def test_zero_compute_resumes_immediately():
+    sim = Simulator(cores=1, switch_cost_ns=0)
+
+    def worker():
+        yield Compute(0)
+        return "done"
+
+    process = sim.spawn(worker(), name="worker")
+    sim.run()
+    assert sim.now == 0
+    assert process.result == "done"
+
+
+def test_wait_on_done_joins_processes():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield Timeout(msec(5))
+        order.append("child")
+        return 7
+
+    def parent(child_process):
+        value = yield Wait(child_process.done)
+        order.append("parent")
+        return value
+
+    child_process = sim.spawn(child(), name="child")
+    parent_process = sim.spawn(parent(child_process), name="parent")
+    sim.run()
+    assert order == ["child", "parent"]
+    assert parent_process.result == 7
+
+
+def test_wait_on_already_fired_completion_resumes():
+    sim = Simulator()
+    completion = sim.completion("early")
+
+    def late_waiter():
+        yield Timeout(msec(1))
+        value = yield Wait(completion)
+        return value
+
+    completion.fire("payload")
+    process = sim.spawn(late_waiter(), name="late")
+    sim.run()
+    assert process.result == "payload"
+
+
+def test_process_exception_surfaces_in_run():
+    sim = Simulator()
+
+    def broken():
+        yield Timeout(1)
+        raise ValueError("model bug")
+
+    sim.spawn(broken(), name="broken")
+    with pytest.raises(ValueError, match="model bug"):
+        sim.run()
+
+
+def test_unknown_request_is_rejected():
+    sim = Simulator()
+
+    def confused():
+        yield "not a request"
+
+    sim.spawn(confused(), name="confused")
+    with pytest.raises(SimulationError, match="unknown request"):
+        sim.run()
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+
+    def sleeper():
+        yield Timeout(msec(100))
+
+    process = sim.spawn(sleeper(), name="sleeper")
+    stopped_at = sim.run(until_ns=msec(10))
+    assert stopped_at == msec(10)
+    assert process.alive
+    sim.run()
+    assert not process.alive
+
+
+def test_deadlock_detection_reports_blocked_processes():
+    sim = Simulator()
+
+    def stuck():
+        yield Wait(sim.completion("never"))
+
+    sim.spawn(stuck(), name="stuck-process")
+    with pytest.raises(DeadlockError, match="stuck-process"):
+        sim.run(check_deadlock=True)
+
+
+def test_daemon_does_not_trip_deadlock_detection():
+    sim = Simulator()
+
+    def daemon():
+        yield Wait(sim.completion("never"))
+
+    sim.spawn(daemon(), name="daemon", daemon=True)
+    sim.run(check_deadlock=True)  # must not raise
+
+
+def test_call_after_runs_plain_callback():
+    sim = Simulator()
+    fired = []
+    sim.call_after(msec(2), lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [msec(2)]
+
+
+def test_call_at_in_past_rejected():
+    sim = Simulator()
+    sim.call_after(msec(2), lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(msec(1), lambda: None)
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1)
+
+
+def test_negative_compute_rejected():
+    with pytest.raises(SimulationError):
+        Compute(-5)
+
+
+def test_identical_runs_are_bit_for_bit_deterministic():
+    def build_and_run():
+        sim = Simulator(cores=2)
+        log = []
+
+        def worker(n):
+            yield Compute(msec(2 + n))
+            log.append((sim.now, n))
+            yield Timeout(msec(n))
+            log.append((sim.now, n))
+
+        for n in range(6):
+            sim.spawn(worker(n), name=f"w{n}")
+        sim.run()
+        return sim.now, tuple(log)
+
+    assert build_and_run() == build_and_run()
+
+
+def test_yield_from_composes_subactivities():
+    sim = Simulator(cores=1, switch_cost_ns=0)
+
+    def sub():
+        yield Compute(msec(1))
+        return 10
+
+    def main():
+        a = yield from sub()
+        b = yield from sub()
+        return a + b
+
+    process = sim.spawn(main(), name="main")
+    sim.run()
+    assert process.result == 20
+    assert sim.now == msec(2)

@@ -1,0 +1,77 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_pop_returns_events_in_time_order():
+    queue = EventQueue()
+    order = []
+    queue.push(30, lambda: order.append("c"))
+    queue.push(10, lambda: order.append("a"))
+    queue.push(20, lambda: order.append("b"))
+    while len(queue) > 0:
+        queue.pop().callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_pop_fifo():
+    queue = EventQueue()
+    order = []
+    for label in "abcde":
+        queue.push(5, lambda l=label: order.append(l))
+    while len(queue) > 0:
+        queue.pop().callback()
+    assert order == list("abcde")
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().pop()
+
+
+def test_negative_time_rejected():
+    with pytest.raises(SimulationError):
+        EventQueue().push(-1, lambda: None)
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    first = queue.push(1, lambda: None)
+    queue.push(2, lambda: None)
+    assert len(queue) == 2
+    queue.cancel(first)
+    assert len(queue) == 1
+
+
+def test_cancelled_event_is_skipped():
+    queue = EventQueue()
+    ran = []
+    victim = queue.push(1, lambda: ran.append("victim"))
+    queue.push(2, lambda: ran.append("survivor"))
+    queue.cancel(victim)
+    assert queue.pop().time_ns == 2
+    assert len(queue) == 0
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1, lambda: None)
+    queue.push(2, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    early = queue.push(1, lambda: None)
+    queue.push(7, lambda: None)
+    queue.cancel(early)
+    assert queue.peek_time() == 7
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None

@@ -1,0 +1,28 @@
+"""Tests for the release artifact generator script."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_generate_artifacts_skip_slow(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "generate_artifacts.py"),
+         "--out", str(tmp_path), "--skip-slow"],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    expected = {"bootchart_no_bb.svg", "bootchart_bb.svg",
+                "fig7_conventional.svg", "fig7_isolated.svg",
+                "dependency_graph.dot", "report_no_bb.json", "report_bb.json",
+                "experiments.txt"}
+    assert expected <= {p.name for p in tmp_path.iterdir()}
+    report = json.loads((tmp_path / "report_bb.json").read_text())
+    assert report["boot_complete_ns"] > 0
+    assert (tmp_path / "bootchart_bb.svg").read_text().startswith("<svg")
+    assert "digraph" in (tmp_path / "dependency_graph.dot").read_text()
+    experiments = (tmp_path / "experiments.txt").read_text()
+    assert "fig7" in experiments
+    assert "ablations" not in experiments  # skipped as slow

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    output = capsys.readouterr().out
+    return code, output
+
+
+def test_workloads_command_lists_all(capsys):
+    code, output = run_cli(capsys, "workloads")
+    assert code == 0
+    for name in WORKLOADS:
+        assert name in output
+
+
+def test_boot_default_is_full_bb(capsys):
+    code, output = run_cli(capsys, "boot", "--workload", "camera")
+    assert code == 0
+    assert "BB Group" in output
+    assert "boot completion" in output
+
+
+def test_boot_no_bb(capsys):
+    code, output = run_cli(capsys, "boot", "--workload", "camera", "--no-bb")
+    assert code == 0
+    assert "none (conventional boot)" in output
+
+
+def test_boot_feature_list(capsys):
+    code, output = run_cli(capsys, "boot", "--workload", "camera",
+                           "--features", "rcu_booster,preparser")
+    assert code == 0
+    assert "rcu_booster" in output
+    assert "preparser" in output
+
+
+def test_boot_unknown_workload_exits(capsys):
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["boot", "--workload", "toaster"])
+
+
+def test_boot_unknown_feature_raises(capsys):
+    with pytest.raises(AttributeError, match="unknown BB feature"):
+        main(["boot", "--workload", "camera", "--features", "warp"])
+
+
+def test_experiment_list(capsys):
+    code, output = run_cli(capsys, "experiment", "list")
+    assert code == 0
+    for exp_id in ("fig1", "fig6", "fig7", "tradeoff", "variance"):
+        assert exp_id in output
+
+
+def test_experiment_runs_one(capsys):
+    code, output = run_cli(capsys, "experiment", "fig3")
+    assert code == 0
+    assert "Figure 3" in output
+
+
+def test_experiment_unknown_exits(capsys):
+    with pytest.raises(SystemExit, match="unknown experiment"):
+        main(["experiment", "fig99"])
+
+
+def test_bootchart_ascii_and_svg(tmp_path, capsys):
+    svg_path = tmp_path / "chart.svg"
+    code, output = run_cli(capsys, "bootchart", "--workload", "camera",
+                           "--rows", "5", "--svg", str(svg_path))
+    assert code == 0
+    assert "#" in output
+    assert svg_path.read_text().startswith("<svg")
+
+
+def test_analyze_clean_workload_returns_zero(capsys):
+    code, output = run_cli(capsys, "analyze", "--workload", "tv")
+    assert code == 0
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,62 @@
+"""Tests for the wearable and appliance workloads (§4 portability)."""
+
+import pytest
+
+from repro.core import BBConfig, BootSimulation
+from repro.experiments import portability
+from repro.quantities import sec
+from repro.workloads import appliance_workload, wearable_workload
+
+
+def test_wearable_boots_and_bb_helps():
+    plain = BootSimulation(wearable_workload(), BBConfig.none()).run()
+    boosted = BootSimulation(wearable_workload(), BBConfig.full()).run()
+    assert boosted.boot_complete_ns < plain.boot_complete_ns
+    assert plain.boot_complete_ns == plain.ready_ns("watchface.service")
+
+
+def test_appliance_boots_and_bb_helps():
+    plain = BootSimulation(appliance_workload(), BBConfig.none()).run()
+    boosted = BootSimulation(appliance_workload(), BBConfig.full()).run()
+    assert boosted.boot_complete_ns < plain.boot_complete_ns
+    # Completion needs both the control loop and the door panel.
+    assert plain.boot_complete_ns == max(
+        plain.ready_ns("control-loop.service"),
+        plain.ready_ns("door-panel.service"))
+
+
+def test_small_devices_boot_faster_than_the_tv():
+    from repro.workloads import opensource_tv_workload
+
+    tv = BootSimulation(opensource_tv_workload(), BBConfig.full()).run()
+    watch = BootSimulation(wearable_workload(), BBConfig.full()).run()
+    fridge = BootSimulation(appliance_workload(), BBConfig.full()).run()
+    assert watch.boot_complete_ns < tv.boot_complete_ns
+    assert fridge.boot_complete_ns < tv.boot_complete_ns
+
+
+def test_bb_group_identified_per_device():
+    watch = BootSimulation(wearable_workload(), BBConfig.full()).run()
+    assert "watchface.service" in watch.bb_group
+    assert "display.service" in watch.bb_group
+    assert not any(name.startswith("watch-bg-") for name in watch.bb_group)
+
+    fridge = BootSimulation(appliance_workload(), BBConfig.full()).run()
+    assert {"control-loop.service", "sensors.service",
+            "ipc.service"} <= fridge.bb_group
+
+
+def test_portability_experiment_shape():
+    result = portability.run()
+    assert result.helps_everywhere
+    assert len(result.rows) == 5
+    text = portability.render(result)
+    assert "smart TV" in text
+    with pytest.raises(KeyError):
+        result.reduction("toaster")
+
+
+def test_workloads_are_deterministic():
+    a = BootSimulation(wearable_workload(), BBConfig.none()).run()
+    b = BootSimulation(wearable_workload(), BBConfig.none()).run()
+    assert a.boot_complete_ns == b.boot_complete_ns

@@ -1,0 +1,86 @@
+"""Tests for camera, phone, and generated workloads."""
+
+import pytest
+
+from repro.core import BBConfig, BootSimulation
+from repro.errors import WorkloadError
+from repro.quantities import sec
+from repro.workloads import (GeneratorParams, camera_workload,
+                             generate_workload, phone_workload)
+from repro.workloads.base import Workload
+from repro.workloads.generator import generate_registry
+
+
+def test_camera_boots_with_and_without_bb():
+    plain = BootSimulation(camera_workload(), BBConfig.none()).run()
+    boosted = BootSimulation(camera_workload(), BBConfig.full()).run()
+    assert boosted.boot_complete_ns < plain.boot_complete_ns
+
+
+def test_phone_boots_with_and_without_bb():
+    plain = BootSimulation(phone_workload(), BBConfig.none()).run()
+    boosted = BootSimulation(phone_workload(), BBConfig.full()).run()
+    assert boosted.boot_complete_ns < plain.boot_complete_ns
+    # Completion = telephony + home screen both ready.
+    assert plain.boot_complete_ns == max(
+        plain.ready_ns("telephony.service"), plain.ready_ns("home-screen.service"))
+
+
+def test_camera_is_smaller_and_faster_than_tv():
+    from repro.workloads import opensource_tv_workload
+
+    camera = BootSimulation(camera_workload(), BBConfig.full()).run()
+    tv = BootSimulation(opensource_tv_workload(), BBConfig.full()).run()
+    assert camera.boot_complete_ns < tv.boot_complete_ns
+
+
+def test_generated_registry_matches_params():
+    params = GeneratorParams(seed=3, services=30, chain_length=4)
+    registry = generate_registry(params)
+    gen_units = [n for n in registry.names if n.startswith("gen-")]
+    chain_units = [n for n in registry.names if n.startswith("chain-")]
+    assert len(gen_units) == 30
+    assert len(chain_units) == 4
+
+
+def test_generated_workload_boots():
+    workload = generate_workload(GeneratorParams(seed=5, services=20))
+    report = BootSimulation(workload, BBConfig.full()).run()
+    assert report.boot_complete_ns > 0
+    assert report.boot_complete_ns < sec(30)
+
+
+def test_generator_is_deterministic():
+    params = GeneratorParams(seed=9, services=25)
+    a = BootSimulation(generate_workload(params), BBConfig.none()).run()
+    b = BootSimulation(generate_workload(params), BBConfig.none()).run()
+    assert a.boot_complete_ns == b.boot_complete_ns
+
+
+def test_generator_validates_params():
+    with pytest.raises(WorkloadError):
+        GeneratorParams(chain_length=0)
+    with pytest.raises(WorkloadError):
+        GeneratorParams(want_density=1.5)
+
+
+def test_workload_validation():
+    from repro.hw.presets import ue48h6200
+    from repro.initsys.registry import UnitRegistry
+    from repro.initsys.units import Unit
+
+    with pytest.raises(WorkloadError, match="no completion units"):
+        Workload(name="bad", platform_factory=ue48h6200,
+                 registry_factory=UnitRegistry, completion_units=())
+
+    broken = Workload(name="bad", platform_factory=ue48h6200,
+                      registry_factory=lambda: UnitRegistry([Unit(name="multi-user.target")]),
+                      completion_units=("ghost.service",))
+    with pytest.raises(WorkloadError, match="completion unit"):
+        broken.fresh_registry()
+
+    no_goal = Workload(name="bad", platform_factory=ue48h6200,
+                       registry_factory=lambda: UnitRegistry([Unit(name="a.service")]),
+                       completion_units=("a.service",))
+    with pytest.raises(WorkloadError, match="goal"):
+        no_goal.fresh_registry()

@@ -1,0 +1,101 @@
+"""Tests for the Tizen TV workload: structure, statistics, calibration."""
+
+import pytest
+
+from repro.graph.visualize import figure2_stats
+from repro.initsys.units import UnitType
+from repro.workloads.tizen_tv import (PAPER_BB_GROUP, TV_COMPLETION_UNITS,
+                                      TvWorkloadParams, build_boot_modules,
+                                      build_deferred_initcalls,
+                                      build_tv_registry,
+                                      commercial_tv_workload,
+                                      opensource_tv_workload)
+
+
+def test_opensource_set_has_136_services():
+    """Fig. 2: 136 services in the open-source Tizen TV OS."""
+    registry = build_tv_registry()
+    non_target = [u for u in registry if u.unit_type is not UnitType.TARGET]
+    assert len(non_target) == 136
+
+
+def test_commercial_fork_roughly_doubles():
+    """§2.5: 'the number of the services has increased to more than 250
+    from 136 in a few months'."""
+    commercial = commercial_tv_workload().fresh_registry()
+    non_target = [u for u in commercial if u.unit_type is not UnitType.TARGET]
+    assert len(non_target) > 250
+
+
+def test_bb_chain_requires_closure_is_papers_group():
+    from repro.graph.depgraph import DependencyGraph
+
+    registry = build_tv_registry()
+    closure = DependencyGraph(registry).strong_closure(TV_COMPLETION_UNITS)
+    assert closure == PAPER_BB_GROUP
+
+
+def test_registry_is_deterministic():
+    a, b = build_tv_registry(), build_tv_registry()
+    assert a.names == b.names
+    for name in a.names:
+        assert a.get(name).cost == b.get(name).cost
+
+
+def test_different_seeds_differ():
+    a = build_tv_registry(TvWorkloadParams(seed=1))
+    b = build_tv_registry(TvWorkloadParams(seed=2))
+    costs_a = [a.get(n).cost.init_cpu_ns for n in a.names]
+    costs_b = [b.get(n).cost.init_cpu_ns for n in b.names]
+    assert costs_a != costs_b
+
+
+def test_abusive_orderings_present():
+    """§4.2: about a dozen services order themselves before var.mount."""
+    registry = build_tv_registry()
+    before_var = [u.name for u in registry if "var.mount" in u.before]
+    assert len(before_var) == 12
+
+
+def test_boot_modules_include_named_drivers():
+    modules = build_boot_modules()
+    names = {m.name for m in modules}
+    assert {"tuner_drv", "demux_drv", "hdmi_drv", "av_drv"} <= names
+    assert len(modules) == TvWorkloadParams().boot_module_count
+
+
+def test_tiny_module_lists_still_carry_named_drivers():
+    modules = build_boot_modules(TvWorkloadParams(boot_module_count=10))
+    names = {m.name for m in modules}
+    assert {"tuner_drv", "demux_drv", "hdmi_drv", "av_drv"} <= names
+
+
+def test_deferred_initcalls_mirror_modules():
+    initcalls = build_deferred_initcalls()
+    assert len(initcalls) >= TvWorkloadParams().boot_module_count
+    assert "usb_drv" in [c.name for c in initcalls.boot_sequence(defer=False)]
+
+
+def test_figure2_statistics_shape():
+    stats = figure2_stats(build_tv_registry())
+    assert stats.units == 137  # 136 services + boot target
+    assert stats.strong_edges > 0
+    assert stats.weak_edges > stats.strong_edges  # most deps are Wants
+    assert stats.ordering_edges > 0
+
+
+def test_workload_bundle_is_consistent():
+    workload = opensource_tv_workload()
+    registry = workload.fresh_registry()
+    assert workload.goal in registry
+    for unit in workload.completion_units:
+        assert unit in registry
+    assert workload.expected_bb_group == PAPER_BB_GROUP
+    assert set(workload.groups) == set(registry.names)
+
+
+def test_analyzer_finds_no_errors_in_tv_workload():
+    from repro.graph.analyzer import ServiceAnalyzer
+
+    report = ServiceAnalyzer(build_tv_registry()).analyze()
+    assert not report.has_errors
