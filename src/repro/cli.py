@@ -4,10 +4,14 @@ Commands:
 
 * ``boot [--workload NAME] [--bb | --no-bb | --features a,b,c] [--cores N]``
   — run one simulated cold boot and print the stage breakdown,
-* ``experiment <id> | all`` — run an evaluation experiment and print the
-  regenerated artifact (``experiment list`` shows the ids),
-* ``bootchart [--workload NAME] [--bb] [--svg FILE]`` — boot and render
-  the bootchart (ASCII to stdout, optionally SVG to a file),
+* ``experiment <id> | all [--jobs N] [--cache-dir DIR]`` — run an
+  evaluation experiment and print the regenerated artifact
+  (``experiment list`` shows the ids); sweeps are deduplicated, cached,
+  and fanned out over ``N`` worker processes,
+* ``bench [--jobs N] [--out FILE]`` — engine microbenchmark +
+  serial-vs-parallel sweep benchmark, recorded to ``BENCH_runner.json``,
+* ``bootchart [--workload NAME] [--bb] [--cores N] [--svg FILE]`` — boot
+  and render the bootchart (ASCII to stdout, optionally SVG to a file),
 * ``analyze [--workload NAME]`` — run the Service Analyzer,
 * ``workloads`` — list the available workloads.
 """
@@ -15,6 +19,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Sequence
 
@@ -110,6 +115,8 @@ def _cmd_boot(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.runner import ResultCache, SweepRunner
+
     experiments = _experiments()
     if args.id == "list":
         for name in experiments:
@@ -120,16 +127,57 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if exp_id not in experiments:
             raise SystemExit(f"unknown experiment {exp_id!r}; "
                              f"try 'experiment list'")
-        run, render = experiments[exp_id]
-        print(render(run()))
-        print()
+    if args.cache_dir is not None:
+        import os
+        try:
+            os.makedirs(args.cache_dir, exist_ok=True)
+        except OSError as exc:
+            raise SystemExit(f"cannot use cache dir {args.cache_dir!r}: {exc}")
+    # One shared runner across the whole invocation, so 'experiment all'
+    # never boots the same (workload, config, cores) twice.
+    with SweepRunner(jobs=args.jobs,
+                     cache=ResultCache(args.cache_dir)) as runner:
+        for exp_id in ids:
+            run, render = experiments[exp_id]
+            kwargs = ({"runner": runner}
+                      if "runner" in inspect.signature(run).parameters else {})
+            print(render(run(**kwargs)))
+            print()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.runner.bench import build_record, write_record
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    record = build_record(jobs=jobs, events=args.events,
+                          skip_sweep=args.skip_sweep,
+                          cache_dir=args.cache_dir)
+    write_record(record, args.out)
+    queue = record["event_queue"]
+    print(f"event queue: {queue['optimized_events_per_sec']:,.0f} events/s "
+          f"(legacy {queue['legacy_events_per_sec']:,.0f}, "
+          f"speedup {queue['speedup']:.2f}x)")
+    if "experiment_all" in record:
+        sweep = record["experiment_all"]
+        print(f"experiment all: serial {sweep['serial_wall_s']:.1f} s, "
+              f"--jobs {sweep['jobs']} {sweep['parallel_wall_s']:.1f} s "
+              f"(speedup {sweep['speedup']:.2f}x, outputs identical: "
+              f"{sweep['outputs_identical']})")
+        print(f"runner: {sweep['runner']['submitted']} submitted, "
+              f"{sweep['runner']['deduplicated']} deduplicated, "
+              f"{sweep['runner']['cache_hits']} cache hits, "
+              f"{sweep['runner']['executed']} executed")
+    print(f"record written to {args.out}")
     return 0
 
 
 def _cmd_bootchart(args: argparse.Namespace) -> int:
     workload = _resolve_workload(args.workload)
     config = _resolve_config(args)
-    simulation = BootSimulation(workload, config)
+    simulation = BootSimulation(workload, config, cores=args.cores)
     report = simulation.run()
     chart = BootChart.from_report(report)
     print(render_ascii(chart, max_rows=args.rows))
@@ -183,17 +231,40 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper artifact")
     experiment.add_argument("id", help="'list', 'all', or an experiment id")
+    experiment.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for simulation sweeps "
+                                 "(1 = serial, the deterministic default)")
+    experiment.add_argument("--cache-dir",
+                            help="persist simulation results to this "
+                                 "directory, keyed by job fingerprint")
     experiment.set_defaults(fn=_cmd_experiment)
+
+    bench = sub.add_parser("bench",
+                           help="run the perf benchmarks, write BENCH_runner.json")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the sweep benchmark "
+                            "(default: cpu count)")
+    bench.add_argument("--events", type=int, default=200_000,
+                       help="events per engine-microbenchmark run")
+    bench.add_argument("--skip-sweep", action="store_true",
+                       help="only run the engine microbenchmark")
+    bench.add_argument("--cache-dir",
+                       help="disk cache directory for the sweep benchmark")
+    bench.add_argument("--out", default="BENCH_runner.json",
+                       help="output record path")
+    bench.set_defaults(fn=_cmd_bench)
 
     chart = sub.add_parser("bootchart", help="boot and render the bootchart")
     chart.add_argument("--workload", default="tv")
     chart.add_argument("--no-bb", action="store_true")
     chart.add_argument("--features")
     chart.add_argument("--rows", type=int, default=30)
+    chart.add_argument("--cores", type=int, default=None,
+                       help="override the platform core count")
     chart.add_argument("--svg", help="also write an SVG to this file")
     chart.add_argument("--trace",
                        help="also write a Chrome/Perfetto trace JSON")
-    chart.set_defaults(fn=_cmd_bootchart, cores=None)
+    chart.set_defaults(fn=_cmd_bootchart)
 
     analyze = sub.add_parser("analyze", help="run the Service Analyzer")
     analyze.add_argument("--workload", default="tv")

@@ -20,16 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 from repro.analysis.report import format_table
-from repro.core import BBConfig, BootSimulation
+from repro.core import BBConfig
 from repro.hw.presets import ue48h6200
 from repro.initsys.outoforder import OutOfOrderInitScheme
 from repro.initsys.runlevels import AdvancedBootScript
 from repro.initsys.sysv import SysVInitScheme
 from repro.kernel.rcu import RCUSubsystem
 from repro.quantities import to_msec
+from repro.runner import SimJob, SweepRunner
 from repro.sim import Simulator
 from repro.workloads import commercial_tv_workload, opensource_tv_workload
-from repro.workloads.base import Workload
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,10 +42,6 @@ class AblationResult:
     scheme_violations: dict[str, int]
     core_scaling_ms: dict[int, tuple[float, float]]  # cores -> (no BB, BB)
     growth_ms: dict[str, tuple[float, float]]  # workload -> (no BB, BB)
-
-
-def _boot_ms(workload: Workload, bb: BBConfig, cores: int | None = None) -> float:
-    return BootSimulation(workload, bb, cores=cores).run().boot_complete_ms
 
 
 def _scheme_user_space_ms() -> tuple[dict[str, float], dict[str, int]]:
@@ -101,35 +97,49 @@ def _scheme_user_space_ms() -> tuple[dict[str, float], dict[str, int]]:
     return times, violations
 
 
-def run(include_schemes: bool = True) -> AblationResult:
+def run(include_schemes: bool = True,
+        runner: SweepRunner | None = None) -> AblationResult:
     """Run all ablation studies (scheme comparison optional, it is slow)."""
+    runner = runner if runner is not None else SweepRunner()
     full_config = BBConfig.full()
-    full_ms = _boot_ms(opensource_tv_workload(), full_config)
-    leave_one_out: dict[str, float] = {}
-    for field in fields(BBConfig):
-        reduced = full_config.with_feature(field.name, False)
-        leave_one_out[field.name] = _boot_ms(opensource_tv_workload(),
-                                             reduced) - full_ms
+    feature_names = [field.name for field in fields(BBConfig)]
+    core_counts = (1, 2, 4, 8)
+
+    # Every boot in studies 1, 3 and 4, as one deduplicated batch.
+    jobs = [SimJob.boot(opensource_tv_workload, bb=full_config,
+                        label="ablation full BB")]
+    jobs += [SimJob.boot(opensource_tv_workload,
+                         bb=full_config.with_feature(name, False),
+                         label=f"ablation -{name}")
+             for name in feature_names]
+    for cores in core_counts:
+        jobs.append(SimJob.boot(opensource_tv_workload, bb=BBConfig.none(),
+                                cores=cores, label=f"ablation {cores}c no-BB"))
+        jobs.append(SimJob.boot(opensource_tv_workload, bb=BBConfig.full(),
+                                cores=cores, label=f"ablation {cores}c BB"))
+    for factory in (opensource_tv_workload, commercial_tv_workload):
+        jobs.append(SimJob.boot(factory, bb=BBConfig.none(),
+                                label=f"growth {factory.__name__} no-BB"))
+        jobs.append(SimJob.boot(factory, bb=BBConfig.full(),
+                                label=f"growth {factory.__name__} BB"))
+    reports = iter(runner.run(jobs))
+
+    full_ms = next(reports).boot_complete_ms
+    leave_one_out = {name: next(reports).boot_complete_ms - full_ms
+                     for name in feature_names}
 
     scheme_ms: dict[str, float] = {}
     scheme_violations: dict[str, int] = {}
     if include_schemes:
         scheme_ms, scheme_violations = _scheme_user_space_ms()
 
-    core_scaling: dict[int, tuple[float, float]] = {}
-    for cores in (1, 2, 4, 8):
-        core_scaling[cores] = (
-            _boot_ms(opensource_tv_workload(), BBConfig.none(), cores=cores),
-            _boot_ms(opensource_tv_workload(), BBConfig.full(), cores=cores))
-
+    core_scaling = {
+        cores: (next(reports).boot_complete_ms, next(reports).boot_complete_ms)
+        for cores in core_counts}
     growth = {
-        "open-source (136 services)": (
-            _boot_ms(opensource_tv_workload(), BBConfig.none()),
-            _boot_ms(opensource_tv_workload(), BBConfig.full())),
-        "commercial fork (>250 services)": (
-            _boot_ms(commercial_tv_workload(), BBConfig.none()),
-            _boot_ms(commercial_tv_workload(), BBConfig.full())),
-    }
+        label: (next(reports).boot_complete_ms, next(reports).boot_complete_ms)
+        for label in ("open-source (136 services)",
+                      "commercial fork (>250 services)")}
     return AblationResult(leave_one_out_ms=leave_one_out, full_ms=full_ms,
                           scheme_ms=scheme_ms,
                           scheme_violations=scheme_violations,

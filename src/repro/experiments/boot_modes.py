@@ -17,10 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.core import BBConfig, BootSimulation
+from repro.core import BBConfig
 from repro.hw.presets import ue48h6200
 from repro.kernel.snapshot import HibernationModel, SuspendToRamModel
 from repro.quantities import to_sec
+from repro.runner import SimJob, SweepRunner
 from repro.workloads import opensource_tv_workload
 
 
@@ -60,12 +61,16 @@ class BootModesResult:
         return [m.name for m in self.modes if m.acceptable]
 
 
-def run() -> BootModesResult:
+def run(runner: SweepRunner | None = None) -> BootModesResult:
     """Evaluate every §2 mechanism on the TV."""
+    runner = runner if runner is not None else SweepRunner()
     tv = ue48h6200()
-    conventional = BootSimulation(opensource_tv_workload(),
-                                  BBConfig.none()).run()
-    boosted = BootSimulation(opensource_tv_workload(), BBConfig.full()).run()
+    conventional, boosted = runner.run([
+        SimJob.boot(opensource_tv_workload, bb=BBConfig.none(),
+                    label="boot-modes conventional"),
+        SimJob.boot(opensource_tv_workload, bb=BBConfig.full(),
+                    label="boot-modes BB"),
+    ])
     hibernation = HibernationModel()
     factory_snapshot = HibernationModel(third_party_apps=False)
     str_model = SuspendToRamModel()

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.analysis.metrics import BootReport, speedup
 from repro.analysis.report import ComparisonTable, format_table
 from repro.core import BBConfig, BootSimulation
+from repro.runner import SimJob, SweepRunner
 from repro.workloads import opensource_tv_workload
 from repro.workloads.base import Workload
 
@@ -70,22 +71,35 @@ class Fig6Result:
                 + self.cumulative_savings_ms["group_priority_boost"])
 
 
-def run(workload: Workload | None = None) -> Fig6Result:
+def run(workload: Workload | None = None,
+        runner: SweepRunner | None = None) -> Fig6Result:
     """Run the cumulative feature build-up and the two endpoints."""
-    def fresh_workload():
-        return workload if workload is not None else opensource_tv_workload()
-
-    no_bb = BootSimulation(fresh_workload(), BBConfig.none()).run()
-    savings: dict[str, float] = {}
-    config = BBConfig.none()
-    previous_ms = no_bb.boot_complete_ms
-    bb_report = no_bb
+    configs = [BBConfig.none()]
     for feature, _ in PAPER_FEATURE_SAVINGS_MS:
-        config = config.with_feature(feature, True)
-        bb_report = BootSimulation(fresh_workload(), config).run()
-        savings[feature] = previous_ms - bb_report.boot_complete_ms
-        previous_ms = bb_report.boot_complete_ms
-    return Fig6Result(no_bb=no_bb, bb=bb_report, cumulative_savings_ms=savings)
+        configs.append(configs[-1].with_feature(feature, True))
+
+    if workload is not None:
+        # A live Workload instance is not declarative (its factories are
+        # closures), so it cannot ride the job runner; boot it directly.
+        reports = [BootSimulation(workload, config).run()
+                   for config in configs]
+    else:
+        runner = runner if runner is not None else SweepRunner()
+        reports = runner.run([
+            SimJob.boot(opensource_tv_workload, bb=config,
+                        label=f"fig6 +{feature}")
+            for config, feature in zip(
+                configs, ("baseline",
+                          *(name for name, _ in PAPER_FEATURE_SAVINGS_MS)))])
+
+    no_bb = reports[0]
+    savings: dict[str, float] = {}
+    previous_ms = no_bb.boot_complete_ms
+    for (feature, _), report in zip(PAPER_FEATURE_SAVINGS_MS, reports[1:]):
+        savings[feature] = previous_ms - report.boot_complete_ms
+        previous_ms = report.boot_complete_ms
+    return Fig6Result(no_bb=no_bb, bb=reports[-1],
+                      cumulative_savings_ms=savings)
 
 
 def render(result: Fig6Result) -> str:

@@ -11,10 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.analysis.report import format_table
-from repro.hw.presets import ue48h6200
 from repro.kernel.config import DebugFeature, KernelConfig
-from repro.kernel.sequence import KernelBootSequence
 from repro.quantities import to_msec
+from repro.runner import SimJob, SweepRunner
 
 #: Paper endpoints (ms).
 PAPER_UNOPTIMIZED_MS = 6127.0
@@ -36,38 +35,26 @@ class KernelOptResult:
         return self.steps[-1][1]
 
 
-def _kernel_boot_ns(config: KernelConfig) -> int:
-    from repro.sim import Simulator
-
-    sim = Simulator(cores=4)
-    platform = ue48h6200().attach(sim)
-    sequence = KernelBootSequence(platform, config=config)
-
-    def boot():
-        yield from sequence.run(sim)
-
-    sim.spawn(boot(), name="kernel")
-    sim.run()
-    assert sequence.timings is not None
-    return sequence.timings.total_ns
-
-
-def run() -> KernelOptResult:
+def run(runner: SweepRunner | None = None) -> KernelOptResult:
     """Sweep from the unoptimized kernel to the commercial baseline."""
-    steps: list[tuple[str, int]] = []
+    runner = runner if runner is not None else SweepRunner()
+    names: list[str] = []
+    jobs: list[SimJob] = []
     config = KernelConfig.unoptimized()
-    steps.append(("unoptimized (all diagnostics, eager drivers)",
-                  _kernel_boot_ns(config)))
+    names.append("unoptimized (all diagnostics, eager drivers)")
+    jobs.append(SimJob.kernel(config, label=names[-1]))
     remaining = set(config.debug_features)
     for feature in (DebugFeature.DEBUGGING, DebugFeature.TRACING,
                     DebugFeature.LOGGING, DebugFeature.PROFILING):
         remaining.discard(feature)
         config = replace(config, debug_features=frozenset(remaining))
-        steps.append((f"disable {feature.value}", _kernel_boot_ns(config)))
+        names.append(f"disable {feature.value}")
+        jobs.append(SimJob.kernel(config, label=names[-1]))
     config = replace(config, drivers_built_in_and_eager=False)
-    steps.append(("modularize drivers out of boot path",
-                  _kernel_boot_ns(config)))
-    return KernelOptResult(steps=tuple(steps))
+    names.append("modularize drivers out of boot path")
+    jobs.append(SimJob.kernel(config, label=names[-1]))
+    totals = runner.run(jobs)
+    return KernelOptResult(steps=tuple(zip(names, totals)))
 
 
 def render(result: KernelOptResult) -> str:

@@ -19,7 +19,8 @@ from typing import Callable
 
 from repro.analysis.metrics import speedup
 from repro.analysis.report import format_table
-from repro.core import BBConfig, BootSimulation
+from repro.core import BBConfig
+from repro.runner import SimJob, SweepRunner
 from repro.workloads import (camera_workload, opensource_tv_workload,
                              phone_workload)
 from repro.workloads.appliance import appliance_workload
@@ -54,12 +55,19 @@ class PortabilityResult:
         return all(bb < no_bb for _, no_bb, bb in self.rows)
 
 
-def run() -> PortabilityResult:
+def run(runner: SweepRunner | None = None) -> PortabilityResult:
     """Boot every device class without and with BB."""
-    rows = []
+    runner = runner if runner is not None else SweepRunner()
+    jobs = []
     for name, factory in DEVICE_CLASSES:
-        no_bb = BootSimulation(factory(), BBConfig.none()).run()
-        bb = BootSimulation(factory(), BBConfig.full()).run()
+        jobs.append(SimJob.boot(factory, bb=BBConfig.none(),
+                                label=f"{name} no-BB"))
+        jobs.append(SimJob.boot(factory, bb=BBConfig.full(),
+                                label=f"{name} BB"))
+    reports = runner.run(jobs)
+    rows = []
+    for index, (name, _) in enumerate(DEVICE_CLASSES):
+        no_bb, bb = reports[2 * index], reports[2 * index + 1]
         rows.append((name, no_bb.boot_complete_ms, bb.boot_complete_ms))
     return PortabilityResult(rows=tuple(rows))
 

@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.core import BBConfig, BootSimulation
+from repro.core import BBConfig
+from repro.runner import SimJob, SweepRunner
 from repro.workloads.tizen_tv import TvWorkloadParams, opensource_tv_workload
 
 #: Scale factors applied to the variable parts of the TV service set.
@@ -54,18 +55,27 @@ class ScalingResult:
         return self.rows[-1][3] / self.rows[0][3]
 
 
-def run(factors: tuple[float, ...] = SCALE_FACTORS) -> ScalingResult:
+def run(factors: tuple[float, ...] = SCALE_FACTORS,
+        runner: SweepRunner | None = None) -> ScalingResult:
     """Sweep the platform size under both configurations."""
-    rows = []
+    runner = runner if runner is not None else SweepRunner()
+    jobs = []
     for factor in factors:
         params = scaled_params(factor)
-        workload = opensource_tv_workload(params)
-        services = len(workload.fresh_registry()) - 1  # minus the target
-        no_bb = BootSimulation(opensource_tv_workload(params),
-                               BBConfig.none()).run().boot_complete_ms
-        bb = BootSimulation(opensource_tv_workload(params),
-                            BBConfig.full()).run().boot_complete_ms
-        rows.append((factor, services, no_bb, bb))
+        jobs.append(SimJob.boot(opensource_tv_workload, params,
+                                bb=BBConfig.none(),
+                                label=f"scaling {factor:.1f}x no-BB"))
+        jobs.append(SimJob.boot(opensource_tv_workload, params,
+                                bb=BBConfig.full(),
+                                label=f"scaling {factor:.1f}x BB"))
+    reports = runner.run(jobs)
+    rows = []
+    for index, factor in enumerate(factors):
+        no_bb, bb = reports[2 * index], reports[2 * index + 1]
+        services = len(opensource_tv_workload(
+            scaled_params(factor)).fresh_registry()) - 1  # minus the target
+        rows.append((factor, services, no_bb.boot_complete_ms,
+                     bb.boot_complete_ms))
     return ScalingResult(rows=tuple(rows))
 
 

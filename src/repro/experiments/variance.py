@@ -16,7 +16,8 @@ import math
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.core import BBConfig, BootSimulation
+from repro.core import BBConfig
+from repro.runner import SimJob, SweepRunner
 from repro.workloads.tizen_tv import perturbed_tv_workload
 
 
@@ -68,16 +69,22 @@ class VarianceResult:
         return self.no_bb_stddev_ms / max(self.bb_stddev_ms, 1e-9)
 
 
-def run(instances: int = 10, spread: float = 0.3) -> VarianceResult:
+def run(instances: int = 10, spread: float = 0.3,
+        runner: SweepRunner | None = None) -> VarianceResult:
     """Boot ``instances`` perturbed TVs under both configurations."""
-    no_bb = []
-    bb = []
+    runner = runner if runner is not None else SweepRunner()
+    jobs = []
     for instance in range(instances):
-        no_bb.append(BootSimulation(perturbed_tv_workload(instance, spread),
-                                    BBConfig.none()).run().boot_complete_ms)
-        bb.append(BootSimulation(perturbed_tv_workload(instance, spread),
-                                 BBConfig.full()).run().boot_complete_ms)
-    return VarianceResult(no_bb_ms=tuple(no_bb), bb_ms=tuple(bb))
+        jobs.append(SimJob.boot(perturbed_tv_workload, instance, spread,
+                                bb=BBConfig.none(),
+                                label=f"variance #{instance} no-BB"))
+        jobs.append(SimJob.boot(perturbed_tv_workload, instance, spread,
+                                bb=BBConfig.full(),
+                                label=f"variance #{instance} BB"))
+    reports = runner.run(jobs)
+    no_bb = tuple(r.boot_complete_ms for r in reports[0::2])
+    bb = tuple(r.boot_complete_ms for r in reports[1::2])
+    return VarianceResult(no_bb_ms=no_bb, bb_ms=bb)
 
 
 def render(result: VarianceResult) -> str:

@@ -1,0 +1,37 @@
+"""Parallel sweep runner with deterministic result caching.
+
+Every evaluation artifact re-runs dozens of full :class:`BootSimulation`\\ s,
+and every one of those runs is a pure function of its inputs (DESIGN §4.5).
+This package exploits that:
+
+* :class:`~repro.runner.jobs.SimJob` — a picklable, declarative description
+  of one simulation (workload factory + params, :class:`BBConfig`, cores,
+  kernel config) with a stable content :meth:`~repro.runner.jobs.SimJob.fingerprint`,
+* :class:`~repro.runner.cache.ResultCache` — an in-memory + optional
+  on-disk content-addressed result store keyed by job fingerprint and a
+  code-version salt,
+* :class:`~repro.runner.sweep.SweepRunner` — deduplicates jobs and fans
+  them out over a ``ProcessPoolExecutor`` (``jobs=1`` is a strictly
+  serial, deterministic fallback),
+* :mod:`~repro.runner.bench` — the engine microbenchmark and the
+  serial-vs-parallel sweep benchmark behind ``python -m repro bench``.
+
+The experiment drivers under :mod:`repro.experiments` enumerate their
+boots as ``SimJob``\\ s and submit them through a shared runner, so
+``python -m repro experiment all`` never boots the same
+(workload, config, cores) twice.
+"""
+
+from repro.runner.cache import CacheStats, ResultCache
+from repro.runner.jobs import SimJob, code_version, execute_job
+from repro.runner.sweep import SweepRunner, SweepStats
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "SimJob",
+    "SweepRunner",
+    "SweepStats",
+    "code_version",
+    "execute_job",
+]

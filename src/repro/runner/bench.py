@@ -1,0 +1,207 @@
+"""Performance benchmarks behind ``python -m repro bench``.
+
+Two measurements seed the repo's perf trajectory, recorded to
+``BENCH_runner.json``:
+
+* **Engine microbenchmark** — events/second through the optimized
+  :class:`~repro.sim.events.EventQueue` versus a faithful copy of the
+  pre-optimization dataclass-ordered queue, on an identical deterministic
+  push/pop workload.  This keeps the hot-path speedup measurable forever,
+  not just in the PR that made it.
+* **Sweep benchmark** — wall time of the full ``experiment all`` sweep
+  executed serially (``jobs=1``) versus fanned out over worker processes,
+  plus the dedup/cache statistics, with a byte-identity check between the
+  two runs' rendered artifacts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import code_version
+from repro.runner.sweep import SweepRunner
+from repro.sim.events import EventQueue
+
+
+# --------------------------------------------------------------------------
+# Legacy event queue (the pre-optimization implementation, kept verbatim as
+# the microbenchmark baseline).
+
+
+@dataclass(order=True, slots=True)
+class _LegacyScheduledEvent:
+    time_ns: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
+
+
+class _LegacyEventQueue:
+    """Dataclass-ordered heap, as shipped before the tuple-heap rewrite."""
+
+    def __init__(self) -> None:
+        self._heap: list[_LegacyScheduledEvent] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time_ns: int, callback: Callable[[], None]) -> _LegacyScheduledEvent:
+        event = _LegacyScheduledEvent(time_ns=time_ns, seq=self._seq,
+                                      callback=callback)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> _LegacyScheduledEvent:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            event.executed = True
+            return event
+        raise IndexError("pop from empty event queue")
+
+
+# --------------------------------------------------------------------------
+# Engine microbenchmark.
+
+
+def _drive_queue(queue: Any, events: int) -> int:
+    """Push/pop ``events`` through ``queue`` with steady-state heap churn.
+
+    A seeded LCG generates the schedule, so both queue implementations see
+    the exact same sequence of operations.  Returns the number of events
+    processed (sanity value, always ``events``).
+    """
+    state = 0x2016_BB
+    now = 0
+    processed = 0
+
+    def nothing() -> None:
+        return None
+
+    # Warm the heap to a realistic depth before measuring steady churn.
+    for _ in range(256):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        queue.push(now + state % 1_000_000, nothing)
+    while processed < events:
+        event = queue.pop()
+        now = event.time_ns
+        processed += 1
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        queue.push(now + 1 + state % 1_000_000, nothing)
+    return processed
+
+
+def bench_event_queue(events: int = 200_000, repeats: int = 3) -> dict[str, float]:
+    """Events/second for the optimized queue vs the legacy baseline.
+
+    Best-of-``repeats`` wall time for each implementation on an identical
+    deterministic workload.
+    """
+    def best_eps(factory: Callable[[], Any]) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            queue = factory()
+            start = time.perf_counter()
+            _drive_queue(queue, events)
+            best = min(best, time.perf_counter() - start)
+        return events / best
+
+    optimized = best_eps(EventQueue)
+    legacy = best_eps(_LegacyEventQueue)
+    return {
+        "events": float(events),
+        "optimized_events_per_sec": optimized,
+        "legacy_events_per_sec": legacy,
+        "speedup": optimized / legacy,
+    }
+
+
+# --------------------------------------------------------------------------
+# Sweep benchmark.
+
+
+def _run_all_experiments(runner: SweepRunner | None) -> dict[str, str]:
+    """Render every experiment artifact, routing boots through ``runner``."""
+    import inspect
+
+    from repro.cli import _experiments
+
+    rendered: dict[str, str] = {}
+    for exp_id, (run, render) in _experiments().items():
+        kwargs: dict[str, Any] = {}
+        if runner is not None and "runner" in inspect.signature(run).parameters:
+            kwargs["runner"] = runner
+        rendered[exp_id] = render(run(**kwargs))
+    return rendered
+
+
+def bench_sweep(jobs: int, cache_dir: str | None = None) -> dict[str, Any]:
+    """Wall time of ``experiment all``: serial vs ``jobs`` workers.
+
+    Each leg gets a fresh cache (optionally disk-backed under
+    ``cache_dir``) so neither run is subsidized by the other; the dedup
+    and cache statistics reported are the parallel leg's.
+    """
+    start = time.perf_counter()
+    serial_rendered = _run_all_experiments(SweepRunner(jobs=1))
+    serial_s = time.perf_counter() - start
+
+    with SweepRunner(jobs=jobs, cache=ResultCache(cache_dir)) as runner:
+        start = time.perf_counter()
+        parallel_rendered = _run_all_experiments(runner)
+        parallel_s = time.perf_counter() - start
+        stats = runner.stats
+        cache_stats = runner.cache.stats
+
+    return {
+        "jobs": jobs,
+        "serial_wall_s": serial_s,
+        "parallel_wall_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else 0.0,
+        "outputs_identical": serial_rendered == parallel_rendered,
+        "runner": {
+            "submitted": stats.submitted,
+            "deduplicated": stats.deduplicated,
+            "cache_hits": stats.cache_hits,
+            "executed": stats.executed,
+            "savings_rate": stats.savings_rate,
+        },
+        "cache": {
+            "memory_hits": cache_stats.memory_hits,
+            "disk_hits": cache_stats.disk_hits,
+            "misses": cache_stats.misses,
+            "hit_rate": cache_stats.hit_rate,
+        },
+    }
+
+
+def build_record(jobs: int, events: int = 200_000,
+                 skip_sweep: bool = False,
+                 cache_dir: str | None = None) -> dict[str, Any]:
+    """The full ``BENCH_runner.json`` payload."""
+    record: dict[str, Any] = {
+        "code_version": code_version(),
+        "event_queue": bench_event_queue(events=events),
+    }
+    if not skip_sweep:
+        record["experiment_all"] = bench_sweep(jobs, cache_dir=cache_dir)
+    return record
+
+
+def write_record(record: dict[str, Any], path: str) -> None:
+    """Serialize a benchmark record as pretty JSON."""
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")

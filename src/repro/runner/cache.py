@@ -1,0 +1,116 @@
+"""Content-addressed result cache for simulation jobs.
+
+Keys are :meth:`SimJob.fingerprint` hashes, which already include the
+code-version salt, so the invalidation rule is simply "a key either means
+exactly one result, forever, or it means nothing" — the same property
+content-addressed stores like git rely on.  The in-memory layer makes
+repeats within one ``experiment all`` free; the optional on-disk layer
+(one pickle per fingerprint, written atomically) makes them free across
+process runs.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+_MISS = object()
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache`.
+
+    Attributes:
+        memory_hits: Results served from the in-process dictionary.
+        disk_hits: Results loaded (and re-memoized) from the disk layer.
+        misses: Lookups that found nothing anywhere.
+        stores: Results written into the cache.
+    """
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total lookups served without running a simulation."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """In-memory (always) + on-disk (optional) result store.
+
+    Args:
+        disk_dir: Directory for the persistent layer; created on first
+            write.  ``None`` keeps the cache purely in-memory.
+    """
+
+    def __init__(self, disk_dir: str | os.PathLike[str] | None = None):
+        self._memory: dict[str, Any] = {}
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """Look up ``key``; returns ``(hit, value)``.
+
+        Memory hits return a deep copy so callers can never mutate the
+        cached master; disk hits are freshly unpickled anyway.
+        """
+        value = self._memory.get(key, _MISS)
+        if value is not _MISS:
+            self.stats.memory_hits += 1
+            return True, copy.deepcopy(value)
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                pass
+            else:
+                self._memory[key] = value
+                self.stats.disk_hits += 1
+                return True, copy.deepcopy(value)
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` in every enabled layer."""
+        self._memory[key] = copy.deepcopy(value)
+        self.stats.stores += 1
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so a crashed run never leaves a torn pickle
+            # that a later run would try to load.
+            fd, tmp_name = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, self._disk_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise

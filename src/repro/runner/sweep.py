@@ -1,0 +1,133 @@
+"""The sweep runner: dedup, cache, fan out, return results in order.
+
+``SweepRunner.run`` takes any sequence of :class:`SimJob`\\ s and returns
+their results *positionally* — submission order, not completion order —
+so a parallel run is bit-identical to the serial one.  Between submission
+and execution sit two cuts:
+
+1. **Dedup** — jobs with equal fingerprints are executed once and the
+   result fanned back to every position (`experiment all` asks for the
+   stock TV boot dozens of times).
+2. **Cache** — surviving fingerprints are looked up in the
+   :class:`~repro.runner.cache.ResultCache` before any simulation runs.
+
+What remains executes serially (``jobs=1``) or on a lazily created
+``ProcessPoolExecutor``; either way results land by position.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import SimJob, execute_job
+
+
+@dataclass(slots=True)
+class SweepStats:
+    """What one runner did across its lifetime.
+
+    Attributes:
+        submitted: Jobs passed to :meth:`SweepRunner.run`.
+        deduplicated: Submissions collapsed onto an identical job in the
+            same batch.
+        cache_hits: Unique jobs served from the result cache.
+        executed: Unique jobs actually simulated.
+    """
+
+    submitted: int = 0
+    deduplicated: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def savings_rate(self) -> float:
+        """Fraction of submissions that never reached a simulator."""
+        if not self.submitted:
+            return 0.0
+        return 1.0 - self.executed / self.submitted
+
+
+class SweepRunner:
+    """Deduplicating, caching, optionally parallel job executor.
+
+    Args:
+        jobs: Worker processes; ``1`` (the default) executes serially in
+            the calling process, in submission order.
+        cache: Result store; defaults to a fresh in-memory cache.
+
+    Use as a context manager (or call :meth:`close`) to shut down the
+    worker pool; a never-used pool costs nothing.
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache if cache is not None else ResultCache()
+        self.stats = SweepStats()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was ever created."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, jobs: Sequence[SimJob]) -> list[Any]:
+        """Execute ``jobs`` and return their results in submission order."""
+        jobs = list(jobs)
+        self.stats.submitted += len(jobs)
+        fingerprints = [job.fingerprint() for job in jobs]
+
+        # Dedup within the batch, preserving first-seen order.
+        unique: dict[str, SimJob] = {}
+        for fingerprint, job in zip(fingerprints, jobs):
+            if fingerprint in unique:
+                self.stats.deduplicated += 1
+            else:
+                unique[fingerprint] = job
+
+        # Cache cut.
+        results: dict[str, Any] = {}
+        missing: list[tuple[str, SimJob]] = []
+        for fingerprint, job in unique.items():
+            hit, value = self.cache.get(fingerprint)
+            if hit:
+                self.stats.cache_hits += 1
+                results[fingerprint] = value
+            else:
+                missing.append((fingerprint, job))
+
+        # Execute what is left, serially or fanned out.
+        if missing:
+            self.stats.executed += len(missing)
+            to_run = [job for _, job in missing]
+            if self.jobs == 1 or len(to_run) == 1:
+                outcomes = [execute_job(job) for job in to_run]
+            else:
+                outcomes = list(self._get_pool().map(execute_job, to_run))
+            for (fingerprint, _), outcome in zip(missing, outcomes):
+                self.cache.put(fingerprint, outcome)
+                results[fingerprint] = outcome
+
+        return [results[fingerprint] for fingerprint in fingerprints]
+
+    def run_one(self, job: SimJob) -> Any:
+        """Convenience wrapper: run a single job through dedup + cache."""
+        return self.run([job])[0]
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool

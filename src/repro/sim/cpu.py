@@ -137,8 +137,7 @@ class CPU:
             self.stats.dispatches += 1
             self.stats.switch_ns += self.switch_cost_ns
             done_at = self._engine.now + self.switch_cost_ns + slice_ns
-            self._engine._schedule_at(done_at,
-                                      lambda e=entry, s=slice_ns: self._slice_done(e, s))
+            self._engine._schedule_at(done_at, self._slice_done, entry, slice_ns)
 
     def _slice_done(self, entry: _RunQueueEntry, slice_ns: int) -> None:
         self._idle_cores += 1

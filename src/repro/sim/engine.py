@@ -82,22 +82,22 @@ class Simulator:
         process = Process(self, gen, name=name, priority=priority)
         process.daemon = daemon
         self.processes.append(process)
-        self._schedule_at(self.now, lambda: self._first_step(process))
+        self._schedule_at(self.now, self._first_step, process)
         return process
 
     def completion(self, name: str = "completion") -> Completion:
         """Create a :class:`~repro.sim.sync.Completion` bound to this engine."""
         return Completion(self, name=name)
 
-    def call_at(self, time_ns: int, callback) -> ScheduledEvent:
-        """Schedule a plain callback at an absolute simulation time."""
+    def call_at(self, time_ns: int, callback, *args) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
         if time_ns < self.now:
             raise SimulationError(f"call_at in the past: {time_ns} < {self.now}")
-        return self.events.push(time_ns, callback)
+        return self.events.push(time_ns, callback, *args)
 
-    def call_after(self, delay_ns: int, callback) -> ScheduledEvent:
-        """Schedule a plain callback ``delay_ns`` from now."""
-        return self.call_at(self.now + delay_ns, callback)
+    def call_after(self, delay_ns: int, callback, *args) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` ``delay_ns`` from now."""
+        return self.call_at(self.now + delay_ns, callback, *args)
 
     def run(self, until_ns: int | None = None, check_deadlock: bool = False) -> int:
         """Run the event loop.
@@ -117,15 +117,17 @@ class Simulator:
             Exception: The first exception raised inside any process is
                 re-raised here, at the simulated moment it occurred.
         """
-        while len(self.events) > 0:
-            next_time = self.events.peek_time()
+        events = self.events
+        advance_to = self.clock.advance_to
+        while len(events) > 0:
+            next_time = events.peek_time()
             assert next_time is not None
             if until_ns is not None and next_time > until_ns:
-                self.clock.advance_to(until_ns)
+                advance_to(until_ns)
                 return self.now
-            event = self.events.pop()
-            self.clock.advance_to(event.time_ns)
-            event.callback()
+            event = events.pop()
+            advance_to(event.time_ns)
+            event.callback(*event.args)
             if self._pending_failure is not None:
                 _failed, exc = self._pending_failure
                 self._pending_failure = None
@@ -141,8 +143,8 @@ class Simulator:
 
     # ------------------------------------------------- engine internals
 
-    def _schedule_at(self, time_ns: int, callback) -> ScheduledEvent:
-        return self.events.push(time_ns, callback)
+    def _schedule_at(self, time_ns: int, callback, *args) -> ScheduledEvent:
+        return self.events.push(time_ns, callback, *args)
 
     def _dispatch(self, process: Process, request: Any) -> None:
         """Route a process's yielded request to the right subsystem."""
@@ -152,7 +154,7 @@ class Simulator:
         elif isinstance(request, Timeout):
             process.state = ProcessState.WAITING
             process._timeout_event = self._schedule_at(
-                self.now + request.ns, lambda: self._resume(process, None))
+                self.now + request.ns, self._resume, process, None)
         elif isinstance(request, Wait):
             completion = request.completion
             if completion._add_waiter(process):
@@ -161,7 +163,7 @@ class Simulator:
             else:
                 # Already fired: resume on a fresh event to keep FIFO order.
                 self._schedule_at(self.now,
-                                  lambda: self._resume(process, completion.value))
+                                  self._resume, process, completion.value)
         else:
             raise SimulationError(
                 f"process {process.name!r} yielded unknown request {request!r}")
@@ -193,13 +195,13 @@ class Simulator:
         if process._timeout_event is not None:
             self.events.cancel(process._timeout_event)
             process._timeout_event = None
-            self._schedule_at(self.now, lambda: self._resume(process, None))
+            self._schedule_at(self.now, self._resume, process, None)
         elif process._waiting_on is not None:
             completion = process._waiting_on
             if process in completion._waiters:
                 completion._waiters.remove(process)
             process._waiting_on = None
-            self._schedule_at(self.now, lambda: self._resume(process, None))
+            self._schedule_at(self.now, self._resume, process, None)
         # Else: on the CPU (queued or mid-slice); the pending interrupt is
         # delivered when the slice completes (see CPU._slice_done).
 

@@ -1,41 +1,60 @@
 """The time-ordered event queue.
 
-Events are ``(time, sequence, callback)`` triples kept in a binary heap.
-The monotonically increasing sequence number makes ordering of same-time
-events deterministic (FIFO in scheduling order), which is what makes whole
-simulations bit-for-bit reproducible.
+Events are kept in a binary heap of plain ``(time_ns, seq, event)``
+tuples.  The monotonically increasing sequence number makes ordering of
+same-time events deterministic (FIFO in scheduling order), which is what
+makes whole simulations bit-for-bit reproducible — and, because ``seq`` is
+unique, tuple comparison never falls through to the event object itself,
+so every heap comparison is a C-level ``(int, int)`` compare instead of a
+generated dataclass ``__lt__``.  Callbacks carry their arguments in the
+event (``push(t, fn, *args)``), so hot paths schedule bound methods
+directly instead of allocating a closure per event.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True, slots=True)
 class ScheduledEvent:
     """A callback scheduled at an absolute simulation time.
 
-    Comparison order is ``(time_ns, seq)`` so the heap pops events in time
-    order with FIFO tie-breaking.  ``cancelled`` events stay in the heap and
-    are skipped when popped (lazy deletion).
+    The heap orders ``(time_ns, seq)`` tuples, so events pop in time order
+    with FIFO tie-breaking.  ``cancelled`` events stay in the heap and are
+    skipped when popped (lazy deletion).  Run one with :meth:`fire` (or
+    ``event.callback(*event.args)``).
     """
 
-    time_ns: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    executed: bool = field(default=False, compare=False)
+    __slots__ = ("time_ns", "seq", "callback", "args", "cancelled", "executed")
+
+    def __init__(self, time_ns: int, seq: int,
+                 callback: Callable[..., None], args: tuple[Any, ...] = ()):
+        self.time_ns = time_ns
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.executed = False
+
+    def fire(self) -> None:
+        """Invoke the callback with its stored arguments."""
+        self.callback(*self.args)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else (
+            "executed" if self.executed else "pending")
+        return (f"ScheduledEvent(time_ns={self.time_ns}, seq={self.seq}, "
+                f"{state})")
 
 
 class EventQueue:
     """Deterministic min-heap of :class:`ScheduledEvent` objects."""
 
     def __init__(self) -> None:
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple[int, int, ScheduledEvent]] = []
         self._seq = 0
         self._live = 0
 
@@ -43,14 +62,16 @@ class EventQueue:
         """Number of non-cancelled events still queued."""
         return self._live
 
-    def push(self, time_ns: int, callback: Callable[[], None]) -> ScheduledEvent:
-        """Schedule ``callback`` at absolute time ``time_ns``."""
+    def push(self, time_ns: int, callback: Callable[..., None],
+             *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
         if time_ns < 0:
             raise SimulationError(f"cannot schedule event at negative time {time_ns}")
-        event = ScheduledEvent(time_ns=time_ns, seq=self._seq, callback=callback)
-        self._seq += 1
+        seq = self._seq
+        event = ScheduledEvent(time_ns, seq, callback, args)
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time_ns, seq, event))
         return event
 
     def pop(self) -> ScheduledEvent:
@@ -59,8 +80,9 @@ class EventQueue:
         Raises:
             SimulationError: If the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -70,11 +92,12 @@ class EventQueue:
 
     def peek_time(self) -> int | None:
         """Time of the earliest live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time_ns
+        return heap[0][0]
 
     def cancel(self, event: ScheduledEvent) -> None:
         """Cancel a scheduled event (lazy deletion; idempotent; cancelling

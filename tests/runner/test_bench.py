@@ -1,0 +1,27 @@
+"""Smoke tests for the perf benchmark harness."""
+
+import json
+
+from repro.runner.bench import (_LegacyEventQueue, _drive_queue,
+                                bench_event_queue, build_record, write_record)
+from repro.sim.events import EventQueue
+
+
+def test_both_queues_process_identical_workloads():
+    assert _drive_queue(EventQueue(), 500) == 500
+    assert _drive_queue(_LegacyEventQueue(), 500) == 500
+
+
+def test_microbenchmark_reports_speedup():
+    result = bench_event_queue(events=2_000, repeats=1)
+    assert result["optimized_events_per_sec"] > 0
+    assert result["legacy_events_per_sec"] > 0
+    assert result["speedup"] > 0
+
+
+def test_record_roundtrips_as_json(tmp_path):
+    record = build_record(jobs=1, events=2_000, skip_sweep=True)
+    path = tmp_path / "BENCH_runner.json"
+    write_record(record, str(path))
+    loaded = json.loads(path.read_text())
+    assert "event_queue" in loaded and "code_version" in loaded

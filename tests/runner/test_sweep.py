@@ -1,0 +1,128 @@
+"""Runner determinism and cache soundness.
+
+The contract under test: a parallel run is bit-identical to the serial
+path, and a cache hit is indistinguishable from a fresh simulation.
+"""
+
+import pytest
+
+from repro.core import BBConfig
+from repro.experiments import scaling, variance
+from repro.runner import ResultCache, SimJob, SweepRunner, execute_job
+from repro.workloads import opensource_tv_workload
+from repro.workloads.tizen_tv import perturbed_tv_workload
+
+
+def _sample_jobs():
+    return [
+        SimJob.boot(opensource_tv_workload, bb=BBConfig.full()),
+        SimJob.boot(opensource_tv_workload, bb=BBConfig.none()),
+        SimJob.boot(perturbed_tv_workload, 0, 0.3, bb=BBConfig.full()),
+        SimJob.boot(opensource_tv_workload, bb=BBConfig.full()),  # duplicate
+    ]
+
+
+class TestDeterminism:
+    def test_parallel_results_identical_to_serial(self):
+        jobs = _sample_jobs()
+        serial = SweepRunner(jobs=1).run(jobs)
+        with SweepRunner(jobs=2) as runner:
+            parallel = runner.run(jobs)
+        assert parallel == serial
+
+    def test_parallel_experiment_renders_identically(self):
+        factors = (0.5, 1.0)
+        serial = scaling.render(scaling.run(factors, runner=SweepRunner()))
+        with SweepRunner(jobs=2) as runner:
+            parallel = scaling.render(scaling.run(factors, runner=runner))
+        assert parallel == serial
+
+    def test_results_return_in_submission_order(self):
+        jobs = _sample_jobs()
+        results = SweepRunner().run(jobs)
+        assert results[0] == results[3]
+        assert results[0].features and not results[1].features
+
+
+class TestDedupAndCache:
+    def test_duplicate_jobs_simulated_once(self):
+        runner = SweepRunner()
+        runner.run(_sample_jobs())
+        assert runner.stats.submitted == 4
+        assert runner.stats.deduplicated == 1
+        assert runner.stats.executed == 3
+
+    def test_cache_hit_equals_fresh_run(self):
+        job = SimJob.boot(opensource_tv_workload, bb=BBConfig.full())
+        runner = SweepRunner()
+        first = runner.run_one(job)
+        second = runner.run_one(job)
+        assert runner.stats.executed == 1
+        assert runner.stats.cache_hits == 1
+        assert second == first == execute_job(job)
+
+    def test_cache_hit_is_isolated_from_mutation(self):
+        job = SimJob.boot(opensource_tv_workload, bb=BBConfig.full())
+        runner = SweepRunner()
+        first = runner.run_one(job)
+        first.unit_ready_ns.clear()
+        second = runner.run_one(job)
+        assert second.unit_ready_ns
+
+    def test_changed_config_misses_cache(self):
+        runner = SweepRunner()
+        runner.run_one(SimJob.boot(opensource_tv_workload, bb=BBConfig.full()))
+        runner.run_one(SimJob.boot(
+            opensource_tv_workload,
+            bb=BBConfig.full().with_feature("preparser", False)))
+        assert runner.stats.executed == 2
+        assert runner.stats.cache_hits == 0
+
+    def test_changed_seed_misses_cache(self):
+        runner = SweepRunner()
+        runner.run_one(SimJob.boot(perturbed_tv_workload, 0, 0.3))
+        runner.run_one(SimJob.boot(perturbed_tv_workload, 1, 0.3))
+        assert runner.stats.executed == 2
+        assert runner.stats.cache_hits == 0
+
+    def test_variance_experiment_shares_runner_cache(self):
+        runner = SweepRunner()
+        variance.run(instances=2, runner=runner)
+        before = runner.stats.executed
+        variance.run(instances=2, runner=runner)
+        assert runner.stats.executed == before
+
+
+class TestDiskCache:
+    def test_disk_cache_survives_processes(self, tmp_path):
+        job = SimJob.boot(opensource_tv_workload, bb=BBConfig.none())
+        first_runner = SweepRunner(cache=ResultCache(tmp_path))
+        first = first_runner.run_one(job)
+        assert first_runner.stats.executed == 1
+
+        # A brand-new runner (fresh memory) must hit the disk layer.
+        second_runner = SweepRunner(cache=ResultCache(tmp_path))
+        second = second_runner.run_one(job)
+        assert second_runner.stats.executed == 0
+        assert second_runner.cache.stats.disk_hits == 1
+        assert second == first
+
+    def test_torn_disk_entry_is_ignored(self, tmp_path):
+        job = SimJob.boot(opensource_tv_workload, bb=BBConfig.none())
+        (tmp_path / f"{job.fingerprint()}.pkl").write_bytes(b"not a pickle")
+        runner = SweepRunner(cache=ResultCache(tmp_path))
+        report = runner.run_one(job)
+        assert runner.stats.executed == 1
+        assert report.boot_complete_ms > 0
+
+
+class TestStats:
+    def test_savings_rate(self):
+        runner = SweepRunner()
+        runner.run(_sample_jobs())
+        assert runner.stats.savings_rate == pytest.approx(0.25)
+
+    def test_empty_run(self):
+        runner = SweepRunner()
+        assert runner.run([]) == []
+        assert runner.stats.savings_rate == 0.0

@@ -75,3 +75,30 @@ def test_peek_time_skips_cancelled():
 
 def test_peek_time_empty_is_none():
     assert EventQueue().peek_time() is None
+
+
+def test_push_with_args_fires_callback_with_them():
+    queue = EventQueue()
+    seen = []
+    queue.push(1, seen.append, "payload")
+    queue.pop().fire()
+    assert seen == ["payload"]
+
+
+def test_fire_without_args_matches_direct_call():
+    queue = EventQueue()
+    ran = []
+    queue.push(1, lambda: ran.append("x"))
+    event = queue.pop()
+    event.callback(*event.args)
+    assert ran == ["x"]
+
+
+def test_same_time_fifo_with_args():
+    queue = EventQueue()
+    order = []
+    for label in "abcde":
+        queue.push(5, order.append, label)
+    while len(queue) > 0:
+        queue.pop().fire()
+    assert order == list("abcde")
