@@ -1,0 +1,29 @@
+"""Bench FAULT-MATRIX — regenerate the degraded-boot robustness study."""
+
+from repro.experiments import fault_matrix
+
+
+def test_fault_matrix(regenerate):
+    result = regenerate(fault_matrix.run, fault_matrix.render)
+    by_preset = {o.preset: o for o in result.bb}
+
+    # Nuisance presets slow the boot but never keep it from completing.
+    for name in ("storage-storm", "late-devices", "settle-jitter",
+                 "module-roulette", "flaky-services"):
+        assert by_preset[name].completion_rate == 1.0, name
+
+    # Out-of-group crashes degrade the boot without blocking completion
+    # (§2.5.2's isolation story), and the injector actually fired.
+    assert by_preset["flaky-services"].degraded_completions > 0
+    assert by_preset["flaky-services"].injected_events > 0
+
+    # In-chain faults are fatal and the diagnosis names the real culprit.
+    assert by_preset["broken-tuner"].completed == 0
+    assert set(by_preset["broken-tuner"].culprits) == {"tuner.service"}
+    assert by_preset["missing-device"].completed == 0
+    assert set(by_preset["missing-device"].culprits) == {"fasttv.service"}
+
+    # Same plan + seed on the no-BB side reaches the same verdicts.
+    no_bb = {o.preset: o for o in result.no_bb}
+    assert no_bb["broken-tuner"].completed == 0
+    assert no_bb["missing-device"].completed == 0

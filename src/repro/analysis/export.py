@@ -38,6 +38,10 @@ def report_to_dict(report: BootReport) -> dict[str, Any]:
         "deferred_tasks": list(report.deferred_task_names),
         "unit_started_ns": dict(report.unit_started_ns),
         "unit_ready_ns": dict(report.unit_ready_ns),
+        "failed_units": dict(report.failed_units),
+        "unsettled_units": list(report.unsettled_units),
+        "injected_faults": dict(report.injected_faults),
+        "deferred_failed": list(report.deferred_failed),
     }
 
 

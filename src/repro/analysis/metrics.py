@@ -49,6 +49,14 @@ class BootReport:
         cpu_busy_ns: Total core-nanoseconds executed.
         ignored_edges: Ordering edges dropped by the Isolator.
         deferred_task_names: Work postponed past completion.
+        failed_units: Permanently failed units -> reason (a boot can
+            complete degraded when the casualties are outside the
+            completion chain).
+        unsettled_units: Units whose start job never settled (blocked on
+            a device that never appeared, typically).
+        injected_faults: The fault injector's tally (empty when the run
+            had no fault plan).
+        deferred_failed: Deferred tasks that exhausted their retries.
     """
 
     workload: str
@@ -66,11 +74,21 @@ class BootReport:
     cpu_busy_ns: int = 0
     ignored_edges: int = 0
     deferred_task_names: list[str] = field(default_factory=list)
+    failed_units: dict[str, str] = field(default_factory=dict)
+    unsettled_units: tuple[str, ...] = ()
+    injected_faults: dict[str, int] = field(default_factory=dict)
+    deferred_failed: list[str] = field(default_factory=list)
 
     @property
     def boot_complete_ms(self) -> float:
         """Boot completion in milliseconds (the paper's unit)."""
         return to_msec(self.boot_complete_ns)
+
+    @property
+    def degraded(self) -> bool:
+        """True when boot completed but something died along the way."""
+        return bool(self.failed_units or self.unsettled_units
+                    or self.deferred_failed)
 
     def ready_ns(self, unit: str) -> int:
         """Readiness time of one unit.

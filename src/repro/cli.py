@@ -8,6 +8,8 @@ Commands:
   evaluation experiment and print the regenerated artifact
   (``experiment list`` shows the ids); sweeps are deduplicated, cached,
   and fanned out over ``N`` worker processes,
+* ``faults [PRESET] [--seed N] [--no-bb] [--list-presets]`` — boot under
+  a named fault preset and print the (possibly degraded) outcome,
 * ``bench [--jobs N] [--out FILE]`` — engine microbenchmark +
   serial-vs-parallel sweep benchmark, recorded to ``BENCH_runner.json``,
 * ``bootchart [--workload NAME] [--bb] [--cores N] [--svg FILE]`` — boot
@@ -44,11 +46,12 @@ WORKLOADS: dict[str, Callable[[], Workload]] = {
 
 def _experiments() -> dict[str, tuple]:
     from repro.experiments import (ablations, background, boot_modes,
-                                   fig1_boot_sequence, fig2_dependency_graph,
-                                   fig3_complexity, fig5_rcu_bootchart,
-                                   fig6_breakdown, fig7_bbgroup_dbus,
-                                   kernel_opt, portability, prestart, scaling,
-                                   socket_activation, tradeoff, variance)
+                                   fault_matrix, fig1_boot_sequence,
+                                   fig2_dependency_graph, fig3_complexity,
+                                   fig5_rcu_bootchart, fig6_breakdown,
+                                   fig7_bbgroup_dbus, kernel_opt, portability,
+                                   prestart, scaling, socket_activation,
+                                   tradeoff, variance)
     return {
         "portability": (portability.run, portability.render),
         "scaling": (scaling.run, scaling.render),
@@ -66,6 +69,7 @@ def _experiments() -> dict[str, tuple]:
         "variance": (variance.run, variance.render),
         "prestart": (prestart.run, prestart.render),
         "ablations": (ablations.run, ablations.render),
+        "fault-matrix": (fault_matrix.run, fault_matrix.render),
     }
 
 
@@ -139,10 +143,58 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                      cache=ResultCache(args.cache_dir)) as runner:
         for exp_id in ids:
             run, render = experiments[exp_id]
-            kwargs = ({"runner": runner}
-                      if "runner" in inspect.signature(run).parameters else {})
+            params = inspect.signature(run).parameters
+            kwargs = {}
+            if "runner" in params:
+                kwargs["runner"] = runner
+            if getattr(args, "smoke", False) and "smoke" in params:
+                kwargs["smoke"] = True
             print(render(run(**kwargs)))
             print()
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.core.degraded import DegradedBootError
+    from repro.faults import PRESETS, build_preset
+
+    if args.list_presets or args.preset is None:
+        for name, builder in PRESETS.items():
+            doc = (builder.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:16s} {doc}")
+        return 0
+    try:
+        plan = build_preset(args.preset, seed=args.seed)
+    except Exception as exc:
+        raise SystemExit(str(exc))
+    workload = _resolve_workload(args.workload)
+    config = _resolve_config(args)
+    print(plan.describe())
+    simulation = BootSimulation(workload, config, cores=args.cores,
+                                fault_plan=plan)
+    try:
+        report = simulation.run()
+    except DegradedBootError as exc:
+        print(exc.report.summary())
+        tally = exc.report.injected_faults
+        if tally:
+            print("injected: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(tally.items()) if v))
+        return 1
+    state = "degraded" if report.degraded else "healthy"
+    print(f"boot completed {state} at {report.boot_complete_ms:.1f} ms "
+          f"(full quiescence {report.all_done_ns / 1e6:.1f} ms)")
+    if report.failed_units:
+        print("failed units: " + ", ".join(
+            f"{name} ({reason})"
+            for name, reason in sorted(report.failed_units.items())))
+    if report.unsettled_units:
+        print("never settled: " + ", ".join(report.unsettled_units))
+    if report.deferred_failed:
+        print("deferred tasks given up: " + ", ".join(report.deferred_failed))
+    tally = {k: v for k, v in sorted(report.injected_faults.items()) if v}
+    if tally:
+        print("injected: " + ", ".join(f"{k}={v}" for k, v in tally.items()))
     return 0
 
 
@@ -237,7 +289,26 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--cache-dir",
                             help="persist simulation results to this "
                                  "directory, keyed by job fingerprint")
+    experiment.add_argument("--smoke", action="store_true",
+                            help="reduced sweep for CI, where the "
+                                 "experiment supports one")
     experiment.set_defaults(fn=_cmd_experiment)
+
+    faults = sub.add_parser("faults",
+                            help="boot under a named fault preset")
+    faults.add_argument("preset", nargs="?",
+                        help="preset name (see --list-presets)")
+    faults.add_argument("--list-presets", action="store_true",
+                        help="list the available fault presets")
+    faults.add_argument("--seed", type=int, default=1,
+                        help="fault plan seed (default 1)")
+    faults.add_argument("--workload", default="tv")
+    faults.add_argument("--no-bb", action="store_true",
+                        help="conventional boot (default is full BB)")
+    faults.add_argument("--features", help="comma-separated BB feature list")
+    faults.add_argument("--cores", type=int, default=None,
+                        help="override the platform core count")
+    faults.set_defaults(fn=_cmd_faults)
 
     bench = sub.add_parser("bench",
                            help="run the perf benchmarks, write BENCH_runner.json")

@@ -20,6 +20,7 @@ from repro.core.bootup_engine import BootupEngine
 from repro.core.config import BBConfig
 from repro.core.core_engine import CoreEngine
 from repro.core.deferred import ApplicationLaunch, LaunchReport
+from repro.core.degraded import DegradedBootError, DegradedBootReport
 from repro.core.isolator import BBGroupIsolator
 from repro.core.service_engine import ServiceEngine
 
@@ -31,6 +32,8 @@ __all__ = [
     "BootingBooster",
     "BootupEngine",
     "CoreEngine",
+    "DegradedBootError",
+    "DegradedBootReport",
     "LaunchReport",
     "ServiceEngine",
 ]

@@ -24,9 +24,11 @@ from repro.analysis.metrics import BootReport, StageBreakdown
 from repro.core.bootup_engine import BootupEngine
 from repro.core.config import BBConfig
 from repro.core.core_engine import CoreEngine
+from repro.core.degraded import DegradedBootError, diagnose_degraded_boot
 from repro.core.service_engine import ServiceEngine
-from repro.errors import SimulationError
+from repro.errors import ServiceFailureError, SimulationError
 from repro.initsys.manager import InitManager
+from repro.initsys.transaction import JobState
 from repro.kernel.config import KernelConfig
 from repro.sim.engine import Simulator
 from repro.sim.process import Wait
@@ -58,18 +60,25 @@ class BootSimulation:
         bb: Feature flags; :meth:`BBConfig.none` is the "No BB" column.
         cores: Override the platform's core count (scaling studies).
         kernel_config: Override the kernel build (§2.4 studies).
+        fault_plan: Optional :class:`~repro.faults.FaultPlan`; compiled
+            into a fresh injector for this run.  A boot that cannot reach
+            completion raises :class:`~repro.core.degraded.DegradedBootError`
+            carrying a structured post-mortem.
     """
 
     def __init__(self, workload: Workload, bb: BBConfig | None = None,
                  cores: int | None = None,
                  kernel_config: KernelConfig | None = None,
-                 manual_bb_group: tuple[str, ...] | None = None):
+                 manual_bb_group: tuple[str, ...] | None = None,
+                 fault_plan=None):
         self.workload = workload
         self.bb = bb if bb is not None else BBConfig.none()
         self.platform = workload.platform_factory()
         self.cores = cores if cores is not None else self.platform.cpu_cores
         self.kernel_config = kernel_config
         self.manual_bb_group = manual_bb_group
+        self.fault_plan = fault_plan
+        self.fault_injector = None
         self.sim: Simulator | None = None
         self.booster: BootingBooster | None = None
         self.manager: InitManager | None = None
@@ -82,6 +91,8 @@ class BootSimulation:
 
         Raises:
             SimulationError: If called twice.
+            DegradedBootError: If the boot cannot reach completion under
+                the fault plan (``.report`` names the culprit).
         """
         if self.sim is not None:
             raise SimulationError("BootSimulation.run() is single-shot; "
@@ -89,6 +100,9 @@ class BootSimulation:
         sim = Simulator(cores=self.cores)
         self.sim = sim
         self.platform.attach(sim)
+        if self.fault_plan is not None:
+            self.fault_injector = self.fault_plan.compile()
+            self.platform.storage.fault_hook = self.fault_injector.storage_extra_ns
         registry = self.workload.fresh_registry()
 
         kernel_config = self.kernel_config
@@ -106,7 +120,19 @@ class BootSimulation:
         sim.spawn(self._boot(sim, registry, core_engine, bootup_engine,
                              service_engine),
                   name="boot", priority=10)
-        sim.run()
+        try:
+            sim.run()
+        except DegradedBootError:
+            raise
+        except ServiceFailureError as exc:
+            # A completion unit's start job failed: diagnose and re-raise
+            # with structure.  Other exceptions are genuine bugs and
+            # propagate untouched.
+            raise self._degraded_error(wedged=False) from exc
+        if self.manager is None or self.manager.completion is None:
+            # The event queue drained with the boot still blocked — a
+            # device path that never appeared, typically.
+            raise self._degraded_error(wedged=True)
         return self._build_report()
 
     # ------------------------------------------------------------ internals
@@ -128,12 +154,23 @@ class BootSimulation:
             edge_filter=service_engine.edge_filter,
             priority_fn=service_engine.priority_fn,
             on_boot_complete=lambda: bootup_engine.on_boot_complete(sim),
+            fault_injector=self.fault_injector,
             path_faulter_factory=(
                 (lambda paths: bootup_engine.make_path_faulter(sim, paths))
                 if self.bb.ondemand_modularizer else None))
         self.manager = manager
         manager_process = manager.spawn()
         yield Wait(manager_process.done)
+
+    def _degraded_error(self, wedged: bool) -> "DegradedBootError":
+        if self.manager is None or self.sim is None:
+            raise SimulationError("boot failed before the init manager ran")
+        report = diagnose_degraded_boot(
+            self.manager, workload=self.workload.name,
+            features=self.bb.enabled_features(),
+            injector=self.fault_injector, wedged=wedged,
+            time_ns=self.sim.now)
+        return DegradedBootError(report)
 
     def _build_report(self) -> BootReport:
         sim, manager, booster = self.sim, self.manager, self.booster
@@ -148,12 +185,18 @@ class BootSimulation:
 
         unit_ready: dict[str, int] = {}
         unit_started: dict[str, int] = {}
+        failed_units: dict[str, str] = {}
+        unsettled_units: list[str] = []
         assert manager.transaction is not None
         for job in manager.transaction.jobs.values():
             if job.ready_at_ns is not None:
                 unit_ready[job.name] = job.ready_at_ns
             if job.started_at_ns is not None:
                 unit_started[job.name] = job.started_at_ns
+            if job.state is JobState.FAILED:
+                failed_units[job.name] = job.failure_reason or "failed"
+            elif job.settled is not None and not job.settled.fired:
+                unsettled_units.append(job.name)
 
         rcu = core_engine.rcu
         assert rcu is not None
@@ -177,4 +220,9 @@ class BootSimulation:
             cpu_busy_ns=sim.cpu.stats.busy_ns,
             ignored_edges=len(executor.ignored_edges) if executor else 0,
             deferred_task_names=[p.name for p in manager.deferred_processes],
+            failed_units=failed_units,
+            unsettled_units=tuple(unsettled_units),
+            injected_faults=(self.fault_injector.stats.as_dict()
+                             if self.fault_injector is not None else {}),
+            deferred_failed=list(manager.deferred_failed),
         )

@@ -1,0 +1,185 @@
+"""Degraded-boot diagnosis: who kept the device from booting?
+
+When a boot cannot reach completion — a unit on the critical chain failed
+permanently, or a device path never appeared and the boot wedged — the
+user deserves better than a bare exception: §2.5.2's monitoring-and-
+recovery story is precisely about knowing *which* unit/device is at
+fault.  :func:`diagnose_degraded_boot` walks the requirement graph from
+the completion units and produces a structured
+:class:`DegradedBootReport`; :class:`DegradedBootError` carries it while
+remaining a :class:`~repro.errors.ServiceFailureError`, so existing
+``except ServiceFailureError`` callers keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ServiceFailureError
+from repro.initsys.transaction import JobState
+
+if TYPE_CHECKING:
+    from repro.faults.injector import BootFaultInjector
+    from repro.initsys.manager import InitManager
+
+
+@dataclass(slots=True)
+class DegradedBootReport:
+    """Structured post-mortem of a boot that missed completion.
+
+    Attributes:
+        workload: Workload name.
+        features: BB features that were enabled.
+        completion_units: What "boot complete" would have required.
+        boot_wedged: True when the simulation ran out of events with the
+            boot still blocked (a missing device path, typically) rather
+            than failing outright.
+        time_ns: Simulated time when the run gave up.
+        culprit_unit: Root-cause unit on the completion chain, if one
+            could be named.
+        culprit_device: Device path the culprit is stuck waiting for.
+        failed_units: Every permanently failed unit -> its reason.
+        unsettled_units: Units whose start job never settled (BFS-stable
+            order from the completion units first, then the rest).
+        injected_faults: The fault injector's tally (empty without one).
+    """
+
+    workload: str
+    features: list[str]
+    completion_units: tuple[str, ...]
+    boot_wedged: bool
+    time_ns: int
+    culprit_unit: str | None = None
+    culprit_device: str | None = None
+    failed_units: dict[str, str] = field(default_factory=dict)
+    unsettled_units: tuple[str, ...] = ()
+    injected_faults: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One paragraph for humans (the CLI prints this)."""
+        mode = "wedged" if self.boot_wedged else "failed"
+        lines = [f"boot {mode} at {self.time_ns / 1e6:.1f} ms "
+                 f"(workload {self.workload})"]
+        if self.culprit_unit:
+            culprit = f"culprit: {self.culprit_unit}"
+            if self.culprit_device:
+                culprit += f" (waiting for {self.culprit_device})"
+            lines.append(culprit)
+        if self.failed_units:
+            lines.append("failed units: " + ", ".join(
+                f"{name} ({reason})"
+                for name, reason in sorted(self.failed_units.items())))
+        if self.unsettled_units:
+            lines.append("never settled: " + ", ".join(self.unsettled_units))
+        return "\n".join(lines)
+
+
+class DegradedBootError(ServiceFailureError):
+    """A boot missed completion; carries the :class:`DegradedBootReport`.
+
+    Subclasses :class:`ServiceFailureError` so callers that already catch
+    start-job failures see degraded boots too; ``.report`` has the
+    diagnosis.
+    """
+
+    def __init__(self, report: DegradedBootReport):
+        self.report = report
+        unit = report.culprit_unit or "<unknown>"
+        mode = "wedged" if report.boot_wedged else "failed"
+        reason = f"boot {mode}"
+        if report.culprit_device:
+            reason += f" waiting for {report.culprit_device}"
+        super().__init__(unit, reason)
+
+
+def _requirement_bfs(transaction, completion_units: tuple[str, ...]) -> list[str]:
+    """Units reachable from the completion units over ``Requires``, in
+    deterministic BFS order (completion units first)."""
+    order: list[str] = []
+    queue = [name for name in completion_units if name in transaction]
+    seen = set(queue)
+    while queue:
+        name = queue.pop(0)
+        order.append(name)
+        for dep in transaction.job(name).unit.requires:
+            if dep in transaction and dep not in seen:
+                seen.add(dep)
+                queue.append(dep)
+    return order
+
+
+def _find_culprit(transaction, order: list[str]) -> str | None:
+    """Root-cause unit: prefer a failed unit none of whose own required
+    units failed; else the first failed unit; else the first unsettled
+    unit whose required units all settled; else the first unsettled."""
+
+    def requires_in(job):
+        return [d for d in job.unit.requires if d in transaction]
+
+    failed = [n for n in order
+              if transaction.job(n).state is JobState.FAILED]
+    for name in failed:
+        job = transaction.job(name)
+        if not any(transaction.job(d).state is JobState.FAILED
+                   for d in requires_in(job)):
+            return name
+    if failed:
+        return failed[0]
+
+    def settled(name: str) -> bool:
+        completion = transaction.job(name).settled
+        return completion is None or completion.fired
+
+    unsettled = [n for n in order if not settled(n)]
+    for name in unsettled:
+        job = transaction.job(name)
+        if all(settled(d) for d in requires_in(job)):
+            return name
+    return unsettled[0] if unsettled else None
+
+
+def diagnose_degraded_boot(manager: "InitManager", workload: str,
+                           features: list[str],
+                           injector: "BootFaultInjector | None",
+                           wedged: bool, time_ns: int) -> DegradedBootReport:
+    """Build the post-mortem for a boot that missed completion."""
+    transaction = manager.transaction
+    failed_units: dict[str, str] = {}
+    unsettled: list[str] = []
+    culprit_unit: str | None = None
+    culprit_device: str | None = None
+
+    if transaction is not None:
+        chain = _requirement_bfs(transaction,
+                                 tuple(manager.config.completion_units))
+        # The report covers collateral damage outside the completion chain
+        # too, but only chain units can be named culprit.
+        order = chain + [name for name in transaction.jobs
+                         if name not in set(chain)]
+        for name in order:
+            job = transaction.job(name)
+            if job.state is JobState.FAILED:
+                failed_units[name] = job.failure_reason or "failed"
+            elif job.settled is not None and not job.settled.fired:
+                unsettled.append(name)
+        culprit_unit = _find_culprit(transaction, chain)
+        if culprit_unit is not None:
+            culprit_job = transaction.job(culprit_unit)
+            for path in culprit_job.unit.waits_for_paths:
+                if not manager.paths.exists(path):
+                    culprit_device = path
+                    break
+
+    return DegradedBootReport(
+        workload=workload,
+        features=list(features),
+        completion_units=tuple(manager.config.completion_units),
+        boot_wedged=wedged,
+        time_ns=time_ns,
+        culprit_unit=culprit_unit,
+        culprit_device=culprit_device,
+        failed_units=failed_units,
+        unsettled_units=tuple(unsettled),
+        injected_faults=injector.stats.as_dict() if injector else {},
+    )

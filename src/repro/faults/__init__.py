@@ -1,0 +1,28 @@
+"""Deterministic fault injection for simulated boots.
+
+Declare what goes wrong with a :class:`FaultPlan` (pure data, picklable,
+fingerprinted), compile it into a :class:`BootFaultInjector` per run, and
+pass the plan to :class:`~repro.core.bb.BootSimulation` (or embed it in a
+:class:`~repro.runner.jobs.SimJob`).  See ``docs/faults.md``.
+"""
+
+from repro.faults.injector import BootFaultInjector, InjectedStats, ServiceDecision
+from repro.faults.plan import (DeferredFault, FaultPlan, ModuleFault,
+                               PathFault, ServiceFault, SettleFault,
+                               StorageFault)
+from repro.faults.presets import PRESETS, build_preset
+
+__all__ = [
+    "BootFaultInjector",
+    "DeferredFault",
+    "FaultPlan",
+    "InjectedStats",
+    "ModuleFault",
+    "PRESETS",
+    "PathFault",
+    "ServiceDecision",
+    "ServiceFault",
+    "SettleFault",
+    "StorageFault",
+    "build_preset",
+]

@@ -1,0 +1,100 @@
+"""Named fault-plan presets for the TV workload family.
+
+Each preset is a function ``(seed) -> FaultPlan`` capturing one failure
+regime worth studying; the fault-matrix experiment sweeps them across
+seeds and BB configurations.  Presets are *plans*, not injectors — pure
+data, safe to embed in :class:`~repro.runner.jobs.SimJob`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (DeferredFault, FaultPlan, ModuleFault,
+                               PathFault, ServiceFault, SettleFault,
+                               StorageFault)
+from repro.quantities import msec
+
+
+def storage_storm(seed: int = 0) -> FaultPlan:
+    """Aging eMMC: frequent latency spikes plus occasional read retries."""
+    return FaultPlan(seed=seed, label="storage-storm", storage=(
+        StorageFault(spike_rate=0.10, spike_ns=msec(3),
+                     error_rate=0.03, error_retry_ns=msec(2)),))
+
+
+def flaky_services(seed: int = 0) -> FaultPlan:
+    """Out-of-group services crash at start; deferred work needs retries.
+
+    None of these units is required by the completion units, so boot must
+    still complete — degraded, with the casualties in the report.
+    """
+    return FaultPlan(
+        seed=seed, label="flaky-services",
+        services=(ServiceFault(unit="app-*.service", fail_rate=0.30),
+                  ServiceFault(unit="vendor-*.service", fail_rate=0.20),
+                  ServiceFault(unit="middleware-*.service", fail_rate=0.10)),
+        deferred=(DeferredFault(task="*", fail_attempts=1),))
+
+
+def late_devices(seed: int = 0) -> FaultPlan:
+    """Broadcast-path device nodes appear hundreds of ms late."""
+    return FaultPlan(seed=seed, label="late-devices", paths=(
+        PathFault(path="/dev/tuner_drv", delay_ns=msec(700)),
+        PathFault(path="/dev/demux_drv", delay_ns=msec(450)),))
+
+
+def missing_device(seed: int = 0) -> FaultPlan:
+    """The AV device never appears: the boot wedges on ``fasttv.service``."""
+    return FaultPlan(seed=seed, label="missing-device", paths=(
+        PathFault(path="/dev/av_drv", missing=True),))
+
+
+def broken_tuner(seed: int = 0) -> FaultPlan:
+    """The tuner daemon crashes on every attempt — an in-group casualty,
+    so completion fails with the tuner named as culprit."""
+    return FaultPlan(seed=seed, label="broken-tuner", services=(
+        ServiceFault(unit="tuner.service", fail_attempts=99),))
+
+
+def module_roulette(seed: int = 0) -> FaultPlan:
+    """Bulk kmod loading misbehaves: anonymous drivers fail to load and
+    every module pays extra bus latency (named broadcast drivers still
+    load, so boot completes)."""
+    return FaultPlan(seed=seed, label="module-roulette", modules=(
+        ModuleFault(module="drv_*", fail_rate=0.10),
+        ModuleFault(module="*", fail_rate=0.0, extra_latency_ns=msec(1))))
+
+
+def settle_jitter(seed: int = 0) -> FaultPlan:
+    """Peripherals settle slower and noisier than the datasheet says."""
+    return FaultPlan(seed=seed, label="settle-jitter", settles=(
+        SettleFault(unit="*", multiplier=1.3, jitter=0.5),))
+
+
+#: Name -> builder, in presentation order.
+PRESETS: dict[str, Callable[[int], FaultPlan]] = {
+    "storage-storm": storage_storm,
+    "flaky-services": flaky_services,
+    "late-devices": late_devices,
+    "missing-device": missing_device,
+    "broken-tuner": broken_tuner,
+    "module-roulette": module_roulette,
+    "settle-jitter": settle_jitter,
+}
+
+
+def build_preset(name: str, seed: int = 0) -> FaultPlan:
+    """Build a named preset plan.
+
+    Raises:
+        ConfigurationError: For an unknown preset name.
+    """
+    try:
+        builder = PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault preset {name!r}; choose from "
+            f"{', '.join(PRESETS)}") from None
+    return builder(seed)

@@ -9,7 +9,7 @@ which matters when many services read their binaries at once during boot.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import HardwareError
 from repro.quantities import transfer_time_ns, usec
@@ -62,6 +62,11 @@ class StorageDevice:
         self.bytes_read = 0
         self.bytes_written = 0
         self.requests = 0
+        # Fault hook: called once per request with (nbytes, is_write),
+        # returns extra nanoseconds the device stalls (spike, firmware
+        # retry).  The stall happens while the channel is held, so queued
+        # requests feel it too.  See repro.faults.
+        self.fault_hook: Callable[[int, bool], int] | None = None
 
     def attach(self, engine: "Simulator") -> "StorageDevice":
         """Bind the device to a simulator (creates the channel lock).
@@ -107,6 +112,8 @@ class StorageDevice:
             raise HardwareError(f"{self.name}: device not attached to a simulator")
         yield from self._channel.acquire()
         try:
+            if self.fault_hook is not None:
+                duration_ns += self.fault_hook(nbytes, is_write)
             yield Timeout(duration_ns)
             self.requests += 1
             if is_write:

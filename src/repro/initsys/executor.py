@@ -49,6 +49,9 @@ class PathRegistry:
         self._engine = engine
         self._paths: set[str] = set(preexisting or ())
         self._watchers: dict[str, list] = {}
+        self._blocked: set[str] = set()
+        self.suppressed_provides = 0
+        self.suppressed_paths: set[str] = set()
 
     def exists(self, path: str) -> bool:
         """Whether ``path`` currently exists."""
@@ -56,11 +59,29 @@ class PathRegistry:
 
     def provide(self, path: str) -> None:
         """Create ``path``, waking any processes waiting for it."""
+        if path in self._blocked:
+            # Fault injection: the device/file refuses to appear; whoever
+            # tried to provide it proceeds none the wiser (udev would not
+            # tell the provider either).
+            self.suppressed_provides += 1
+            self.suppressed_paths.add(path)
+            return
         if path in self._paths:
             return
         self._paths.add(path)
         for completion in self._watchers.pop(path, []):
             completion.fire(path)
+
+    def block(self, path: str) -> None:
+        """Suppress every provide of ``path`` (and hide it if it exists)."""
+        self._blocked.add(path)
+        self._paths.discard(path)
+
+    def unblock(self, path: str, provide: bool = False) -> None:
+        """Lift a block; with ``provide=True`` the path appears at once."""
+        self._blocked.discard(path)
+        if provide:
+            self.provide(path)
 
     def wait_for(self, path: str) -> "ProcessGenerator":
         """Generator: block until ``path`` exists (no polling cost)."""
@@ -107,7 +128,8 @@ class ServiceRunner:
                  rcu: RCUSubsystem, paths: PathRegistry,
                  manager_lock: "Mutex | PriorityMutex | None" = None,
                  path_faulter: "Callable[[str], ProcessGenerator] | None" = None,
-                 ready_gate: "Callable[[str], object | None] | None" = None):
+                 ready_gate: "Callable[[str], object | None] | None" = None,
+                 fault_injector=None):
         self._engine = engine
         self._storage = storage
         self._rcu = rcu
@@ -118,18 +140,23 @@ class ServiceRunner:
         # so a client's first IPC call can block on it (None = no lookup,
         # e.g. under the sequential baseline where everything is ordered).
         self._ready_gate = ready_gate
+        # Seeded fault injection (repro.faults); None = healthy boot.
+        self._fault_injector = fault_injector
 
     def run(self, job: Job) -> "ProcessGenerator":
         """Generator: execute one start attempt of ``job``.
 
         Returns True on success (completions fired per the service type);
-        False if the attempt failed (injected via the unit's
-        ``failures_before_success`` — the crash happens after exec but
-        before the unit signals any readiness).
+        False if the attempt failed — injected via the unit's
+        ``failures_before_success`` or a fault plan's ``ServiceFault``;
+        the crash happens after exec but before the unit signals any
+        readiness.
         """
         unit = job.unit
         engine = self._engine
         job.attempts += 1
+        decision = (self._fault_injector.service_decision(unit.name, job.attempts)
+                    if self._fault_injector is not None else None)
         span = engine.tracer.begin(unit.name, "service",
                                    unit_type=unit.unit_type.value,
                                    service_type=unit.service_type.value,
@@ -154,7 +181,8 @@ class ServiceRunner:
         if not unit.static_build and unit.cost.dynamic_link_ns:
             yield Compute(unit.cost.dynamic_link_ns)
 
-        if job.attempts <= unit.failures_before_success:
+        if (job.attempts <= unit.failures_before_success
+                or (decision is not None and decision.fail)):
             # Injected failure: the process crashes mid-initialization,
             # before signalling readiness.
             yield Compute(unit.cost.init_cpu_ns // 2)
@@ -167,16 +195,23 @@ class ServiceRunner:
             # Simple services count as active the moment they are forked.
             self._mark_ready(job)
 
+        if decision is not None and decision.hang_ns:
+            # Injected stall: the daemon wedges mid-start; a long enough
+            # hang trips the unit's JobTimeout watchdog.
+            yield Timeout(decision.hang_ns)
+
         # Device availability: wait for (or on-demand load) the driver
         # behind each device path the unit opens.
         for path in unit.waits_for_paths:
             if not self._paths.exists(path):
                 if self._path_faulter is not None:
                     yield from self._path_faulter(path)
-                else:
+                if not self._paths.exists(path):
+                    # No faulter, or the demand-load could not surface the
+                    # node (fault-blocked path): block until it appears.
                     yield from self._paths.wait_for(path)
 
-        yield from self._initialization_work(unit)
+        yield from self._initialization_work(unit, job.attempts)
 
         if unit.service_type is ServiceType.NOTIFY and unit.cost.ready_extra_ns:
             yield Timeout(unit.cost.ready_extra_ns)
@@ -192,7 +227,8 @@ class ServiceRunner:
         engine.tracer.end(span)
         return True
 
-    def _initialization_work(self, unit: Unit) -> "ProcessGenerator":
+    def _initialization_work(self, unit: Unit,
+                             attempt: int = 1) -> "ProcessGenerator":
         """CPU init chunks interleaved with synchronize_rcu calls.
 
         If the unit declares socket-activation IPC targets, the first
@@ -215,13 +251,23 @@ class ServiceRunner:
                         yield Wait(gate)
             if index < syncs:
                 yield from self._rcu.synchronize_rcu()
-        if unit.cost.hw_settle_ns:
-            yield Timeout(unit.cost.hw_settle_ns)
+        settle_ns = unit.cost.hw_settle_ns
+        if settle_ns and self._fault_injector is not None:
+            settle_ns = self._fault_injector.settle_ns(unit.name, attempt,
+                                                       settle_ns)
+        if settle_ns:
+            yield Timeout(settle_ns)
 
     def _mark_started(self, job: Job) -> None:
-        if job.started_at_ns is None:
-            job.started_at_ns = self._engine.now
-            assert job.started is not None
+        # Every attempt records its own launch time: started_at_ns must
+        # reflect the attempt that ultimately succeeded, not attempt 1 of
+        # a unit that was watchdogged and restarted.  The completion keeps
+        # first-fire semantics — dependents wait for the first launch.
+        now = self._engine.now
+        job.attempt_started_ns.append(now)
+        job.started_at_ns = now
+        assert job.started is not None
+        if not job.started.fired:
             job.started.fire(job.name)
 
     def _mark_ready(self, job: Job) -> None:
@@ -242,7 +288,8 @@ class JobExecutor:
                  manager_lock: "Mutex | PriorityMutex | None" = None,
                  edge_filter: Callable[[OrderingEdge], bool] | None = None,
                  priority_fn: Callable[[Unit], int] | None = None,
-                 path_faulter: "Callable[[str], ProcessGenerator] | None" = None):
+                 path_faulter: "Callable[[str], ProcessGenerator] | None" = None,
+                 fault_injector=None):
         self._engine = engine
         self.transaction = transaction
 
@@ -254,7 +301,8 @@ class JobExecutor:
         self._runner = ServiceRunner(engine, storage, rcu, paths,
                                      manager_lock=manager_lock,
                                      path_faulter=path_faulter,
-                                     ready_gate=ready_gate)
+                                     ready_gate=ready_gate,
+                                     fault_injector=fault_injector)
         self._paths = paths
         self._edge_filter = edge_filter
         self._priority_fn = priority_fn
@@ -318,9 +366,12 @@ class JobExecutor:
 
         if unit.unit_type is UnitType.TARGET:
             # Targets have no work: ready once predecessors are satisfied.
+            # State must be final BEFORE firing: Completion.fire resumes
+            # waiting dependents synchronously, and a dependent's strong-
+            # edge check reads predecessor.state the moment it wakes.
             job.started_at_ns = job.ready_at_ns = job.done_at_ns = self._engine.now
-            self._fire_all(job)
             job.state = JobState.DONE
+            self._fire_all(job)
             return
 
         restarts = 0

@@ -32,7 +32,7 @@ from repro.initsys.transaction import OrderingEdge, Transaction
 from repro.initsys.units import Unit
 from repro.kernel.modules import KernelModule, ModuleLoader
 from repro.kernel.rcu import RCUSubsystem
-from repro.sim.process import Wait
+from repro.sim.process import Timeout, Wait
 from repro.sim.sync import PriorityMutex
 
 if TYPE_CHECKING:
@@ -44,6 +44,12 @@ MANAGER_PRIORITY = 50
 
 #: Priority of post-completion deferred work (lower than any boot task).
 DEFERRED_PRIORITY = 300
+
+#: Bounded backoff for deferred tasks whose run fails (fault injection):
+#: first retry after 50 ms, doubling up to 400 ms, at most 5 retries.
+DEFERRED_RETRY_BASE_NS = 50_000_000
+DEFERRED_RETRY_CAP_NS = 400_000_000
+DEFERRED_MAX_RETRIES = 5
 
 
 @dataclass(slots=True)
@@ -98,7 +104,8 @@ class InitManager:
                  edge_filter: Callable[[OrderingEdge], bool] | None = None,
                  priority_fn: Callable[[Unit], int] | None = None,
                  on_boot_complete: Callable[[], None] | None = None,
-                 path_faulter_factory=None):
+                 path_faulter_factory=None,
+                 fault_injector=None):
         self._engine = engine
         self.registry = registry
         self.storage = storage
@@ -119,6 +126,18 @@ class InitManager:
         self._edge_filter = edge_filter
         self._priority_fn = priority_fn
         self._on_boot_complete = on_boot_complete
+        # Seeded fault injection (repro.faults): module-load failures are
+        # wired into the loader, missing/late device paths are blocked in
+        # the registry now (before anything can provide them) and lifted
+        # on schedule once the manager runs.
+        self._fault_injector = fault_injector
+        if fault_injector is not None:
+            self.module_loader.fault_hook = fault_injector.module_decision
+            for path in sorted(fault_injector.blocked_paths):
+                self.paths.block(path)
+                fault_injector.stats.paths_blocked += 1
+            for path, _delay in fault_injector.late_paths():
+                self.paths.block(path)
         # The faulter needs the manager's path registry, so it is built
         # from a factory once that registry exists.
         self._path_faulter = (path_faulter_factory(self.paths)
@@ -127,6 +146,7 @@ class InitManager:
         self.executor: JobExecutor | None = None
         self.completion: BootCompletion | None = None
         self.deferred_processes: list["Process"] = []
+        self.deferred_failed: list[str] = []
         self.all_done_ns: int | None = None
 
     # ---------------------------------------------------------------- boot
@@ -139,6 +159,7 @@ class InitManager:
     def run(self) -> "ProcessGenerator":
         """Generator: the whole user-space boot."""
         engine = self._engine
+        self._schedule_late_paths()
         deferred_startup = yield from self._run_startup_tasks()
         yield from self._load_units()
 
@@ -158,7 +179,8 @@ class InitManager:
         self.executor = JobExecutor(
             engine, self.transaction, self.storage, self.rcu, self.paths,
             manager_lock=self.fork_lock, edge_filter=self._edge_filter,
-            priority_fn=self._priority_fn, path_faulter=self._path_faulter)
+            priority_fn=self._priority_fn, path_faulter=self._path_faulter,
+            fault_injector=self._fault_injector)
         self.executor.start_all()
 
         yield from self._wait_for_completion()
@@ -225,13 +247,35 @@ class InitManager:
         def worker() -> "ProcessGenerator":
             span = self._engine.tracer.begin("init.kmod-worker", "init-task")
             for module in self.boot_modules:
-                yield from self.module_loader.load(self._engine, module)
+                loaded = yield from self.module_loader.load(self._engine, module)
                 # Each loaded driver exposes its device node, unblocking
-                # services that wait on it (WaitsForPaths).
-                self.paths.provide(f"/dev/{module.name}")
+                # services that wait on it (WaitsForPaths); a failed load
+                # never surfaces the node.
+                if loaded:
+                    self.paths.provide(f"/dev/{module.name}")
             self._engine.tracer.end(span)
 
         return self._engine.spawn(worker(), name="kmod-worker", priority=60)
+
+    def _schedule_late_paths(self) -> None:
+        """Arrange for fault-delayed device paths to appear on schedule.
+
+        Delays are relative to manager start.  At the deadline the block
+        is lifted; if some producer (kmod worker, on-demand faulter)
+        already tried to provide the path meanwhile, it appears at once —
+        otherwise it appears whenever the producer eventually gets there.
+        """
+        if self._fault_injector is None:
+            return
+        for path, delay_ns in self._fault_injector.late_paths():
+            self._engine.call_after(delay_ns, self._lift_path_fault, path)
+
+    def _lift_path_fault(self, path: str) -> None:
+        provide = path in self.paths.suppressed_paths
+        self.paths.unblock(path, provide=provide)
+        assert self._fault_injector is not None
+        self._fault_injector.stats.paths_delayed += 1
+        self._engine.tracer.instant(f"path:{path}.appeared-late", "init-task")
 
     def _wait_for_completion(self) -> "ProcessGenerator":
         assert self.transaction is not None
@@ -253,15 +297,43 @@ class InitManager:
         engine.tracer.instant("boot.complete", "boot-stage")
         for task in deferred_startup:
             self.deferred_processes.append(engine.spawn(
-                task.run(engine), name=f"deferred:{task.name}",
+                self._run_deferred(task), name=f"deferred:{task.name}",
                 priority=DEFERRED_PRIORITY))
         if self.config.defer_submodules:
             for task in self.config.submodule_tasks:
                 self.deferred_processes.append(engine.spawn(
-                    task.run(engine), name=f"deferred:{task.name}",
+                    self._run_deferred(task), name=f"deferred:{task.name}",
                     priority=DEFERRED_PRIORITY))
         if self._on_boot_complete is not None:
             self._on_boot_complete()
+
+    def _run_deferred(self, task: StartupTask) -> "ProcessGenerator":
+        """Run one deferred task, retrying failures with bounded backoff.
+
+        Post-completion work also deserves §2.5.2 monitoring and
+        recovery: a deferred task whose run fails (per the fault plan) is
+        retried after an exponentially growing delay, at most
+        :data:`DEFERRED_MAX_RETRIES` times, then recorded as given up —
+        a degraded but live system, never an infinite retry loop.
+        """
+        attempt = 0
+        delay_ns = DEFERRED_RETRY_BASE_NS
+        while True:
+            attempt += 1
+            yield from task.run(self._engine)
+            injector = self._fault_injector
+            if injector is None or not injector.deferred_fails(task.name,
+                                                               attempt):
+                return
+            if attempt > DEFERRED_MAX_RETRIES:
+                injector.stats.deferred_giveups += 1
+                self.deferred_failed.append(task.name)
+                self._engine.tracer.instant(
+                    f"deferred:{task.name}.gave-up", "init-task")
+                return
+            injector.stats.deferred_retries += 1
+            yield Timeout(delay_ns)
+            delay_ns = min(delay_ns * 2, DEFERRED_RETRY_CAP_NS)
 
     # ------------------------------------------------------------- queries
 

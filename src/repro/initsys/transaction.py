@@ -17,7 +17,7 @@ Building a start transaction for a goal unit (normally
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import DependencyCycleError, TransactionError, UnitNotFoundError
@@ -74,6 +74,11 @@ class Job:
     ready_at_ns: int | None = None
     done_at_ns: int | None = None
     attempts: int = 0
+    # Launch time of every attempt, in order; ``started_at_ns`` tracks the
+    # most recent one (the attempt that eventually succeeded, for a unit
+    # that was restarted), while the ``started`` completion keeps
+    # first-fire semantics for dependents.
+    attempt_started_ns: list[int] = field(default_factory=list)
     failure_reason: str | None = None
 
     @property

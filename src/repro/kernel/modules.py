@@ -12,7 +12,7 @@ volatile memory" (§3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import KernelError
 from repro.hw.storage import AccessPattern, StorageDevice
@@ -61,21 +61,42 @@ class ModuleLoader:
     def __init__(self, storage: StorageDevice):
         self.storage = storage
         self.loaded: set[str] = set()
+        self.failed: set[str] = set()
         self.syscalls_issued = 0
         self.bytes_loaded = 0
+        # Fault hook: called once per first load attempt with the module
+        # name, returns (load fails, extra latency ns).  See repro.faults.
+        self.fault_hook: Callable[[str], tuple[bool, int]] | None = None
 
     def load(self, engine: "Simulator", module: KernelModule) -> "ProcessGenerator":
-        """Generator: load one module (idempotent)."""
+        """Generator: load one module (idempotent).
+
+        Returns True if the module is loaded afterwards, False if the
+        load failed (injected fault); a failed module stays failed — the
+        kernel would return the same error on a retry.
+        """
         if module.name in self.loaded:
-            return
+            return True
+        if module.name in self.failed:
+            return False
+        fail, extra_ns = (self.fault_hook(module.name)
+                          if self.fault_hook is not None else (False, 0))
         yield Compute(SYSCALL_COST_NS * SYSCALLS_PER_LOAD)
         self.syscalls_issued += SYSCALLS_PER_LOAD
         yield from self.storage.read(module.size_bytes, AccessPattern.RANDOM)
+        if extra_ns:
+            yield Timeout(extra_ns)
         yield Compute(module.link_cpu_ns)
+        if fail:
+            # insmod returned an error after the file was read and linked.
+            self.failed.add(module.name)
+            engine.tracer.instant(f"kmod:{module.name}.load-failed", "init-task")
+            return False
         if module.hw_settle_ns:
             yield Timeout(module.hw_settle_ns)
         self.loaded.add(module.name)
         self.bytes_loaded += module.size_bytes
+        return True
 
     def load_all(self, engine: "Simulator",
                  modules: list[KernelModule]) -> "ProcessGenerator":

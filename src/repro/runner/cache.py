@@ -32,12 +32,16 @@ class CacheStats:
         disk_hits: Results loaded (and re-memoized) from the disk layer.
         misses: Lookups that found nothing anywhere.
         stores: Results written into the cache.
+        disk_errors: On-disk entries that existed but could not be
+            loaded (corrupt/torn pickle, stale class); each is unlinked
+            so it cannot fail again, and the lookup counts as a miss.
     """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    disk_errors: int = 0
 
     @property
     def hits(self) -> int:
@@ -84,14 +88,29 @@ class ResultCache:
         if self.disk_dir is not None:
             path = self._disk_path(key)
             try:
-                with open(path, "rb") as handle:
-                    value = pickle.load(handle)
-            except (OSError, pickle.UnpicklingError, EOFError):
-                pass
-            else:
-                self._memory[key] = value
-                self.stats.disk_hits += 1
-                return True, copy.deepcopy(value)
+                handle = open(path, "rb")
+            except OSError:
+                handle = None  # no entry (or unreadable dir): plain miss
+            if handle is not None:
+                # The entry exists; if it cannot be unpickled it is junk —
+                # a torn write, bit rot, or a pickle referencing a class
+                # that no longer exists (AttributeError/ImportError).
+                # Drop it so it cannot fail again on every future run.
+                try:
+                    with handle:
+                        value = pickle.load(handle)
+                except (OSError, pickle.UnpicklingError, EOFError,
+                        AttributeError, ImportError, IndexError,
+                        MemoryError, UnicodeDecodeError):
+                    self.stats.disk_errors += 1
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                else:
+                    self._memory[key] = value
+                    self.stats.disk_hits += 1
+                    return True, copy.deepcopy(value)
         self.stats.misses += 1
         return False, None
 

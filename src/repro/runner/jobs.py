@@ -26,6 +26,7 @@ from typing import Any, Callable
 
 from repro.core.config import BBConfig
 from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan
 
 #: Job kinds understood by :func:`execute_job`.
 KIND_BOOT = "boot"
@@ -106,6 +107,11 @@ class SimJob:
         manual_bb_group: Manual BB-Group override for the Isolator.
         platform_preset: Hardware preset name (``kernel`` jobs only),
             resolved against :mod:`repro.hw.presets`.
+        fault_plan: Seeded fault plan for the run (``boot`` jobs only);
+            part of the fingerprint, so a faulted run caches and
+            deduplicates like any other.  A boot the plan keeps from
+            completing yields a
+            :class:`~repro.core.degraded.DegradedBootReport` result.
         label: Human-facing tag; excluded from the fingerprint.
     """
 
@@ -118,6 +124,7 @@ class SimJob:
     kernel_config: Any | None = None
     manual_bb_group: tuple[str, ...] | None = None
     platform_preset: str = "ue48h6200"
+    fault_plan: FaultPlan | None = None
     label: str = ""
 
     # ------------------------------------------------------------ builders
@@ -127,6 +134,7 @@ class SimJob:
              bb: BBConfig | None = None, cores: int | None = None,
              kernel_config: Any | None = None,
              manual_bb_group: tuple[str, ...] | None = None,
+             fault_plan: FaultPlan | None = None,
              label: str = "", **kwargs: Any) -> "SimJob":
         """A full cold-boot job: ``workload_factory(*args, **kwargs)``
         booted under ``bb``."""
@@ -135,7 +143,8 @@ class SimJob:
                    workload_args=tuple(args),
                    workload_kwargs=tuple(sorted(kwargs.items())),
                    bb=bb, cores=cores, kernel_config=kernel_config,
-                   manual_bb_group=manual_bb_group, label=label)
+                   manual_bb_group=manual_bb_group, fault_plan=fault_plan,
+                   label=label)
 
     @classmethod
     def kernel(cls, kernel_config: Any, platform_preset: str = "ue48h6200",
@@ -162,6 +171,7 @@ class SimJob:
             self.kernel_config,
             self.manual_bb_group,
             self.platform_preset if self.kind == KIND_KERNEL else None,
+            self.fault_plan,
         ))
         digest = hashlib.sha256()
         digest.update(code_version().encode())
@@ -183,12 +193,20 @@ def execute_job(job: SimJob) -> Any:
     if job.workload_factory is None:
         raise SimulationError("boot SimJob has no workload factory")
     from repro.core import BootSimulation
+    from repro.core.degraded import DegradedBootError
 
     workload = job.workload_factory(*job.workload_args,
                                     **dict(job.workload_kwargs))
-    return BootSimulation(workload, job.bb, cores=job.cores,
-                          kernel_config=job.kernel_config,
-                          manual_bb_group=job.manual_bb_group).run()
+    simulation = BootSimulation(workload, job.bb, cores=job.cores,
+                                kernel_config=job.kernel_config,
+                                manual_bb_group=job.manual_bb_group,
+                                fault_plan=job.fault_plan)
+    try:
+        return simulation.run()
+    except DegradedBootError as exc:
+        # A failed boot is a *result* for sweep purposes: cacheable,
+        # deterministic, and countable in completion-rate statistics.
+        return exc.report
 
 
 def _execute_kernel(job: SimJob) -> int:

@@ -1,0 +1,234 @@
+"""Regression tests for executor failure paths.
+
+Covers the two executor bugs fixed in the fault-injection PR plus the
+surrounding semantics:
+
+* a TARGET's state must be final *before* its completions fire (waiters
+  resume synchronously and read the state immediately),
+* every start attempt records its own launch time, so ``started_at_ns``
+  reflects the attempt that succeeded — not attempt 1 of a watchdogged
+  unit,
+* completion double-fire guards along the ``_fire_all``/``_mark_ready``
+  paths (``Completion.fire`` raises if fired twice).
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.presets import emmc_ue48h6200
+from repro.initsys.executor import JobExecutor, PathRegistry
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.transaction import JobState, Transaction
+from repro.initsys.units import RestartPolicy, ServiceType, SimCost, Unit
+from repro.kernel.rcu import RCUSubsystem
+from repro.quantities import msec
+from repro.sim import Simulator
+from repro.sim.process import Wait
+
+
+def build(units, goal="goal.target", preexisting=None):
+    sim = Simulator(cores=4)
+    storage = emmc_ue48h6200().attach(sim)
+    registry = UnitRegistry(units)
+    txn = Transaction(registry, [goal])
+    paths = PathRegistry(sim, preexisting=preexisting)
+    executor = JobExecutor(sim, txn, storage, RCUSubsystem(sim), paths)
+    return sim, txn, executor, paths
+
+
+def quick(name, **kwargs):
+    kwargs.setdefault("service_type", ServiceType.ONESHOT)
+    kwargs.setdefault("cost", SimCost(init_cpu_ns=msec(5), exec_bytes=0))
+    return Unit(name=name, **kwargs)
+
+
+class TestTargetStateAtFireTime:
+    def test_waiter_observes_done_when_target_settles(self):
+        """Completion.fire resumes waiters synchronously; the TARGET must
+        already be in its final state when they look."""
+        sim, txn, executor, _ = build([
+            Unit(name="goal.target", requires=["base.service"]),
+            quick("base.service"),
+        ])
+        executor.start_all()
+        observed = []
+        target = txn.job("goal.target")
+
+        def observer():
+            yield Wait(target.settled)
+            observed.append(target.state)
+
+        sim.spawn(observer(), name="observer")
+        sim.run()
+        assert observed == [JobState.DONE]
+        assert target.done_at_ns is not None
+
+    def test_strong_dependent_of_target_proceeds(self):
+        """A unit requiring a TARGET wakes on its settled completion and
+        must not misread the target as unfinished (or failed)."""
+        sim, txn, executor, _ = build([
+            Unit(name="goal.target", wants=["app.service"]),
+            Unit(name="basic.target", requires=["base.service"]),
+            quick("base.service"),
+            quick("app.service", requires=["basic.target"],
+                  after=["basic.target"]),
+        ])
+        executor.start_all()
+        sim.run()
+        assert txn.job("basic.target").state is JobState.DONE
+        assert txn.job("app.service").state is JobState.DONE
+
+    def test_failure_propagates_through_a_target(self):
+        """FAILED is also read synchronously at wake time: a dependent
+        requiring a failed TARGET fails rather than starting."""
+        sim, txn, executor, _ = build([
+            Unit(name="goal.target", wants=["app.service"]),
+            Unit(name="basic.target", requires=["doomed.service"]),
+            quick("doomed.service", failures_before_success=9,
+                  restart_policy=RestartPolicy.NO),
+            quick("app.service", requires=["basic.target"],
+                  after=["basic.target"]),
+        ])
+        executor.start_all()
+        sim.run()
+        assert txn.job("basic.target").state is JobState.FAILED
+        app = txn.job("app.service")
+        assert app.state is JobState.FAILED
+        assert "basic.target" in app.failure_reason
+
+
+class TestPerAttemptStartTimes:
+    def _watchdogged_unit(self):
+        # Blocks on /dev/late until the path appears at 200 ms; the 50 ms
+        # watchdog kills attempts 1-3, attempt 4 (at ~210 ms) succeeds.
+        return Unit(name="late.service", service_type=ServiceType.ONESHOT,
+                    waits_for_paths=["/dev/late"],
+                    start_timeout_ns=msec(50),
+                    restart_policy=RestartPolicy.ON_FAILURE,
+                    max_restarts=3, restart_delay_ns=msec(20),
+                    cost=SimCost(init_cpu_ns=msec(2), exec_bytes=0))
+
+    def test_started_at_reflects_the_successful_attempt(self):
+        sim, txn, executor, paths = build([
+            Unit(name="goal.target", requires=["late.service"]),
+            self._watchdogged_unit(),
+        ])
+        executor.start_all()
+        sim.call_after(msec(200), lambda: paths.provide("/dev/late"))
+        sim.run()
+        job = txn.job("late.service")
+        assert job.state is JobState.DONE
+        assert job.attempts == 4
+        assert len(job.attempt_started_ns) == 4
+        # Regression: started_at_ns used to stick at attempt 1's time.
+        assert job.started_at_ns == job.attempt_started_ns[-1]
+        assert job.started_at_ns > job.attempt_started_ns[0]
+        assert job.started_at_ns >= msec(200)
+        # The span a bootchart would draw covers the winning attempt only.
+        assert job.ready_at_ns - job.started_at_ns < msec(50)
+
+    def test_started_completion_keeps_first_fire_semantics(self):
+        """Weak dependents wait for the *first* launch; re-marking later
+        attempts must not re-fire (Completion.fire raises on double fire)."""
+        sim, txn, executor, paths = build([
+            Unit(name="goal.target", requires=["late.service"],
+                 wants=["watcher.service"]),
+            self._watchdogged_unit(),
+            # Wants= is the weak edge: wait for launch, not readiness.
+            quick("watcher.service", wants=["late.service"]),
+        ])
+        executor.start_all()
+        sim.call_after(msec(200), lambda: paths.provide("/dev/late"))
+        sim.run()
+        job = txn.job("late.service")
+        assert job.started.fired
+        # The weak dependent launched off attempt 1, long before success.
+        watcher = txn.job("watcher.service")
+        assert watcher.state is JobState.DONE
+        assert watcher.started_at_ns < job.started_at_ns
+
+
+class TestWatchdog:
+    def test_watchdog_fires_and_attempt_counts_as_failed(self):
+        sim, txn, executor, _ = build([
+            Unit(name="goal.target", wants=["hung.service"]),
+            Unit(name="hung.service", service_type=ServiceType.ONESHOT,
+                 start_timeout_ns=msec(30), restart_policy=RestartPolicy.NO,
+                 cost=SimCost(init_cpu_ns=msec(500), exec_bytes=0)),
+        ])
+        executor.start_all()
+        sim.run()
+        job = txn.job("hung.service")
+        assert job.state is JobState.FAILED
+        assert "hung.service" in executor.failed_jobs
+        assert sim.now < msec(200)  # did not sit out the full 500 ms
+
+    def test_watchdog_cancelled_after_fast_success(self):
+        """The timer must be cancelled on success: simulated time ends at
+        quiescence well before the (stale) timeout would have fired."""
+        sim, txn, executor, _ = build([
+            Unit(name="goal.target", requires=["fine.service"]),
+            Unit(name="fine.service", service_type=ServiceType.ONESHOT,
+                 start_timeout_ns=msec(10_000),
+                 cost=SimCost(init_cpu_ns=msec(5), exec_bytes=0)),
+        ])
+        executor.start_all()
+        sim.run()
+        assert txn.job("fine.service").state is JobState.DONE
+        assert sim.now < msec(10_000)
+
+    def test_restart_exhaustion_after_repeated_timeouts(self):
+        sim, txn, executor, _ = build([
+            Unit(name="goal.target", wants=["hung.service"]),
+            Unit(name="hung.service", service_type=ServiceType.ONESHOT,
+                 start_timeout_ns=msec(20),
+                 restart_policy=RestartPolicy.ON_FAILURE, max_restarts=2,
+                 restart_delay_ns=msec(5),
+                 cost=SimCost(init_cpu_ns=msec(500), exec_bytes=0)),
+        ])
+        executor.start_all()
+        sim.run()
+        job = txn.job("hung.service")
+        assert job.state is JobState.FAILED
+        assert job.attempts == 3  # initial + 2 restarts
+        assert len(job.attempt_started_ns) == 3  # each attempt launched
+
+
+class TestDoubleFireGuards:
+    def test_completions_fire_exactly_once_on_success(self):
+        sim, txn, executor, _ = build([
+            Unit(name="goal.target", requires=["ok.service"]),
+            quick("ok.service"),
+        ])
+        executor.start_all()
+        sim.run()  # would raise SimulationError on any double fire
+        job = txn.job("ok.service")
+        for completion in (job.started, job.ready, job.settled):
+            assert completion.fired
+            with pytest.raises(SimulationError):
+                completion.fire(job.name)
+
+    def test_skipped_unit_fires_all_once(self):
+        sim, txn, executor, _ = build([
+            Unit(name="goal.target", wants=["cond.service"]),
+            quick("cond.service", condition_paths=["/nonexistent"]),
+        ])
+        executor.start_all()
+        sim.run()
+        job = txn.job("cond.service")
+        assert job.state is JobState.SKIPPED
+        assert job.started.fired and job.ready.fired and job.settled.fired
+
+    def test_failed_unit_settles_exactly_once(self):
+        sim, txn, executor, _ = build([
+            Unit(name="goal.target", wants=["doomed.service"]),
+            quick("doomed.service", failures_before_success=9,
+                  restart_policy=RestartPolicy.NO),
+        ])
+        executor.start_all()
+        sim.run()
+        job = txn.job("doomed.service")
+        assert job.state is JobState.FAILED
+        assert job.settled.fired
+        with pytest.raises(SimulationError):
+            job.settled.fire(job.name)

@@ -1,0 +1,98 @@
+"""Regression tests: corrupt on-disk cache entries must be detected,
+counted, and unlinked — never silently treated as plain misses forever."""
+
+import pickle
+import sys
+
+import pytest
+
+from repro.runner import ResultCache
+
+
+class _Payload:
+    """Module-level class so pickle stores it by reference."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, _Payload) and other.value == self.value
+
+
+def _entry_path(cache, key):
+    return cache._disk_path(key)
+
+
+def test_garbage_bytes_are_unlinked_and_counted(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("key", {"ok": 1})
+    path = _entry_path(cache, "key")
+    path.write_bytes(b"\x00not a pickle at all")
+    cache._memory.clear()
+
+    hit, value = cache.get("key")
+    assert not hit and value is None
+    assert cache.stats.disk_errors == 1
+    assert cache.stats.misses == 1
+    assert not path.exists()  # junk removed, cannot fail again
+    # A rewrite makes the key healthy again.
+    cache.put("key", {"ok": 2})
+    cache._memory.clear()
+    assert cache.get("key") == (True, {"ok": 2})
+
+
+def test_torn_write_truncated_pickle(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("key", list(range(100)))
+    path = _entry_path(cache, "key")
+    path.write_bytes(path.read_bytes()[:7])  # simulate a torn write
+    cache._memory.clear()
+
+    hit, _ = cache.get("key")
+    assert not hit
+    assert cache.stats.disk_errors == 1
+    assert not path.exists()
+
+
+def test_stale_class_reference_is_a_disk_error(tmp_path, monkeypatch):
+    """An entry pickled against a class that no longer exists raises
+    AttributeError inside pickle.load; that is corruption, not a crash."""
+    cache = ResultCache(tmp_path)
+    cache.put("key", _Payload(5))
+    cache._memory.clear()
+    monkeypatch.delattr(sys.modules[__name__], "_Payload")
+
+    hit, _ = cache.get("key")
+    assert not hit
+    assert cache.stats.disk_errors == 1
+    assert not _entry_path(cache, "key").exists()
+
+
+def test_empty_file_is_a_disk_error(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.disk_dir / "key.pkl"
+    cache.disk_dir.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"")  # EOFError from pickle.load
+
+    hit, _ = cache.get("key")
+    assert not hit
+    assert cache.stats.disk_errors == 1
+    assert not path.exists()
+
+
+def test_absent_entry_is_a_plain_miss_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path)
+    hit, _ = cache.get("nothing")
+    assert not hit
+    assert cache.stats.misses == 1
+    assert cache.stats.disk_errors == 0
+
+
+def test_healthy_entries_unaffected(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("a", _Payload(1))
+    cache._memory.clear()
+    assert cache.get("a") == (True, _Payload(1))
+    assert cache.stats.disk_hits == 1
+    assert cache.stats.disk_errors == 0
+    assert cache.stats.hit_rate == 1.0
