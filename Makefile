@@ -1,12 +1,29 @@
 # Convenience targets for the BB reproduction.
 
-.PHONY: install test bench experiments artifacts examples clean
+.PHONY: install test test-fast coverage verify bench experiments artifacts examples clean
+
+PYTEST = PYTHONPATH=src python -m pytest
 
 install:
 	pip install -e . || python setup.py develop
 
+# Tier-1: the whole suite, no coverage instrumentation (works without
+# pytest-cov installed).
 test:
-	pytest tests/
+	$(PYTEST) -x -q
+
+# Skip subprocess/many-boot tests for a quick local loop.
+test-fast:
+	$(PYTEST) -x -q -m "not slow"
+
+# Coverage run with the CI floor; requires pytest-cov.
+coverage:
+	$(PYTEST) -q --cov=repro --cov-branch --cov-report=term --cov-fail-under=70
+
+# The simulation verification harness (invariant monitor, perturbation
+# fuzzing, analytic oracles) at CI scale.
+verify:
+	PYTHONPATH=src python -m repro verify --smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

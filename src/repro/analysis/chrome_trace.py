@@ -67,6 +67,15 @@ def tracer_to_events(tracer: "Tracer") -> list[dict[str, Any]]:
 
 
 def tracer_to_chrome_json(tracer: "Tracer") -> str:
-    """The full trace document as JSON text."""
-    return json.dumps({"traceEvents": tracer_to_events(tracer),
-                       "displayTimeUnit": "ms"})
+    """The full trace document as JSON text.
+
+    The document is schema-validated before serialization; a
+    :class:`~repro.errors.SchemaError` here means the exporter itself
+    regressed, never the caller.
+    """
+    from repro.analysis.schema import validate_chrome_trace
+
+    document = {"traceEvents": tracer_to_events(tracer),
+                "displayTimeUnit": "ms"}
+    validate_chrome_trace(document)
+    return json.dumps(document)

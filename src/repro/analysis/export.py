@@ -46,5 +46,14 @@ def report_to_dict(report: BootReport) -> dict[str, Any]:
 
 
 def report_to_json(report: BootReport, indent: int | None = 2) -> str:
-    """Serialize a report to JSON text."""
-    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+    """Serialize a report to JSON text.
+
+    The dictionary is schema-validated before serialization; a
+    :class:`~repro.errors.SchemaError` here means the exporter and
+    :mod:`repro.analysis.schema` drifted apart.
+    """
+    from repro.analysis.schema import validate_report_dict
+
+    document = report_to_dict(report)
+    validate_report_dict(document)
+    return json.dumps(document, indent=indent, sort_keys=True)

@@ -1,0 +1,223 @@
+"""Schema validation for exported documents.
+
+The repo exports two machine-readable document kinds — Chrome trace-event
+JSON (consumed by Perfetto) and boot-report JSON (consumed by external
+tooling and CI baselines).  Both formats are contracts: a malformed trace
+silently renders as an empty Perfetto timeline, and a drifted report key
+silently breaks downstream dashboards.  These validators check every
+export against its published shape and raise
+:class:`~repro.errors.SchemaError` on the first deviation, so drift is a
+test failure rather than a downstream mystery.
+
+Validation is structural (required keys, value types, value ranges) and
+dependency-free — deliberately not ``jsonschema``, which the container
+may not ship.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SchemaError
+
+#: Event phases the exporter is allowed to emit.
+TRACE_PHASES = frozenset({"X", "i", "M"})
+
+#: Metadata record names Chrome understands.
+_METADATA_NAMES = frozenset({"process_name", "thread_name"})
+
+#: Exact top-level key set of a boot-report dictionary.
+REPORT_KEYS = frozenset({
+    "workload", "features", "stages_ns", "kernel_timings_ns",
+    "boot_complete_ns", "all_done_ns", "bb_group", "rcu", "cpu_busy_ns",
+    "ignored_edges", "deferred_tasks", "unit_started_ns", "unit_ready_ns",
+    "failed_units", "unsettled_units", "injected_faults", "deferred_failed",
+})
+
+_STAGE_KEYS = frozenset({"kernel", "init_init", "services"})
+_KERNEL_KEYS = frozenset({"bootloader", "meminit", "core", "initcalls",
+                          "rootfs"})
+_RCU_KEYS = frozenset({"sync_count", "spin_ns", "wall_ns"})
+
+
+def _fail(where: str, problem: str) -> None:
+    raise SchemaError(f"{where}: {problem}")
+
+
+# ------------------------------------------------------------ chrome trace
+
+def validate_trace_event(event: Any, index: int) -> None:
+    """Validate one trace-event record; raise :class:`SchemaError`."""
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        _fail(where, f"expected an object, got {type(event).__name__}")
+    for key in ("name", "ph", "pid", "tid"):
+        if key not in event:
+            _fail(where, f"missing required key {key!r}")
+    if not isinstance(event["name"], str) or not event["name"]:
+        _fail(where, "name must be a non-empty string")
+    phase = event["ph"]
+    if phase not in TRACE_PHASES:
+        _fail(where, f"unknown phase {phase!r} (allowed: "
+                     f"{', '.join(sorted(TRACE_PHASES))})")
+    for key in ("pid", "tid"):
+        if not isinstance(event[key], int) or event[key] < 0:
+            _fail(where, f"{key} must be a non-negative integer, "
+                         f"got {event[key]!r}")
+    if phase == "M":
+        if event["name"] not in _METADATA_NAMES:
+            _fail(where, f"metadata record {event['name']!r} is not one of "
+                         f"{', '.join(sorted(_METADATA_NAMES))}")
+        args = event.get("args")
+        if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+            _fail(where, "metadata args.name must be a string")
+        return
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        _fail(where, f"ts must be a non-negative number, got {ts!r}")
+    if phase == "X":
+        dur = event.get("dur")
+        if (not isinstance(dur, (int, float)) or isinstance(dur, bool)
+                or dur < 0):
+            _fail(where, f"complete event dur must be a non-negative "
+                         f"number, got {dur!r}")
+        if "cat" in event and not isinstance(event["cat"], str):
+            _fail(where, "cat must be a string")
+    elif phase == "i":
+        if event.get("s") not in (None, "g", "p", "t"):
+            _fail(where, f"instant scope must be g/p/t, got {event.get('s')!r}")
+
+
+def validate_trace_events(events: Any) -> None:
+    """Validate a trace-event list; raise :class:`SchemaError`.
+
+    Beyond per-event shape this checks document-level coherence: the
+    process-name metadata record exists, and every (pid, tid) a span or
+    instant lands on was named by a ``thread_name`` record — an unnamed
+    track is how a category typo shows up in Perfetto.
+    """
+    if not isinstance(events, list):
+        _fail("traceEvents", f"expected a list, got {type(events).__name__}")
+    named_tracks: set[tuple[int, int]] = set()
+    saw_process_name = False
+    for index, event in enumerate(events):
+        validate_trace_event(event, index)
+        if event["ph"] == "M":
+            if event["name"] == "process_name":
+                saw_process_name = True
+            else:
+                named_tracks.add((event["pid"], event["tid"]))
+    if not saw_process_name:
+        _fail("traceEvents", "no process_name metadata record")
+    for index, event in enumerate(events):
+        if event["ph"] == "M":
+            continue
+        track = (event["pid"], event["tid"])
+        if track not in named_tracks:
+            _fail(f"traceEvents[{index}]",
+                  f"event {event['name']!r} lands on unnamed track "
+                  f"pid={track[0]} tid={track[1]}")
+
+
+def validate_chrome_trace(document: Any) -> None:
+    """Validate a full Chrome trace document; raise :class:`SchemaError`."""
+    if not isinstance(document, dict):
+        _fail("trace", f"expected an object, got {type(document).__name__}")
+    if "traceEvents" not in document:
+        _fail("trace", "missing traceEvents")
+    unit = document.get("displayTimeUnit", "ms")
+    if unit not in ("ms", "ns"):
+        _fail("trace", f"displayTimeUnit must be 'ms' or 'ns', got {unit!r}")
+    validate_trace_events(document["traceEvents"])
+
+
+# ------------------------------------------------------------- boot report
+
+def _require_int(document: dict, key: str, where: str,
+                 minimum: int = 0) -> None:
+    value = document.get(key)
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        _fail(where, f"{key} must be an integer >= {minimum}, got {value!r}")
+
+
+def _require_str_list(value: Any, where: str) -> None:
+    if not isinstance(value, list) or any(not isinstance(item, str)
+                                          for item in value):
+        _fail(where, f"expected a list of strings, got {value!r}")
+
+
+def _require_ns_map(value: Any, where: str) -> None:
+    if not isinstance(value, dict):
+        _fail(where, f"expected an object, got {type(value).__name__}")
+    for name, ns in value.items():
+        if not isinstance(name, str):
+            _fail(where, f"non-string unit name {name!r}")
+        if not isinstance(ns, int) or isinstance(ns, bool) or ns < 0:
+            _fail(where, f"{name}: timestamp must be an integer >= 0, "
+                         f"got {ns!r}")
+
+
+def validate_report_dict(document: Any) -> None:
+    """Validate an exported boot-report dictionary; raise :class:`SchemaError`.
+
+    The key set must match :data:`REPORT_KEYS` *exactly* — a missing key
+    breaks consumers, and an extra key means the exporter and this schema
+    have drifted apart (update both together).
+    """
+    if not isinstance(document, dict):
+        _fail("report", f"expected an object, got {type(document).__name__}")
+    keys = set(document)
+    if keys != REPORT_KEYS:
+        missing = sorted(REPORT_KEYS - keys)
+        extra = sorted(keys - REPORT_KEYS)
+        problems = []
+        if missing:
+            problems.append(f"missing keys: {', '.join(missing)}")
+        if extra:
+            problems.append(f"unexpected keys: {', '.join(extra)}")
+        _fail("report", "; ".join(problems))
+    if not isinstance(document["workload"], str) or not document["workload"]:
+        _fail("report", "workload must be a non-empty string")
+    _require_str_list(document["features"], "report.features")
+    for section, expected in (("stages_ns", _STAGE_KEYS),
+                              ("kernel_timings_ns", _KERNEL_KEYS),
+                              ("rcu", _RCU_KEYS)):
+        value = document[section]
+        if not isinstance(value, dict) or set(value) != expected:
+            _fail(f"report.{section}",
+                  f"expected keys {{{', '.join(sorted(expected))}}}, "
+                  f"got {value!r}")
+        for key in expected:
+            _require_int(value, key, f"report.{section}")
+    for key in ("boot_complete_ns", "all_done_ns", "cpu_busy_ns",
+                "ignored_edges"):
+        _require_int(document, key, "report")
+    if document["all_done_ns"] < document["boot_complete_ns"]:
+        _fail("report", f"all_done_ns {document['all_done_ns']} precedes "
+                        f"boot_complete_ns {document['boot_complete_ns']}")
+    for key in ("bb_group", "deferred_tasks", "unsettled_units",
+                "deferred_failed"):
+        _require_str_list(document[key], f"report.{key}")
+    for key in ("unit_started_ns", "unit_ready_ns"):
+        _require_ns_map(document[key], f"report.{key}")
+    for key in ("failed_units", "injected_faults"):
+        value = document[key]
+        if not isinstance(value, dict):
+            _fail(f"report.{key}", f"expected an object, got {value!r}")
+    for name, reason in document["failed_units"].items():
+        if not isinstance(name, str) or not isinstance(reason, str):
+            _fail("report.failed_units", f"{name!r}: {reason!r} is not a "
+                                         f"string -> string entry")
+    for name, count in document["injected_faults"].items():
+        if (not isinstance(name, str) or not isinstance(count, int)
+                or isinstance(count, bool) or count < 0):
+            _fail("report.injected_faults",
+                  f"{name!r}: {count!r} is not a string -> count entry")
+    # Every started unit that became ready did so no earlier than it
+    # started — the cheapest cross-field sanity the schema can enforce.
+    started = document["unit_started_ns"]
+    for name, ready_ns in document["unit_ready_ns"].items():
+        if name in started and ready_ns < started[name]:
+            _fail("report.unit_ready_ns",
+                  f"{name} ready at {ready_ns} before start "
+                  f"at {started[name]}")

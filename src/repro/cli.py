@@ -14,6 +14,9 @@ Commands:
   serial-vs-parallel sweep benchmark, recorded to ``BENCH_runner.json``,
 * ``bootchart [--workload NAME] [--bb] [--cores N] [--svg FILE]`` — boot
   and render the bootchart (ASCII to stdout, optionally SVG to a file),
+* ``verify [--smoke] [--seed N] [--json]`` — run the verification
+  harness: invariant-monitored boots, schedule-perturbation fuzzing and
+  analytic oracles; nonzero exit on any violation,
 * ``analyze [--workload NAME]`` — run the Service Analyzer,
 * ``workloads`` — list the available workloads.
 """
@@ -246,6 +249,18 @@ def _cmd_bootchart(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import run_verification
+
+    report = run_verification(smoke=args.smoke, seed=args.seed)
+    if args.json:
+        import json
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     workload = _resolve_workload(args.workload)
     report = ServiceAnalyzer(workload.fresh_registry()).analyze()
@@ -336,6 +351,16 @@ def build_parser() -> argparse.ArgumentParser:
     chart.add_argument("--trace",
                        help="also write a Chrome/Perfetto trace JSON")
     chart.set_defaults(fn=_cmd_bootchart)
+
+    verify = sub.add_parser("verify",
+                            help="run the simulation verification harness")
+    verify.add_argument("--smoke", action="store_true",
+                        help="CI-sized subset (still >50 boots, but seconds)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="master seed for perturbations and oracle cases")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the verification report as JSON")
+    verify.set_defaults(fn=_cmd_verify)
 
     analyze = sub.add_parser("analyze", help="run the Service Analyzer")
     analyze.add_argument("--workload", default="tv")

@@ -64,13 +64,20 @@ class BootSimulation:
             into a fresh injector for this run.  A boot that cannot reach
             completion raises :class:`~repro.core.degraded.DegradedBootError`
             carrying a structured post-mortem.
+        monitor: Optional :class:`~repro.verify.InvariantMonitor`; attached
+            to the simulator before any event is scheduled and finalized
+            (quiescence checks) after a successful run.
+        event_queue: Optional event-queue override for the simulator,
+            e.g. a :class:`~repro.verify.PerturbedEventQueue` that fuzzes
+            equal-timestamp scheduling order.  Like the simulation itself,
+            a queue is single-shot.
     """
 
     def __init__(self, workload: Workload, bb: BBConfig | None = None,
                  cores: int | None = None,
                  kernel_config: KernelConfig | None = None,
                  manual_bb_group: tuple[str, ...] | None = None,
-                 fault_plan=None):
+                 fault_plan=None, monitor=None, event_queue=None):
         self.workload = workload
         self.bb = bb if bb is not None else BBConfig.none()
         self.platform = workload.platform_factory()
@@ -79,6 +86,8 @@ class BootSimulation:
         self.manual_bb_group = manual_bb_group
         self.fault_plan = fault_plan
         self.fault_injector = None
+        self.monitor = monitor
+        self.event_queue = event_queue
         self.sim: Simulator | None = None
         self.booster: BootingBooster | None = None
         self.manager: InitManager | None = None
@@ -97,8 +106,10 @@ class BootSimulation:
         if self.sim is not None:
             raise SimulationError("BootSimulation.run() is single-shot; "
                                   "create a new BootSimulation per boot")
-        sim = Simulator(cores=self.cores)
+        sim = Simulator(cores=self.cores, event_queue=self.event_queue)
         self.sim = sim
+        if self.monitor is not None:
+            self.monitor.attach(sim)
         self.platform.attach(sim)
         if self.fault_plan is not None:
             self.fault_injector = self.fault_plan.compile()
@@ -133,6 +144,10 @@ class BootSimulation:
             # The event queue drained with the boot still blocked — a
             # device path that never appeared, typically.
             raise self._degraded_error(wedged=True)
+        if self.monitor is not None:
+            # A healthy boot must be quiescent: no deadlocked waiters, and
+            # deferred work strictly after boot completion.
+            self.monitor.finish(self)
         return self._build_report()
 
     # ------------------------------------------------------------ internals

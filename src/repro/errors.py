@@ -30,8 +30,35 @@ class DeadlockError(SimulationError):
         super().__init__(f"simulation deadlock; blocked processes: {names}")
 
 
+class InvariantViolationError(SimulationError):
+    """A runtime invariant monitor caught the simulator misbehaving.
+
+    Raised by :class:`repro.verify.InvariantMonitor` when a hooked check
+    fails — simulated time running backwards, more running tasks than
+    cores, a unit starting before its ordering predecessors, deferred
+    work running before boot completion, or a deadlocked waiter left at
+    quiescence.
+
+    Attributes:
+        invariant: Short machine-readable name of the violated invariant.
+    """
+
+    def __init__(self, invariant: str, detail: str):
+        self.invariant = invariant
+        super().__init__(f"invariant {invariant!r} violated: {detail}")
+
+
 class HardwareError(ReproError):
     """Invalid hardware model configuration or an impossible device request."""
+
+
+class SchemaError(ReproError):
+    """An exported document does not match its published schema.
+
+    Raised by :mod:`repro.analysis.schema` when a Chrome trace or a boot
+    report JSON document is malformed — so broken exports fail inside the
+    test suite instead of inside Perfetto or downstream tooling.
+    """
 
 
 class KernelError(ReproError):

@@ -266,6 +266,9 @@ class ServiceRunner:
         now = self._engine.now
         job.attempt_started_ns.append(now)
         job.started_at_ns = now
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_job_started(job)
         assert job.started is not None
         if not job.started.fired:
             job.started.fire(job.name)
@@ -314,6 +317,9 @@ class JobExecutor:
         """Spawn one shepherd per job; returns the shepherd processes."""
         # Create completions up front so shepherds can wait on each other
         # regardless of spawn order.
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_executor(self)
         for job in self.transaction.jobs.values():
             job.started = self._engine.completion(f"{job.name}.started")
             job.ready = self._engine.completion(f"{job.name}.ready")
@@ -434,6 +440,9 @@ class JobExecutor:
         self._engine.tracer.instant(f"{job.name}.start-failed", "service")
 
     def _fire_all(self, job: Job) -> None:
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_job_started(job)
         for completion in (job.started, job.ready, job.settled):
             if completion is not None and not completion.fired:
                 completion.fire(job.name)

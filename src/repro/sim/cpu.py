@@ -138,6 +138,9 @@ class CPU:
             self.stats.switch_ns += self.switch_cost_ns
             done_at = self._engine.now + self.switch_cost_ns + slice_ns
             self._engine._schedule_at(done_at, self._slice_done, entry, slice_ns)
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_cpu(self)
 
     def _slice_done(self, entry: _RunQueueEntry, slice_ns: int) -> None:
         self._idle_cores += 1

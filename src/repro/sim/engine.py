@@ -39,12 +39,21 @@ class Simulator:
         cores: Number of CPU cores available to ``Compute`` requests.
         quantum_ns: Scheduler time slice (see :class:`~repro.sim.cpu.CPU`).
         switch_cost_ns: Dispatch overhead per scheduling decision.
+        event_queue: Queue to drive the loop with; defaults to a fresh
+            FIFO-tie-break :class:`EventQueue`.  The verification harness
+            injects a :class:`~repro.verify.PerturbedEventQueue` here to
+            fuzz equal-timestamp scheduling order.
     """
 
     def __init__(self, cores: int = 4, quantum_ns: int = DEFAULT_QUANTUM_NS,
-                 switch_cost_ns: int = DEFAULT_SWITCH_COST_NS):
+                 switch_cost_ns: int = DEFAULT_SWITCH_COST_NS,
+                 event_queue: EventQueue | None = None):
         self.clock = SimClock()
-        self.events = EventQueue()
+        self.events = event_queue if event_queue is not None else EventQueue()
+        #: Optional runtime invariant monitor (see ``repro.verify``); when
+        #: set, the event loop and the CPU scheduler report to it.  Kept as
+        #: a plain attribute so the healthy hot path pays one ``None`` test.
+        self.monitor = None
         self.cpu = CPU(self, cores=cores, quantum_ns=quantum_ns,
                        switch_cost_ns=switch_cost_ns)
         self.tracer = Tracer(self.clock)
@@ -119,6 +128,7 @@ class Simulator:
         """
         events = self.events
         advance_to = self.clock.advance_to
+        monitor = self.monitor
         while len(events) > 0:
             next_time = events.peek_time()
             assert next_time is not None
@@ -126,6 +136,10 @@ class Simulator:
                 advance_to(until_ns)
                 return self.now
             event = events.pop()
+            if monitor is not None:
+                # Before advance_to: a time-disordered pop must be reported
+                # as the scheduling bug it is, not as a clock error.
+                monitor.on_event(self, event)
             advance_to(event.time_ns)
             event.callback(*event.args)
             if self._pending_failure is not None:

@@ -1,0 +1,35 @@
+"""Simulation verification: invariant monitoring, fuzzing and oracles.
+
+Three cooperating layers of defence against a silently wrong simulator:
+
+* :mod:`repro.verify.monitor` — :class:`InvariantMonitor`, an opt-in
+  runtime observer asserting time monotonicity, core bounds, dependency
+  ordering, deferred-work timing and quiescence during live runs.
+* :mod:`repro.verify.perturb` — :class:`PerturbedEventQueue`, a seeded
+  chaos tie-breaker for equal-timestamp events, plus the metamorphic
+  signature every legal reordering must preserve.
+* :mod:`repro.verify.oracles` — property-based differential oracles
+  checking simulations against closed-form analytic models and
+  cross-cutting laws (BB never slows a boot; cores never hurt).
+
+:func:`run_verification` drives all three; the CLI surfaces it as
+``repro verify [--smoke]``.
+"""
+
+from repro.verify.monitor import InvariantMonitor, MonitorStats, Violation
+from repro.verify.perturb import (PerturbedEventQueue, diff_signatures,
+                                  metamorphic_signature)
+from repro.verify.runner import (CheckResult, VerificationReport,
+                                 run_verification)
+
+__all__ = [
+    "CheckResult",
+    "InvariantMonitor",
+    "MonitorStats",
+    "PerturbedEventQueue",
+    "VerificationReport",
+    "Violation",
+    "diff_signatures",
+    "metamorphic_signature",
+    "run_verification",
+]

@@ -1,0 +1,122 @@
+"""Schedule-perturbation fuzzing: the chaos tie-breaker.
+
+The production :class:`~repro.sim.events.EventQueue` orders its heap by
+``(time_ns, seq)`` — FIFO among equal-timestamp events.  That FIFO order
+is an *implementation choice*, not a semantic guarantee: any permutation
+of same-time events is a legal schedule of the modelled system (real
+hardware gives no such ordering promise).  :class:`PerturbedEventQueue`
+replaces the tie-break with a seeded random key, producing a different —
+but still deterministic and time-ordered — interleaving per seed.
+
+Properties that must survive any legal reordering (metamorphic oracles):
+
+* the **completion set** — which units started, became ready, failed,
+  were deferred — is identical,
+* the **total work** moved through the hardware models is identical:
+  bytes read/written, storage requests, ``synchronize_rcu`` calls,
+* a *repeated* run under the **same seed** is byte-identical down to the
+  exported JSON report (perturbation composes with, never replaces,
+  determinism).
+
+Wall-clock-style outputs (boot-completion time, CPU busy time) are *not*
+invariant — contention, RCU spinning, and path polling legitimately
+depend on the interleaving — which is exactly why the oracle compares
+:func:`metamorphic_signature` and not whole reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue, ScheduledEvent
+
+if TYPE_CHECKING:
+    from repro.analysis.metrics import BootReport
+    from repro.core.bb import BootSimulation
+
+#: Bits reserved for the FIFO sequence below the random tie key.  The
+#: sequence keeps heap keys unique (and same-seed runs deterministic);
+#: 2**40 events per simulation is far beyond any real boot.
+_SEQ_BITS = 40
+
+
+class PerturbedEventQueue(EventQueue):
+    """An event queue whose equal-timestamp pop order is seed-shuffled.
+
+    The heap key becomes ``(time_ns, (random << 40) | seq)``: time order
+    is untouched, while same-time events pop in an order drawn from
+    ``seed``.  The embedded ``seq`` keeps keys unique, so comparison never
+    falls through to the event object and a given seed always produces
+    the same permutation.  ``pop``/``peek_time``/``cancel`` are inherited
+    unchanged.
+    """
+
+    def __init__(self, seed: int):
+        super().__init__()
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def push(self, time_ns: int, callback, *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at ``time_ns`` with a chaotic tie."""
+        if time_ns < 0:
+            raise SimulationError(
+                f"cannot schedule event at negative time {time_ns}")
+        seq = self._seq
+        event = ScheduledEvent(time_ns, seq, callback, args)
+        self._seq = seq + 1
+        self._live += 1
+        tie = (self._rng.getrandbits(32) << _SEQ_BITS) | seq
+        heapq.heappush(self._heap, (time_ns, tie, event))
+        return event
+
+
+def metamorphic_signature(report: "BootReport",
+                          simulation: "BootSimulation | None" = None
+                          ) -> dict[str, Any]:
+    """The reorder-invariant fingerprint of one completed boot.
+
+    Two boots of the same inputs under *any* legal same-time reordering
+    must produce equal signatures; a difference means the simulator's
+    outcome depends on accidental FIFO scheduling order — a bug.
+
+    Args:
+        report: The boot's :class:`~repro.analysis.metrics.BootReport`.
+        simulation: The finished :class:`BootSimulation`, if available;
+            adds hardware-level work totals (storage bytes/requests,
+            RCU sync count) to the signature.
+    """
+    signature: dict[str, Any] = {
+        "workload": report.workload,
+        "features": tuple(report.features),
+        "started_units": frozenset(report.unit_started_ns),
+        "ready_units": frozenset(report.unit_ready_ns),
+        "failed_units": frozenset(report.failed_units.items()),
+        "unsettled_units": frozenset(report.unsettled_units),
+        "deferred_tasks": frozenset(report.deferred_task_names),
+        "deferred_failed": frozenset(report.deferred_failed),
+        "bb_group": frozenset(report.bb_group),
+        "injected_faults": tuple(sorted(report.injected_faults.items())),
+        "rcu_sync_count": report.rcu_sync_count,
+    }
+    if simulation is not None:
+        storage = simulation.platform.storage
+        signature.update(
+            bytes_read=storage.bytes_read,
+            bytes_written=storage.bytes_written,
+            storage_requests=storage.requests,
+        )
+    return signature
+
+
+def diff_signatures(base: dict[str, Any],
+                    perturbed: dict[str, Any]) -> list[str]:
+    """Human-readable differences between two metamorphic signatures."""
+    differences = []
+    for key in sorted(set(base) | set(perturbed)):
+        left, right = base.get(key), perturbed.get(key)
+        if left != right:
+            differences.append(f"{key}: base {left!r} != perturbed {right!r}")
+    return differences

@@ -1,0 +1,171 @@
+"""Schema validation of the exported documents (Chrome trace, boot report)."""
+
+import json
+
+import pytest
+
+from repro.analysis.chrome_trace import tracer_to_chrome_json, tracer_to_events
+from repro.analysis.export import report_to_dict, report_to_json
+from repro.analysis.schema import (REPORT_KEYS, validate_chrome_trace,
+                                   validate_report_dict,
+                                   validate_trace_events)
+from repro.core import BBConfig, BootSimulation
+from repro.errors import SchemaError
+from repro.workloads.generator import GeneratorParams, generate_workload
+
+
+@pytest.fixture(scope="module")
+def boot():
+    simulation = BootSimulation(
+        generate_workload(GeneratorParams(seed=21, services=10)),
+        BBConfig.full())
+    report = simulation.run()
+    return simulation, report
+
+
+# ------------------------------------------------------------ chrome trace
+
+def test_real_trace_export_validates(boot):
+    simulation, _ = boot
+    document = json.loads(tracer_to_chrome_json(simulation.sim.tracer))
+    validate_chrome_trace(document)  # must not raise
+    assert document["displayTimeUnit"] == "ms"
+
+
+def test_trace_events_have_named_tracks(boot):
+    simulation, _ = boot
+    events = tracer_to_events(simulation.sim.tracer)
+    named = {(e["pid"], e["tid"]) for e in events
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    used = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
+    assert used <= named
+
+
+def test_unknown_phase_rejected():
+    events = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+               "args": {"name": "x"}},
+              {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+               "args": {"name": "t"}},
+              {"name": "bad", "ph": "Z", "pid": 1, "tid": 1, "ts": 0}]
+    with pytest.raises(SchemaError, match="unknown phase"):
+        validate_trace_events(events)
+
+
+def test_negative_timestamp_rejected():
+    events = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+               "args": {"name": "x"}},
+              {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+               "args": {"name": "t"}},
+              {"name": "span", "ph": "X", "pid": 1, "tid": 1,
+               "ts": -1, "dur": 5}]
+    with pytest.raises(SchemaError, match="ts"):
+        validate_trace_events(events)
+
+
+def test_complete_event_requires_duration():
+    events = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+               "args": {"name": "x"}},
+              {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+               "args": {"name": "t"}},
+              {"name": "span", "ph": "X", "pid": 1, "tid": 1, "ts": 0}]
+    with pytest.raises(SchemaError, match="dur"):
+        validate_trace_events(events)
+
+
+def test_event_on_unnamed_track_rejected():
+    events = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+               "args": {"name": "x"}},
+              {"name": "span", "ph": "X", "pid": 1, "tid": 42,
+               "ts": 0, "dur": 1}]
+    with pytest.raises(SchemaError, match="unnamed track"):
+        validate_trace_events(events)
+
+
+def test_missing_process_name_rejected():
+    events = [{"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+               "args": {"name": "t"}}]
+    with pytest.raises(SchemaError, match="process_name"):
+        validate_trace_events(events)
+
+
+def test_trace_document_shape_rejected():
+    with pytest.raises(SchemaError, match="traceEvents"):
+        validate_chrome_trace({"displayTimeUnit": "ms"})
+    with pytest.raises(SchemaError, match="displayTimeUnit"):
+        validate_chrome_trace({"traceEvents": [], "displayTimeUnit": "s"})
+
+
+# ------------------------------------------------------------- boot report
+
+def test_real_report_export_validates(boot):
+    _, report = boot
+    document = json.loads(report_to_json(report))
+    validate_report_dict(document)  # must not raise
+    assert set(document) == REPORT_KEYS
+
+
+def test_missing_key_rejected(boot):
+    _, report = boot
+    document = report_to_dict(report)
+    del document["boot_complete_ns"]
+    with pytest.raises(SchemaError, match="missing keys: boot_complete_ns"):
+        validate_report_dict(document)
+
+
+def test_extra_key_rejected(boot):
+    """Exporter drift: a new field must be added to the schema too."""
+    _, report = boot
+    document = report_to_dict(report)
+    document["surprise"] = 1
+    with pytest.raises(SchemaError, match="unexpected keys: surprise"):
+        validate_report_dict(document)
+
+
+def test_negative_timestamp_in_report_rejected(boot):
+    _, report = boot
+    document = report_to_dict(report)
+    document["boot_complete_ns"] = -5
+    with pytest.raises(SchemaError, match="boot_complete_ns"):
+        validate_report_dict(document)
+
+
+def test_all_done_before_completion_rejected(boot):
+    _, report = boot
+    document = report_to_dict(report)
+    document["all_done_ns"] = document["boot_complete_ns"] - 1
+    with pytest.raises(SchemaError, match="all_done_ns"):
+        validate_report_dict(document)
+
+
+def test_ready_before_start_rejected(boot):
+    _, report = boot
+    document = report_to_dict(report)
+    name = next(iter(document["unit_started_ns"]))
+    document["unit_ready_ns"][name] = document["unit_started_ns"][name] - 1
+    with pytest.raises(SchemaError, match="ready at"):
+        validate_report_dict(document)
+
+
+def test_boolean_is_not_an_integer(boot):
+    """bool is an int subclass; the schema must not let True slip through."""
+    _, report = boot
+    document = report_to_dict(report)
+    document["cpu_busy_ns"] = True
+    with pytest.raises(SchemaError, match="cpu_busy_ns"):
+        validate_report_dict(document)
+
+
+def test_rcu_section_key_drift_rejected(boot):
+    _, report = boot
+    document = report_to_dict(report)
+    document["rcu"] = {"sync_count": 1, "spin_ns": 2}  # wall_ns missing
+    with pytest.raises(SchemaError, match="rcu"):
+        validate_report_dict(document)
+
+
+def test_non_string_failed_unit_reason_rejected(boot):
+    _, report = boot
+    document = report_to_dict(report)
+    document["failed_units"] = {"x.service": 3}
+    with pytest.raises(SchemaError, match="failed_units"):
+        validate_report_dict(document)

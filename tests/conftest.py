@@ -1,0 +1,32 @@
+"""Shared pytest configuration: the hypothesis profile.
+
+One profile for every property-based test, registered here instead of
+per-file so no module-import-order accident silently overrides another
+file's settings:
+
+* ``derandomize=True`` — CI runs are reproducible; a red build replays
+  exactly.
+* ``print_blob=True`` — failures print the ``@reproduce_failure`` blob,
+  so the failing example can be pinned locally without rediscovery.
+* ``deadline=None`` — simulated boots legitimately take hundreds of
+  milliseconds of wall clock; hypothesis's per-example deadline would
+  flake on CI load, not on bugs.
+
+Individual tests lower ``max_examples`` with a ``@settings(...)``
+decorator where an example is a whole boot.  Select an alternative
+profile with ``HYPOTHESIS_PROFILE`` (e.g. ``explore`` re-randomizes for
+local bug hunting).
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
+else:
+    settings.register_profile("repro", deadline=None, max_examples=60,
+                              derandomize=True, print_blob=True)
+    settings.register_profile("explore", deadline=None, max_examples=200,
+                              derandomize=False, print_blob=True)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

@@ -89,3 +89,98 @@ def test_summary_formats_findings():
     report = analyze([Unit(name="a.service", requires=["ghost.service"])])
     assert "[dangling]" in report.summary()
     assert "a.service" in report.summary()
+
+
+def test_three_node_strong_cycle_reported_once():
+    report = analyze([
+        Unit(name="a.service", after=["c.service"], requires=["c.service"]),
+        Unit(name="b.service", requires=["a.service"]),
+        Unit(name="c.service", requires=["b.service"]),
+    ])
+    cycles = report.of_kind("cycle")
+    assert len(cycles) == 1
+    assert set(cycles[0].units) == {"a.service", "b.service", "c.service"}
+
+
+def test_strong_cycle_not_double_reported_as_ordering_cycle():
+    report = analyze([
+        Unit(name="a.service", requires=["b.service"]),
+        Unit(name="b.service", requires=["a.service"]),
+    ])
+    assert len(report.of_kind("cycle")) == 1
+    assert report.of_kind("ordering-cycle") == []
+
+
+def test_mixed_cycle_with_weak_link_is_breakable():
+    """Strong a->b plus weak b->a closes the loop only via the weak edge."""
+    report = analyze([
+        Unit(name="a.service", requires=["b.service"]),
+        Unit(name="b.service", wants=["a.service"]),
+    ])
+    assert report.of_kind("cycle") == []
+    assert len(report.of_kind("ordering-cycle")) == 1
+    assert not report.has_errors
+
+
+def test_disjoint_cycles_each_reported():
+    report = analyze([
+        Unit(name="a.service", requires=["b.service"]),
+        Unit(name="b.service", requires=["a.service"]),
+        Unit(name="c.service", requires=["d.service"]),
+        Unit(name="d.service", requires=["c.service"]),
+    ])
+    cycles = report.of_kind("cycle")
+    assert {frozenset(c.units) for c in cycles} == {
+        frozenset({"a.service", "b.service"}),
+        frozenset({"c.service", "d.service"}),
+    }
+
+
+def test_wants_plus_conflicts_detected():
+    report = analyze([
+        Unit(name="a.service", wants=["b.service"], conflicts=["b.service"]),
+        Unit(name="b.service"),
+    ])
+    assert any("pulls in and conflicts" in f.detail
+               for f in report.of_kind("contradiction"))
+
+
+def test_contradicting_order_reported_once_per_pair():
+    """A before B declared by A and B after A... plus the reverse pair;
+    the symmetric contradiction surfaces once, not once per direction."""
+    report = analyze([
+        Unit(name="a.service", before=["b.service"]),
+        Unit(name="b.service", before=["a.service"]),
+    ])
+    contradictions = [f for f in report.of_kind("contradiction")
+                      if set(f.units) == {"a.service", "b.service"}]
+    assert len(contradictions) == 1
+
+
+def test_deep_transitive_requires_chain_detected():
+    report = analyze([
+        Unit(name="a.service", requires=["b.service", "d.service"]),
+        Unit(name="b.service", requires=["c.service"]),
+        Unit(name="c.service", requires=["d.service"]),
+        Unit(name="d.service"),
+    ])
+    redundant = report.of_kind("redundant")
+    assert any(f.units == ("a.service", "d.service") for f in redundant)
+    assert not report.has_errors  # redundancy is waste, not breakage
+
+
+def test_of_kind_returns_empty_for_unknown_kind():
+    report = analyze([Unit(name="a.service")])
+    assert report.of_kind("no-such-kind") == []
+
+
+def test_dangling_wants_is_also_reported():
+    report = analyze([Unit(name="a.service", wants=["ghost.service"])])
+    assert len(report.of_kind("dangling")) == 1
+
+
+def test_mini_tv_fixture_is_clean():
+    from tests.fixtures import mini_tv_registry
+    from repro.graph.analyzer import ServiceAnalyzer
+    report = ServiceAnalyzer(mini_tv_registry()).analyze()
+    assert not report.has_errors, report.summary()

@@ -82,3 +82,88 @@ def test_static_build_shortens_estimate():
     static = Unit(name="b.service", static_build=True,
                   cost=SimCost(dynamic_link_ns=msec(5), exec_bytes=0))
     assert estimate_start_ns(static) < estimate_start_ns(dynamic)
+
+
+def test_estimate_sums_every_cost_component():
+    unit = Unit(name="a.service", cost=SimCost(
+        fork_ns=100, processes=3, init_cpu_ns=1_000, hw_settle_ns=10_000,
+        dynamic_link_ns=500, ready_extra_ns=7, exec_bytes=0))
+    assert estimate_start_ns(unit) == 3 * 100 + 1_000 + 10_000 + 500 + 7
+
+
+def test_estimate_exec_read_uses_random_pattern():
+    storage = emmc_ue48h6200()
+    nbytes = 4 * 1024 * 1024
+    unit = Unit(name="a.service", cost=SimCost(
+        fork_ns=0, init_cpu_ns=0, dynamic_link_ns=0, exec_bytes=nbytes))
+    from repro.hw.storage import AccessPattern
+    expected = storage.read_time_ns(nbytes, AccessPattern.RANDOM)
+    assert estimate_start_ns(unit, storage) == expected
+
+
+def test_multi_goal_picks_the_costlier_chain():
+    registry = UnitRegistry([
+        Unit(name="cheap.service",
+             cost=SimCost(init_cpu_ns=msec(1), exec_bytes=0)),
+        Unit(name="deep1.service",
+             cost=SimCost(init_cpu_ns=msec(40), exec_bytes=0)),
+        Unit(name="deep2.service", requires=["deep1.service"],
+             cost=SimCost(init_cpu_ns=msec(40), exec_bytes=0)),
+    ])
+    path = critical_path(registry, ["cheap.service", "deep2.service"],
+                         duration_fn=lambda u: u.cost.init_cpu_ns)
+    assert path.units == ("deep1.service", "deep2.service")
+    assert path.length_ns == msec(80)
+
+
+def test_weak_wants_edges_do_not_extend_the_path():
+    registry = UnitRegistry([
+        Unit(name="heavy.service",
+             cost=SimCost(init_cpu_ns=msec(100), exec_bytes=0)),
+        Unit(name="goal.service", wants=["heavy.service"],
+             cost=SimCost(init_cpu_ns=msec(1), exec_bytes=0)),
+    ])
+    path = critical_path(registry, ["goal.service"],
+                         duration_fn=lambda u: u.cost.init_cpu_ns)
+    assert path.units == ("goal.service",)
+    assert path.length_ns == msec(1)
+
+
+def test_equal_length_chains_break_ties_deterministically():
+    """Two equally costly chains: the lexicographically larger wins, so
+    repeated analyses of the same registry agree."""
+    registry = UnitRegistry([
+        Unit(name="a.service"),
+        Unit(name="b.service"),
+        Unit(name="goal.service", requires=["a.service", "b.service"]),
+    ])
+    paths = {critical_path(registry, ["goal.service"],
+                           duration_fn=lambda u: msec(1)).units
+             for _ in range(5)}
+    assert paths == {("b.service", "goal.service")}
+
+
+def test_diamond_counts_shared_ancestor_once():
+    registry = UnitRegistry([
+        Unit(name="base.service"),
+        Unit(name="left.service", requires=["base.service"]),
+        Unit(name="right.service", requires=["base.service"]),
+        Unit(name="goal.service",
+             requires=["left.service", "right.service"]),
+    ])
+    path = critical_path(registry, ["goal.service"],
+                         duration_fn=lambda u: msec(10))
+    assert len(path.units) == 3  # base -> one arm -> goal
+    assert path.length_ns == msec(30)
+
+
+def test_dangling_strong_predecessor_is_skipped():
+    """A requires edge to a unit missing from the registry contributes
+    nothing (the analyzer flags it; the path must not crash)."""
+    registry = UnitRegistry([
+        Unit(name="a.service", requires=["ghost.service"]),
+    ])
+    path = critical_path(registry, ["a.service"],
+                         duration_fn=lambda u: msec(2))
+    assert path.units == ("a.service",)
+    assert path.length_ns == msec(2)

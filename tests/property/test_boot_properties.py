@@ -7,8 +7,9 @@ from repro.core import BBConfig, BootSimulation
 from repro.initsys.transaction import JobState
 from repro.workloads import GeneratorParams, generate_workload
 
-settings.register_profile("boot", deadline=None, max_examples=12)
-settings.load_profile("boot")
+# Profile comes from tests/conftest.py; each example here is 1-2 whole
+# boots, so cap the count below the profile default.
+fewer_examples = settings(max_examples=12)
 
 params_strategy = st.builds(
     GeneratorParams,
@@ -22,6 +23,7 @@ params_strategy = st.builds(
 )
 
 
+@fewer_examples
 @given(params_strategy)
 def test_generated_workloads_always_complete_boot(params):
     report = BootSimulation(generate_workload(params), BBConfig.none()).run()
@@ -29,6 +31,7 @@ def test_generated_workloads_always_complete_boot(params):
     assert report.all_done_ns >= report.boot_complete_ns
 
 
+@fewer_examples
 @given(params_strategy)
 def test_bb_never_slower_than_conventional(params):
     """The headline invariant: full BB never loses to the conventional
@@ -40,6 +43,7 @@ def test_bb_never_slower_than_conventional(params):
     assert boosted.boot_complete_ns <= conventional.boot_complete_ns + slack
 
 
+@fewer_examples
 @given(params_strategy)
 def test_every_unit_starts_before_it_is_ready(params):
     simulation = BootSimulation(generate_workload(params), BBConfig.full())
@@ -48,6 +52,7 @@ def test_every_unit_starts_before_it_is_ready(params):
         assert report.unit_started_ns[name] <= ready
 
 
+@fewer_examples
 @given(params_strategy)
 def test_all_jobs_reach_a_terminal_state(params):
     simulation = BootSimulation(generate_workload(params), BBConfig.none())
@@ -57,6 +62,7 @@ def test_all_jobs_reach_a_terminal_state(params):
         assert job.state in (JobState.DONE, JobState.SKIPPED), job.name
 
 
+@fewer_examples
 @given(params_strategy)
 def test_strong_dependencies_respected_in_every_run(params):
     """In-order semantics: a unit never starts before everything it

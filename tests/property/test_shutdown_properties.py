@@ -10,8 +10,9 @@ from repro.initsys.units import SimCost, Unit
 from repro.quantities import msec
 from repro.sim import Simulator
 
-settings.register_profile("shutdown", deadline=None, max_examples=30)
-settings.load_profile("shutdown")
+# Profile comes from tests/conftest.py; each example runs a full
+# shutdown sequence, so cap the count below the profile default.
+fewer_examples = settings(max_examples=30)
 
 
 @st.composite
@@ -39,6 +40,7 @@ def run_shutdown(registry):
     return sequencer
 
 
+@fewer_examples
 @given(dag_registries())
 def test_every_unit_stops_exactly_once(registry):
     sequencer = run_shutdown(registry)
@@ -48,6 +50,7 @@ def test_every_unit_stops_exactly_once(registry):
     assert len(stopped) == len(expected)
 
 
+@fewer_examples
 @given(dag_registries())
 def test_stop_order_is_reverse_of_boot_order(registry):
     """A unit stops strictly before anything it requires (or orders
@@ -64,6 +67,7 @@ def test_stop_order_is_reverse_of_boot_order(registry):
                     f"{name} must stop before its dependency {dep}"
 
 
+@fewer_examples
 @given(dag_registries())
 def test_shutdown_is_deterministic(registry):
     first = run_shutdown(registry).report

@@ -1,14 +1,11 @@
 """Property-based tests of the simulation engine's core invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.quantities import format_ns, transfer_time_ns
 from repro.sim import Compute, Simulator, Timeout
 from repro.sim.events import EventQueue
-
-settings.register_profile("repro", deadline=None, max_examples=50)
-settings.load_profile("repro")
 
 
 @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,

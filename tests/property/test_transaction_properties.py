@@ -1,16 +1,13 @@
 """Property-based tests of transaction-building invariants on random
 dependency graphs."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import DependencyCycleError, TransactionError
 from repro.initsys.registry import UnitRegistry
 from repro.initsys.transaction import Transaction
 from repro.initsys.units import Unit
-
-settings.register_profile("txn", deadline=None, max_examples=60)
-settings.load_profile("txn")
 
 
 @st.composite

@@ -2,15 +2,12 @@
 
 import string
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import UnitParseError
 from repro.initsys.unitfile import parse_unit_file, render_unit_file
 from repro.initsys.units import ServiceType, SimCost, Unit
-
-settings.register_profile("repro", deadline=None, max_examples=60)
-settings.load_profile("repro")
 
 unit_name = st.from_regex(r"[a-z][a-z0-9-]{0,20}\.(service|socket|mount|target)",
                           fullmatch=True)

@@ -1,0 +1,119 @@
+"""Regression pins for event-heap tie-break determinism.
+
+The event queue orders same-timestamp events FIFO via the ``(time_ns,
+seq)`` heap key.  That tie-break is what makes every boot bit-for-bit
+reproducible — across repeated runs, across OS processes (no
+``PYTHONHASHSEED`` leakage), and across ``SweepRunner --jobs`` fan-out.
+These tests pin each of those properties so a future heap-key change
+that silently reorders same-time events fails here, not in a flaky
+downstream experiment.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.export import report_to_json
+from repro.core import BBConfig, BootSimulation
+from repro.runner import ResultCache, SweepRunner
+from repro.runner.jobs import SimJob
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+from repro.sim.process import Compute, Timeout
+from repro.workloads import opensource_tv_workload
+from repro.workloads.generator import GeneratorParams, generate_workload
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+
+def test_equal_time_events_pop_fifo():
+    queue = EventQueue()
+    order = []
+    for tag in range(8):
+        queue.push(1_000, order.append, tag)
+    while queue:
+        event = queue.pop()
+        event.callback(*event.args)
+    assert order == list(range(8))
+
+
+def test_fifo_survives_interleaved_push_pop():
+    queue = EventQueue()
+    order = []
+    queue.push(10, order.append, "a")
+    queue.push(10, order.append, "b")
+    first = queue.pop()
+    first.callback(*first.args)
+    queue.push(10, order.append, "c")
+    while queue:
+        event = queue.pop()
+        event.callback(*event.args)
+    assert order == ["a", "b", "c"]
+
+
+def test_same_process_boots_export_identical_json():
+    def boot_json():
+        return report_to_json(
+            BootSimulation(opensource_tv_workload(), BBConfig.full()).run())
+
+    assert boot_json() == boot_json()
+
+
+def test_engine_run_is_repeatable_at_event_level():
+    def run_once():
+        sim = Simulator(cores=2)
+        trace = []
+
+        def worker(tag, compute_ns):
+            yield Timeout(100)
+            yield Compute(compute_ns)
+            trace.append((tag, sim.now))
+
+        for tag in range(6):
+            sim.spawn(worker(tag, 1_000 * (tag % 3 + 1)), name=f"w{tag}")
+        sim.run()
+        return tuple(trace)
+
+    assert run_once() == run_once()
+
+
+@pytest.mark.slow
+def test_boot_json_identical_across_processes():
+    """Two fresh interpreters with different hash seeds agree byte-for-byte."""
+    def boot_in_subprocess(hash_seed: str) -> str:
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "boot", "--workload", "tv",
+             "--json"],
+            capture_output=True, text=True, env=env, check=True, timeout=120)
+        return result.stdout
+
+    first = boot_in_subprocess("1")
+    second = boot_in_subprocess("31337")
+    assert first == second
+    assert '"boot_complete_ns"' in first
+
+
+def _tiebreak_sample_jobs():
+    jobs = [SimJob.boot(generate_workload,
+                        GeneratorParams(seed=seed, services=10),
+                        bb=BBConfig.full(), label=f"gen{seed}")
+            for seed in range(4)]
+    jobs.append(SimJob.boot(opensource_tv_workload, bb=BBConfig.none(),
+                            label="tv-none"))
+    return jobs
+
+
+@pytest.mark.slow
+def test_sweep_results_identical_across_jobs_counts():
+    """--jobs 1 and --jobs 2 must export byte-identical reports: worker
+    fan-out changes wall-clock interleaving but never simulated order."""
+    exports = []
+    for jobs in (1, 2):
+        with SweepRunner(jobs=jobs, cache=ResultCache()) as runner:
+            results = runner.run(_tiebreak_sample_jobs())
+        exports.append([report_to_json(report) for report in results])
+    assert exports[0] == exports[1]

@@ -1,0 +1,68 @@
+"""End-to-end tests of the verification harness and its CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.verify import run_verification
+from repro.verify.runner import CheckResult, VerificationReport
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_verification(smoke=True, seed=0)
+
+
+@pytest.mark.slow
+def test_smoke_passes_with_enough_boots(smoke_report):
+    assert smoke_report.ok, "\n".join(smoke_report.violations)
+    # The CI acceptance bar: at least 50 perturbed/property boots.
+    assert smoke_report.total_boots >= 50
+    assert smoke_report.total_checks > 10_000
+
+
+@pytest.mark.slow
+def test_smoke_runs_every_group(smoke_report):
+    names = [result.name for result in smoke_report.results]
+    assert names == ["invariant-monitor", "schedule-perturbation",
+                     "analytic-oracles", "cross-cutting-laws"]
+    for result in smoke_report.results:
+        assert result.checks > 0, result.name
+
+
+@pytest.mark.slow
+def test_smoke_report_serializes(smoke_report):
+    document = json.loads(json.dumps(smoke_report.to_dict()))
+    assert document["ok"] is True
+    assert document["total_boots"] == smoke_report.total_boots
+    assert len(document["groups"]) == 4
+
+
+def test_summary_renders_pass_and_fail():
+    report = VerificationReport(seed=3, smoke=True)
+    report.results.append(CheckResult("good", boots=2, checks=10))
+    assert "PASS" in report.summary()
+    report.results.append(CheckResult(
+        "bad", boots=1, checks=1, violations=["something broke"]))
+    text = report.summary()
+    assert "FAIL" in text
+    assert "something broke" in text
+    assert not report.ok
+    assert report.violations == ["something broke"]
+
+
+@pytest.mark.slow
+def test_cli_verify_smoke_exits_zero(capsys):
+    assert main(["verify", "--smoke", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "schedule-perturbation" in out
+
+
+@pytest.mark.slow
+def test_cli_verify_json_output(capsys):
+    assert main(["verify", "--smoke", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["ok"] is True
+    assert document["smoke"] is True

@@ -1,0 +1,234 @@
+"""Tests for the runtime invariant monitor.
+
+The mutation tests are the acceptance check for the monitor itself: each
+deliberately plants a scheduling/accounting bug behind the public APIs
+and asserts the monitor catches it.  A monitor that stays green under
+mutation is decorative; these tests keep it load-bearing.
+"""
+
+import heapq
+
+import pytest
+
+from repro.core import BBConfig, BootSimulation
+from repro.errors import InvariantViolationError
+from repro.hw.presets import emmc_ue48h6200
+from repro.initsys.executor import JobExecutor, PathRegistry
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.transaction import Transaction
+from repro.initsys.units import ServiceType, SimCost, Unit
+from repro.kernel.rcu import RCUSubsystem
+from repro.quantities import msec
+from repro.sim import Simulator
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.process import Compute, Timeout
+from repro.verify import InvariantMonitor
+from repro.workloads import opensource_tv_workload
+
+
+def service(name, *, stype=ServiceType.ONESHOT, cpu_ms=5, **unit_kwargs):
+    return Unit(name=name, service_type=stype,
+                cost=SimCost(init_cpu_ns=msec(cpu_ms), exec_bytes=0),
+                **unit_kwargs)
+
+
+def run_monitored_transaction(units, monitor, goal="goal.target", cores=4,
+                              edge_filter=None, sabotage=None):
+    sim = Simulator(cores=cores)
+    monitor.attach(sim)
+    storage = emmc_ue48h6200().attach(sim)
+    rcu = RCUSubsystem(sim)
+    txn = Transaction(UnitRegistry(units), [goal])
+    paths = PathRegistry(sim)
+    executor = JobExecutor(sim, txn, storage, rcu, paths,
+                           edge_filter=edge_filter)
+    if sabotage is not None:
+        sabotage(executor)
+    executor.start_all()
+    sim.run()
+    return sim, txn, executor
+
+
+# --------------------------------------------------------------- clean runs
+
+def test_clean_boot_has_no_violations():
+    monitor = InvariantMonitor()
+    report = BootSimulation(opensource_tv_workload(), BBConfig.full(),
+                            monitor=monitor).run()
+    assert monitor.ok
+    assert report.boot_complete_ns > 0
+    assert monitor.stats.events_checked > 1_000
+    assert monitor.stats.cpu_checks > 0
+    assert monitor.stats.job_starts_checked > 0
+    assert monitor.stats.finishes == 1
+    assert monitor.stats.boots == 1
+
+
+def test_monitor_reattaches_across_boots():
+    monitor = InvariantMonitor()
+    for _ in range(2):
+        BootSimulation(opensource_tv_workload(), BBConfig.none(),
+                       monitor=monitor).run()
+    assert monitor.ok
+    assert monitor.stats.boots == 2
+    assert monitor.stats.finishes == 2
+
+
+def test_clean_transaction_has_no_violations():
+    monitor = InvariantMonitor()
+    run_monitored_transaction([
+        Unit(name="goal.target", requires=["a.service", "b.service"]),
+        service("a.service"),
+        service("b.service", requires=["a.service"]),
+    ], monitor)
+    assert monitor.ok
+    assert monitor.stats.job_starts_checked >= 2
+
+
+def test_monitor_works_on_bare_engine():
+    monitor = InvariantMonitor()
+    sim = Simulator(cores=2)
+    monitor.attach(sim)
+
+    def worker():
+        yield Timeout(1_000)
+        yield Compute(5_000)
+
+    for index in range(4):
+        sim.spawn(worker(), name=f"w{index}")
+    sim.run()
+    assert monitor.ok
+    assert monitor.stats.events_checked > 0
+
+
+# ----------------------------------------------------------- mutation tests
+
+class ReverseTimeQueue(EventQueue):
+    """MUTANT: heap keyed by negated time — events pop newest-first."""
+
+    def push(self, time_ns, callback, *args):
+        seq = self._seq
+        event = ScheduledEvent(time_ns, seq, callback, args)
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._heap, (-time_ns, seq, event))
+        return event
+
+
+def test_monitor_catches_time_disordered_queue():
+    sim = Simulator(cores=1, event_queue=ReverseTimeQueue())
+    monitor = InvariantMonitor()
+    monitor.attach(sim)
+
+    def sleeper(ns):
+        yield Timeout(ns)
+
+    sim.spawn(sleeper(10_000), name="slow")
+    sim.spawn(sleeper(5_000), name="fast")
+    with pytest.raises(InvariantViolationError, match="time-monotonic"):
+        sim.run()
+
+
+def test_unmonitored_disordered_queue_fails_later_and_worse():
+    """Without the monitor the same mutant still crashes, but only as a
+    confusing backwards-clock error — the monitor names the real bug."""
+    from repro.errors import SimulationError
+    sim = Simulator(cores=1, event_queue=ReverseTimeQueue())
+
+    def sleeper(ns):
+        yield Timeout(ns)
+
+    sim.spawn(sleeper(10_000), name="slow")
+    sim.spawn(sleeper(5_000), name="fast")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_monitor_catches_cpu_overcommit():
+    """MUTANT: idle-core accounting corrupted mid-run."""
+    monitor = InvariantMonitor()
+    sim = Simulator(cores=2)
+    monitor.attach(sim)
+
+    def worker():
+        yield Compute(10_000)
+
+    def corrupt():
+        sim.cpu._idle_cores = -1
+        yield Compute(1_000)
+
+    sim.spawn(worker(), name="worker")
+    sim.spawn(corrupt(), name="saboteur")
+    with pytest.raises(InvariantViolationError, match="cores-bounded"):
+        sim.run()
+
+
+def test_monitor_catches_silent_edge_drop():
+    """MUTANT: an edge filter drops every ordering edge, and the
+    executor's drop ledger is sabotaged so nothing is recorded — the
+    exact failure mode of a buggy Group Isolator.  The monitor must see
+    b.service start before its required predecessor settles."""
+
+    class LeakyLedger(list):
+        def append(self, edge):  # the drop is never recorded
+            pass
+
+    def sabotage(executor):
+        executor.ignored_edges = LeakyLedger()
+
+    monitor = InvariantMonitor()
+    with pytest.raises(InvariantViolationError, match="ordering-respected"):
+        run_monitored_transaction([
+            Unit(name="goal.target", requires=["b.service"]),
+            service("b.service", requires=["a.service"], cpu_ms=1),
+            service("a.service", cpu_ms=50),
+        ], monitor, edge_filter=lambda edge: False, sabotage=sabotage)
+
+
+def test_recorded_edge_drops_are_excused():
+    """The same all-dropping filter with an honest ledger is legal: the
+    Group Isolator may drop any edge as long as it says so."""
+    monitor = InvariantMonitor()
+    run_monitored_transaction([
+        Unit(name="goal.target", requires=["b.service"]),
+        service("b.service", requires=["a.service"], cpu_ms=1),
+        service("a.service", cpu_ms=50),
+    ], monitor, edge_filter=lambda edge: False)
+    assert monitor.ok
+
+
+def test_monitor_catches_deferred_work_before_completion():
+    """MUTANT: a deferred process's start timestamp is rewound to before
+    boot completion, as if the Deferred Executor fired early."""
+    monitor = InvariantMonitor()
+    simulation = BootSimulation(opensource_tv_workload(), BBConfig.full())
+    simulation.run()
+    deferred = simulation.manager.deferred_processes
+    assert deferred, "tv/full must defer work for this mutant to bite"
+    deferred[0].started_at_ns = 0
+    monitor.attach(simulation.sim)
+    with pytest.raises(InvariantViolationError,
+                       match="deferred-after-completion"):
+        monitor.finish(simulation)
+
+
+# ------------------------------------------------------------- strict mode
+
+def test_non_strict_mode_accumulates_violations():
+    monitor = InvariantMonitor(strict=False)
+    sim = Simulator(cores=1, event_queue=ReverseTimeQueue())
+    monitor.attach(sim)
+
+    def sleeper(ns):
+        yield Timeout(ns)
+
+    sim.spawn(sleeper(10_000), name="slow")
+    sim.spawn(sleeper(5_000), name="fast")
+    # Non-strict monitoring records the violation; the backwards clock
+    # still crashes the engine afterwards, which is fine for a fuzzer.
+    from repro.errors import SimulationError
+    with pytest.raises(SimulationError):
+        sim.run()
+    assert not monitor.ok
+    assert any(v.invariant == "time-monotonic" for v in monitor.violations)
+    assert "time-monotonic" in str(monitor.violations[0])

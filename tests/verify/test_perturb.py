@@ -1,0 +1,124 @@
+"""Tests for schedule-perturbation fuzzing (the chaos tie-breaker)."""
+
+import pytest
+
+from repro.analysis.export import report_to_json
+from repro.core import BBConfig, BootSimulation
+from repro.faults import build_preset
+from repro.verify import (InvariantMonitor, PerturbedEventQueue,
+                          diff_signatures, metamorphic_signature)
+from repro.workloads import opensource_tv_workload
+from repro.workloads.generator import GeneratorParams, generate_workload
+
+
+def drain(queue):
+    order = []
+    while queue:
+        event = queue.pop()
+        order.append(event.args[0])
+    return order
+
+
+def fill(queue):
+    sink = lambda tag: None
+    for tag in range(12):
+        queue.push(1_000, sink, tag)  # all same time: pure tie-break
+    for tag in range(12, 16):
+        queue.push(2_000, sink, tag)
+
+
+# ---------------------------------------------------------------- the queue
+
+def test_same_seed_same_order():
+    first, second = PerturbedEventQueue(42), PerturbedEventQueue(42)
+    fill(first)
+    fill(second)
+    assert drain(first) == drain(second)
+
+
+def test_different_seeds_permute_ties():
+    orders = set()
+    for seed in range(8):
+        queue = PerturbedEventQueue(seed)
+        fill(queue)
+        orders.add(tuple(drain(queue)))
+    assert len(orders) > 1, "eight seeds should produce >1 tie order"
+
+
+def test_time_order_never_violated():
+    queue = PerturbedEventQueue(7)
+    fill(queue)
+    order = drain(queue)
+    # The t=2000 group (tags 12-15) must come after every t=1000 tag.
+    assert all(tag < 12 for tag in order[:12])
+    assert all(tag >= 12 for tag in order[12:])
+
+
+def test_perturbed_queue_differs_from_fifo():
+    found_difference = False
+    for seed in range(16):
+        queue = PerturbedEventQueue(seed)
+        fill(queue)
+        if drain(queue)[:12] != list(range(12)):
+            found_difference = True
+            break
+    assert found_difference, "no seed in 16 ever deviated from FIFO"
+
+
+def test_cancel_works_under_perturbation():
+    queue = PerturbedEventQueue(3)
+    sink = lambda tag: None
+    keep = queue.push(100, sink, "keep")
+    drop = queue.push(100, sink, "drop")
+    queue.cancel(drop)
+    assert len(queue) == 1
+    assert queue.pop() is keep
+
+
+# ------------------------------------------------------- metamorphic boots
+
+@pytest.mark.slow
+def test_tv_boot_signature_survives_perturbation():
+    def signature(seed=None):
+        queue = PerturbedEventQueue(seed) if seed is not None else None
+        monitor = InvariantMonitor()
+        simulation = BootSimulation(opensource_tv_workload(), BBConfig.full(),
+                                    monitor=monitor, event_queue=queue)
+        report = simulation.run()
+        assert monitor.ok
+        return metamorphic_signature(report, simulation)
+
+    base = signature()
+    for seed in (1, 2, 3):
+        assert diff_signatures(base, signature(seed)) == []
+
+
+@pytest.mark.slow
+def test_faulted_boot_signature_survives_perturbation():
+    """Same fault plan, different interleavings: identical failed set."""
+    def signature(seed):
+        simulation = BootSimulation(
+            generate_workload(GeneratorParams(seed=13, services=12)),
+            BBConfig.full(), fault_plan=build_preset("flaky-services", seed=5),
+            event_queue=PerturbedEventQueue(seed))
+        return metamorphic_signature(simulation.run(), simulation)
+
+    first, second = signature(100), signature(200)
+    assert diff_signatures(first, second) == []
+
+
+def test_same_perturbation_seed_is_byte_identical():
+    def export(seed):
+        return report_to_json(BootSimulation(
+            generate_workload(GeneratorParams(seed=4, services=10)),
+            BBConfig.full(), event_queue=PerturbedEventQueue(seed)).run())
+
+    assert export(9) == export(9)
+
+
+def test_diff_signatures_reports_changed_keys():
+    base = {"started_units": frozenset({"a"}), "rcu_sync_count": 3}
+    mutated = {"started_units": frozenset({"a", "b"}), "rcu_sync_count": 3}
+    differences = diff_signatures(base, mutated)
+    assert len(differences) == 1
+    assert "started_units" in differences[0]
