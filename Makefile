@@ -1,6 +1,6 @@
 # Convenience targets for the BB reproduction.
 
-.PHONY: install test test-fast coverage verify bench experiments artifacts examples clean
+.PHONY: install test test-fast coverage verify recover bench experiments artifacts examples clean
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -24,6 +24,11 @@ coverage:
 # fuzzing, analytic oracles) at CI scale.
 verify:
 	PYTHONPATH=src python -m repro verify --smoke
+
+# Boot-recovery escalation ladder over the CI preset subset; nonzero
+# exit if any preset defeats the ladder.
+recover:
+	PYTHONPATH=src python -m repro recover --smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -42,6 +42,8 @@ def report_to_dict(report: BootReport) -> dict[str, Any]:
         "unsettled_units": list(report.unsettled_units),
         "injected_faults": dict(report.injected_faults),
         "deferred_failed": list(report.deferred_failed),
+        "unit_attempts": dict(report.unit_attempts),
+        "recovery": report.recovery,
     }
 
 

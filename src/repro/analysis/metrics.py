@@ -57,6 +57,11 @@ class BootReport:
         injected_faults: The fault injector's tally (empty when the run
             had no fault plan).
         deferred_failed: Deferred tasks that exhausted their retries.
+        unit_attempts: Start attempts per unit *this boot* (restarted
+            units show > 1; targets and skipped units are absent).
+        recovery: The recovery section (JSON-ready dict) attached by the
+            :class:`~repro.recovery.BootSupervisor`; ``None`` for an
+            unsupervised boot.
     """
 
     workload: str
@@ -78,6 +83,8 @@ class BootReport:
     unsettled_units: tuple[str, ...] = ()
     injected_faults: dict[str, int] = field(default_factory=dict)
     deferred_failed: list[str] = field(default_factory=list)
+    unit_attempts: dict[str, int] = field(default_factory=dict)
+    recovery: dict | None = None
 
     @property
     def boot_complete_ms(self) -> float:

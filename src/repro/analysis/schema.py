@@ -32,6 +32,24 @@ REPORT_KEYS = frozenset({
     "boot_complete_ns", "all_done_ns", "bb_group", "rcu", "cpu_busy_ns",
     "ignored_edges", "deferred_tasks", "unit_started_ns", "unit_ready_ns",
     "failed_units", "unsettled_units", "injected_faults", "deferred_failed",
+    "unit_attempts", "recovery",
+})
+
+#: Exact key set of the recovery section (``report["recovery"]`` when the
+#: boot ran under a BootSupervisor; ``None`` otherwise).
+RECOVERY_KEYS = frozenset({
+    "policy", "seed", "converged", "rung", "rungs", "total_recovery_ns",
+    "restart_history", "masked_units", "snapshot",
+})
+
+#: Exact key set of one per-rung attempt record in ``recovery["rungs"]``.
+RECOVERY_RUNG_KEYS = frozenset({
+    "rung", "outcome", "boot_ns", "failed_units",
+})
+
+#: Outcomes a ladder rung may report.
+RECOVERY_OUTCOMES = frozenset({
+    "completed", "degraded", "failed", "wedged", "skipped",
 })
 
 _STAGE_KEYS = frozenset({"kernel", "init_init", "services"})
@@ -157,6 +175,88 @@ def _require_ns_map(value: Any, where: str) -> None:
                          f"got {ns!r}")
 
 
+def validate_recovery_dict(document: Any) -> None:
+    """Validate a recovery section; raise :class:`SchemaError`.
+
+    Like the report itself, the key set must match :data:`RECOVERY_KEYS`
+    exactly so supervisor and schema cannot drift apart silently.
+    """
+    where = "report.recovery"
+    if not isinstance(document, dict):
+        _fail(where, f"expected an object, got {type(document).__name__}")
+    keys = set(document)
+    if keys != RECOVERY_KEYS:
+        missing = sorted(RECOVERY_KEYS - keys)
+        extra = sorted(keys - RECOVERY_KEYS)
+        problems = []
+        if missing:
+            problems.append(f"missing keys: {', '.join(missing)}")
+        if extra:
+            problems.append(f"unexpected keys: {', '.join(extra)}")
+        _fail(where, "; ".join(problems))
+    if not isinstance(document["policy"], str) or not document["policy"]:
+        _fail(where, "policy must be a non-empty string")
+    _require_int(document, "seed", where)
+    _require_int(document, "total_recovery_ns", where)
+    if not isinstance(document["converged"], bool):
+        _fail(where, f"converged must be a bool, got "
+                     f"{document['converged']!r}")
+    rung = document["rung"]
+    if rung is not None and (not isinstance(rung, str) or not rung):
+        _fail(where, f"rung must be null or a non-empty string, got {rung!r}")
+    if document["converged"] and rung is None:
+        _fail(where, "a converged recovery must name its rung")
+    _require_str_list(document["masked_units"], f"{where}.masked_units")
+    rungs = document["rungs"]
+    if not isinstance(rungs, list) or not rungs:
+        _fail(f"{where}.rungs", f"expected a non-empty list, got {rungs!r}")
+    for index, record in enumerate(rungs):
+        rung_where = f"{where}.rungs[{index}]"
+        if not isinstance(record, dict) or set(record) != RECOVERY_RUNG_KEYS:
+            _fail(rung_where, f"expected keys "
+                              f"{{{', '.join(sorted(RECOVERY_RUNG_KEYS))}}}, "
+                              f"got {record!r}")
+        if not isinstance(record["rung"], str) or not record["rung"]:
+            _fail(rung_where, "rung must be a non-empty string")
+        if record["outcome"] not in RECOVERY_OUTCOMES:
+            _fail(rung_where, f"unknown outcome {record['outcome']!r} "
+                              f"(allowed: "
+                              f"{', '.join(sorted(RECOVERY_OUTCOMES))})")
+        _require_int(record, "boot_ns", rung_where)
+        _require_str_list(record["failed_units"], f"{rung_where}.failed_units")
+    history = document["restart_history"]
+    if not isinstance(history, dict):
+        _fail(f"{where}.restart_history",
+              f"expected an object, got {history!r}")
+    for unit, entry in history.items():
+        entry_where = f"{where}.restart_history[{unit!r}]"
+        if not isinstance(unit, str):
+            _fail(entry_where, "non-string unit name")
+        if (not isinstance(entry, dict)
+                or set(entry) != {"attempts", "delays_ns"}):
+            _fail(entry_where, f"expected keys {{attempts, delays_ns}}, "
+                               f"got {entry!r}")
+        _require_int(entry, "attempts", entry_where, minimum=1)
+        delays = entry["delays_ns"]
+        if not isinstance(delays, list) or any(
+                not isinstance(d, int) or isinstance(d, bool) or d < 0
+                for d in delays):
+            _fail(entry_where, f"delays_ns must be a list of integers >= 0, "
+                               f"got {delays!r}")
+    snapshot = document["snapshot"]
+    if snapshot is not None:
+        snap_where = f"{where}.snapshot"
+        if (not isinstance(snapshot, dict)
+                or set(snapshot) != {"intact", "verify_ns", "restore_ns"}):
+            _fail(snap_where, f"expected keys {{intact, verify_ns, "
+                              f"restore_ns}}, got {snapshot!r}")
+        if not isinstance(snapshot["intact"], bool):
+            _fail(snap_where, f"intact must be a bool, got "
+                              f"{snapshot['intact']!r}")
+        for key in ("verify_ns", "restore_ns"):
+            _require_int(snapshot, key, snap_where)
+
+
 def validate_report_dict(document: Any) -> None:
     """Validate an exported boot-report dictionary; raise :class:`SchemaError`.
 
@@ -200,6 +300,18 @@ def validate_report_dict(document: Any) -> None:
         _require_str_list(document[key], f"report.{key}")
     for key in ("unit_started_ns", "unit_ready_ns"):
         _require_ns_map(document[key], f"report.{key}")
+    attempts = document["unit_attempts"]
+    if not isinstance(attempts, dict):
+        _fail("report.unit_attempts",
+              f"expected an object, got {type(attempts).__name__}")
+    for name, count in attempts.items():
+        if (not isinstance(name, str) or not isinstance(count, int)
+                or isinstance(count, bool) or count < 1):
+            _fail("report.unit_attempts",
+                  f"{name!r}: {count!r} is not a string -> positive count "
+                  f"entry")
+    if document["recovery"] is not None:
+        validate_recovery_dict(document["recovery"])
     for key in ("failed_units", "injected_faults"):
         value = document[key]
         if not isinstance(value, dict):

@@ -2,8 +2,13 @@
 
 Commands:
 
-* ``boot [--workload NAME] [--bb | --no-bb | --features a,b,c] [--cores N]``
-  — run one simulated cold boot and print the stage breakdown,
+* ``boot [--workload NAME] [--bb | --no-bb | --features a,b,c] [--cores N]
+  [--faults PRESET] [--recover]`` — run one simulated cold boot and print
+  the stage breakdown; exit 0 clean, 3 degraded/recovered-degraded,
+  1 unrecoverable,
+* ``recover [PRESET] [--seed N] [--smoke] [--json]`` — run the
+  boot-recovery escalation ladder: one supervised run for a named fault
+  preset, or the recovery matrix (``--smoke`` for the CI subset),
 * ``experiment <id> | all [--jobs N] [--cache-dir DIR]`` — run an
   evaluation experiment and print the regenerated artifact
   (``experiment list`` shows the ids); sweeps are deduplicated, cached,
@@ -53,8 +58,8 @@ def _experiments() -> dict[str, tuple]:
                                    fig2_dependency_graph, fig3_complexity,
                                    fig5_rcu_bootchart, fig6_breakdown,
                                    fig7_bbgroup_dbus, kernel_opt, portability,
-                                   prestart, scaling, socket_activation,
-                                   tradeoff, variance)
+                                   prestart, recovery_matrix, scaling,
+                                   socket_activation, tradeoff, variance)
     return {
         "portability": (portability.run, portability.render),
         "scaling": (scaling.run, scaling.render),
@@ -73,6 +78,7 @@ def _experiments() -> dict[str, tuple]:
         "prestart": (prestart.run, prestart.render),
         "ablations": (ablations.run, ablations.render),
         "fault-matrix": (fault_matrix.run, fault_matrix.render),
+        "recovery-matrix": (recovery_matrix.run, recovery_matrix.render),
     }
 
 
@@ -96,13 +102,37 @@ def _resolve_config(args: argparse.Namespace) -> BBConfig:
 
 
 def _cmd_boot(args: argparse.Namespace) -> int:
+    """Boot once (optionally faulted/supervised).
+
+    Exit codes: 0 — clean boot; 3 — boot completed degraded or recovery
+    converged with losses; 1 — the boot could not reach completion.
+    """
+    from repro.core.degraded import DegradedBootError
+
     workload = _resolve_workload(args.workload)
     config = _resolve_config(args)
-    report = BootSimulation(workload, config, cores=args.cores).run()
+    plan = None
+    if args.faults:
+        from repro.faults import build_preset
+        try:
+            plan = build_preset(args.faults, seed=args.seed)
+        except Exception as exc:
+            raise SystemExit(str(exc))
+    if args.recover:
+        return _recover_once(workload, plan, label=args.faults or "healthy",
+                             seed=args.seed, base_bb=config,
+                             as_json=getattr(args, "json", False))
+    simulation = BootSimulation(workload, config, cores=args.cores,
+                                fault_plan=plan)
+    try:
+        report = simulation.run()
+    except DegradedBootError as exc:
+        print(exc.report.summary())
+        return 1
     if getattr(args, "json", False):
         from repro.analysis.export import report_to_json
         print(report_to_json(report))
-        return 0
+        return 3 if report.degraded else 0
     features = ", ".join(report.features) or "none (conventional boot)"
     print(f"workload: {report.workload}")
     print(f"BB features: {features}")
@@ -118,7 +148,60 @@ def _cmd_boot(args: argparse.Namespace) -> int:
     print(format_table(["stage", "time"], rows))
     if report.bb_group:
         print(f"BB Group: {', '.join(sorted(report.bb_group))}")
+    if report.degraded:
+        print("boot completed DEGRADED: "
+              + ", ".join(sorted({*report.failed_units,
+                                  *report.unsettled_units,
+                                  *report.deferred_failed})))
+        return 3
     return 0
+
+
+def _recover_once(workload: Workload, plan, label: str, seed: int,
+                  base_bb: BBConfig, as_json: bool) -> int:
+    """Run one supervised recovery and map its outcome to an exit code."""
+    from repro.recovery import BootSupervisor, RecoveryPolicy
+    from repro.verify import InvariantMonitor
+
+    policy = RecoveryPolicy(label=label, seed=seed, base_bb=base_bb)
+    outcome = BootSupervisor(workload, policy, fault_plan=plan,
+                             monitor=InvariantMonitor()).run()
+    if as_json:
+        if outcome.report is not None:
+            from repro.analysis.export import report_to_json
+            print(report_to_json(outcome.report))
+        else:
+            import json
+            from repro.analysis.schema import validate_recovery_dict
+            document = outcome.to_dict()
+            validate_recovery_dict(document)
+            print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(outcome.summary())
+    return outcome.exit_code
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.runner import ResultCache, SweepRunner
+
+    if args.preset is not None:
+        from repro.faults import build_preset
+
+        try:
+            plan = build_preset(args.preset, seed=args.seed)
+        except Exception as exc:
+            raise SystemExit(str(exc))
+        workload = _resolve_workload(args.workload)
+        return _recover_once(workload, plan, label=args.preset,
+                             seed=args.seed, base_bb=_resolve_config(args),
+                             as_json=args.json)
+    from repro.experiments import recovery_matrix
+
+    with SweepRunner(jobs=args.jobs,
+                     cache=ResultCache(args.cache_dir)) as runner:
+        result = recovery_matrix.run(runner=runner, smoke=args.smoke)
+    print(recovery_matrix.render(result))
+    return 0 if result.all_converged else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -293,7 +376,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the platform core count")
     boot.add_argument("--json", action="store_true",
                       help="emit the full boot report as JSON")
+    boot.add_argument("--faults", metavar="PRESET",
+                      help="boot under a named fault preset")
+    boot.add_argument("--seed", type=int, default=1,
+                      help="fault/recovery seed (default 1)")
+    boot.add_argument("--recover", action="store_true",
+                      help="supervise the boot with the recovery ladder; "
+                           "exit 0 clean, 3 recovered-degraded, "
+                           "1 unrecoverable")
     boot.set_defaults(fn=_cmd_boot)
+
+    recover = sub.add_parser(
+        "recover", help="run the boot-recovery escalation ladder")
+    recover.add_argument("preset", nargs="?",
+                         help="fault preset for a single supervised run "
+                              "(omit to sweep the recovery matrix)")
+    recover.add_argument("--seed", type=int, default=1,
+                         help="fault/recovery seed (default 1)")
+    recover.add_argument("--workload", default="tv")
+    recover.add_argument("--no-bb", action="store_true",
+                         help="base the ladder on a conventional boot")
+    recover.add_argument("--features",
+                         help="comma-separated BB feature list")
+    recover.add_argument("--json", action="store_true",
+                         help="emit the boot report / recovery section "
+                              "as JSON")
+    recover.add_argument("--smoke", action="store_true",
+                         help="CI-sized recovery-matrix subset")
+    recover.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the matrix sweep")
+    recover.add_argument("--cache-dir",
+                         help="persist matrix results to this directory")
+    recover.set_defaults(fn=_cmd_recover)
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper artifact")

@@ -71,13 +71,22 @@ class BootSimulation:
             e.g. a :class:`~repro.verify.PerturbedEventQueue` that fuzzes
             equal-timestamp scheduling order.  Like the simulation itself,
             a queue is single-shot.
+        restart_seed: Seed for the executor's deterministic restart
+            jitter; the recovery supervisor derives it from its own seed
+            so replays are byte-identical.
+        restart_jitter: Relative jitter on restart backoff delays
+            (0.0 keeps the constant-delay behaviour).
+        attempt_offsets: Start attempts already made in previous boots of
+            a supervised recovery run (see :meth:`FaultPlan.compile`).
     """
 
     def __init__(self, workload: Workload, bb: BBConfig | None = None,
                  cores: int | None = None,
                  kernel_config: KernelConfig | None = None,
                  manual_bb_group: tuple[str, ...] | None = None,
-                 fault_plan=None, monitor=None, event_queue=None):
+                 fault_plan=None, monitor=None, event_queue=None,
+                 restart_seed: int = 0, restart_jitter: float = 0.0,
+                 attempt_offsets: dict[str, int] | None = None):
         self.workload = workload
         self.bb = bb if bb is not None else BBConfig.none()
         self.platform = workload.platform_factory()
@@ -88,6 +97,9 @@ class BootSimulation:
         self.fault_injector = None
         self.monitor = monitor
         self.event_queue = event_queue
+        self.restart_seed = restart_seed
+        self.restart_jitter = restart_jitter
+        self.attempt_offsets = dict(attempt_offsets or {})
         self.sim: Simulator | None = None
         self.booster: BootingBooster | None = None
         self.manager: InitManager | None = None
@@ -112,7 +124,8 @@ class BootSimulation:
             self.monitor.attach(sim)
         self.platform.attach(sim)
         if self.fault_plan is not None:
-            self.fault_injector = self.fault_plan.compile()
+            self.fault_injector = self.fault_plan.compile(
+                attempt_offsets=self.attempt_offsets)
             self.platform.storage.fault_hook = self.fault_injector.storage_extra_ns
         registry = self.workload.fresh_registry()
 
@@ -158,10 +171,13 @@ class BootSimulation:
         yield from core_engine.run_kernel(sim)
         bootup_engine.on_init_start(sim)
         cache = service_engine.build_cache() if self.bb.preparser else None
+        manager_config = bootup_engine.build_manager_config(
+            self.workload.goal, self.workload.completion_units)
+        manager_config.restart_seed = self.restart_seed
+        manager_config.restart_jitter = self.restart_jitter
         manager = InitManager(
             sim, registry, self.platform.storage, core_engine.rcu,
-            bootup_engine.build_manager_config(self.workload.goal,
-                                               self.workload.completion_units),
+            manager_config,
             preparser=service_engine.preparser,
             cache=cache,
             boot_modules=self.workload.boot_modules_factory(),
@@ -202,12 +218,15 @@ class BootSimulation:
         unit_started: dict[str, int] = {}
         failed_units: dict[str, str] = {}
         unsettled_units: list[str] = []
+        unit_attempts: dict[str, int] = {}
         assert manager.transaction is not None
         for job in manager.transaction.jobs.values():
             if job.ready_at_ns is not None:
                 unit_ready[job.name] = job.ready_at_ns
             if job.started_at_ns is not None:
                 unit_started[job.name] = job.started_at_ns
+            if job.attempts:
+                unit_attempts[job.name] = job.attempts
             if job.state is JobState.FAILED:
                 failed_units[job.name] = job.failure_reason or "failed"
             elif job.settled is not None and not job.settled.fired:
@@ -240,4 +259,5 @@ class BootSimulation:
             injected_faults=(self.fault_injector.stats.as_dict()
                              if self.fault_injector is not None else {}),
             deferred_failed=list(manager.deferred_failed),
+            unit_attempts=unit_attempts,
         )

@@ -77,10 +77,16 @@ class BootFaultInjector:
     counter and stats tally are per-run state.
     """
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan,
+                 attempt_offsets: dict[str, int] | None = None):
         self.plan = plan
         self.stats = InjectedStats()
         self._storage_requests = 0
+        # Start attempts already made in previous boots of a supervised
+        # recovery run (see FaultPlan.compile): service decisions are
+        # addressed by offset + attempt, so transient faults keep clearing
+        # across reboots.
+        self.attempt_offsets: dict[str, int] = dict(attempt_offsets or {})
         self.blocked_paths: frozenset[str] = frozenset(
             spec.path for spec in plan.paths if spec.missing)
 
@@ -125,6 +131,7 @@ class BootFaultInjector:
         """Whether start ``attempt`` (1-based) of ``unit`` crashes or hangs."""
         fail = False
         hang_ns = 0
+        attempt += self.attempt_offsets.get(unit, 0)
         for spec_index, spec in enumerate(self.plan.services):
             if not fnmatchcase(unit, spec.unit):
                 continue

@@ -250,15 +250,24 @@ class FaultPlan:
         return (len(self.storage) + len(self.services) + len(self.modules)
                 + len(self.paths) + len(self.settles) + len(self.deferred))
 
-    def compile(self) -> "BootFaultInjector":
+    def compile(self, attempt_offsets: "dict[str, int] | None" = None,
+                ) -> "BootFaultInjector":
         """Build the live injector for one simulation run.
 
         Injectors hold per-run mutable state (request counters, stats),
         so compile a fresh one per boot.
+
+        Args:
+            attempt_offsets: Per-unit count of start attempts already made
+                in *previous* boots of the same supervised recovery run.
+                The injector adds the offset to each attempt number, so a
+                transient fault that clears after N attempts keeps
+                clearing across supervisor reboots instead of resetting —
+                escalation-aware replay.
         """
         from repro.faults.injector import BootFaultInjector
 
-        return BootFaultInjector(self)
+        return BootFaultInjector(self, attempt_offsets=attempt_offsets)
 
     def describe(self) -> str:
         """One-line human summary (CLI and experiment tables)."""

@@ -67,6 +67,23 @@ def module_roulette(seed: int = 0) -> FaultPlan:
         ModuleFault(module="*", fail_rate=0.0, extra_latency_ns=msec(1))))
 
 
+def transient_storage_burst(seed: int = 0) -> FaultPlan:
+    """A storage-driven burst that clears after a few attempts.
+
+    ``var.mount`` crashes on its first four start attempts (a filesystem
+    check stumbling over a dirty journal) while the storage channel pays
+    mild error-retry penalties.  An unsupervised boot fails — the default
+    mount has ``Restart=no``, so the requirement failure propagates to
+    everything needing ``/var`` — but any rung that retries the unit
+    (in-boot restarts, or supervisor reboots with attempt carryover)
+    clears the fault and completes the boot.
+    """
+    return FaultPlan(
+        seed=seed, label="transient-storage-burst",
+        services=(ServiceFault(unit="var.mount", fail_attempts=4),),
+        storage=(StorageFault(error_rate=0.05, error_retry_ns=msec(1)),))
+
+
 def settle_jitter(seed: int = 0) -> FaultPlan:
     """Peripherals settle slower and noisier than the datasheet says."""
     return FaultPlan(seed=seed, label="settle-jitter", settles=(
@@ -82,6 +99,7 @@ PRESETS: dict[str, Callable[[int], FaultPlan]] = {
     "broken-tuner": broken_tuner,
     "module-roulette": module_roulette,
     "settle-jitter": settle_jitter,
+    "transient-storage-burst": transient_storage_burst,
 }
 
 

@@ -20,11 +20,14 @@ Two hooks make this the substrate for BB's Service Engine:
 
 from __future__ import annotations
 
+import hashlib
 from typing import TYPE_CHECKING, Callable
 
+from repro.errors import UnitNotFoundError
 from repro.hw.storage import AccessPattern, StorageDevice
 from repro.initsys.transaction import EdgeKind, Job, JobState, OrderingEdge, Transaction
-from repro.initsys.units import RestartPolicy, ServiceType, Unit, UnitType
+from repro.initsys.units import (DEFAULT_START_LIMIT_BURST, RestartPolicy,
+                                 ServiceType, Unit, UnitType)
 from repro.kernel.rcu import RCUSubsystem
 from repro.sim.process import Compute, Interrupted, Timeout, Wait
 from repro.sim.sync import Mutex, PriorityMutex
@@ -35,6 +38,12 @@ if TYPE_CHECKING:
 
 #: Default scheduling priority for ordinary service start jobs.
 SERVICE_PRIORITY = 100
+
+#: How one start attempt ended (the restart policies distinguish a crash
+#: from a JobTimeout watchdog interruption).
+ATTEMPT_OK = "ok"
+ATTEMPT_CRASHED = "crashed"
+ATTEMPT_TIMED_OUT = "timed-out"
 
 
 class PathRegistry:
@@ -146,15 +155,16 @@ class ServiceRunner:
     def run(self, job: Job) -> "ProcessGenerator":
         """Generator: execute one start attempt of ``job``.
 
-        Returns True on success (completions fired per the service type);
-        False if the attempt failed — injected via the unit's
-        ``failures_before_success`` or a fault plan's ``ServiceFault``;
-        the crash happens after exec but before the unit signals any
-        readiness.
+        Returns :data:`ATTEMPT_OK` on success (completions fired per the
+        service type); :data:`ATTEMPT_CRASHED` if the attempt failed —
+        injected via the unit's ``failures_before_success`` or a fault
+        plan's ``ServiceFault``; the crash happens after exec but before
+        the unit signals any readiness.
         """
         unit = job.unit
         engine = self._engine
         job.attempts += 1
+        job.attempt_began_ns.append(engine.now)
         decision = (self._fault_injector.service_decision(unit.name, job.attempts)
                     if self._fault_injector is not None else None)
         span = engine.tracer.begin(unit.name, "service",
@@ -188,7 +198,7 @@ class ServiceRunner:
             yield Compute(unit.cost.init_cpu_ns // 2)
             engine.tracer.end(span)
             engine.tracer.instant(f"{unit.name}.failed", "service")
-            return False
+            return ATTEMPT_CRASHED
 
         self._mark_started(job)
         if unit.service_type is ServiceType.SIMPLE:
@@ -225,7 +235,7 @@ class ServiceRunner:
         job.state = JobState.DONE
         job.done_at_ns = engine.now
         engine.tracer.end(span)
-        return True
+        return ATTEMPT_OK
 
     def _initialization_work(self, unit: Unit,
                              attempt: int = 1) -> "ProcessGenerator":
@@ -292,9 +302,13 @@ class JobExecutor:
                  edge_filter: Callable[[OrderingEdge], bool] | None = None,
                  priority_fn: Callable[[Unit], int] | None = None,
                  path_faulter: "Callable[[str], ProcessGenerator] | None" = None,
-                 fault_injector=None):
+                 fault_injector=None,
+                 restart_seed: int = 0,
+                 restart_jitter: float = 0.0):
         self._engine = engine
         self.transaction = transaction
+        self._restart_seed = restart_seed
+        self._restart_jitter = restart_jitter
 
         def ready_gate(name: str):
             if name in transaction:
@@ -311,6 +325,8 @@ class JobExecutor:
         self._priority_fn = priority_fn
         self.ignored_edges: list[OrderingEdge] = []
         self.failed_jobs: list[str] = []
+        # (failed unit, handler unit) pairs, in activation order.
+        self.on_failure_activated: list[tuple[str, str]] = []
         self._shepherds: list["Process"] = []
 
     def start_all(self) -> list["Process"]:
@@ -382,27 +398,83 @@ class JobExecutor:
 
         restarts = 0
         while True:
-            success = yield from self._attempt_with_watchdog(job)
-            if success:
+            outcome = yield from self._attempt_with_watchdog(job)
+            if outcome == ATTEMPT_OK:
                 if job.settled is not None and not job.settled.fired:
                     job.settled.fire(job.name)
                 return
-            if (unit.restart_policy is RestartPolicy.ON_FAILURE
-                    and restarts < unit.max_restarts):
-                # Monitoring and recovery (§2.5.2): restart after a delay.
-                restarts += 1
-                yield Timeout(unit.restart_delay_ns)
-                continue
-            self._fail(job, f"start job failed after {job.attempts} attempt(s)")
-            return
+            if not self._should_restart(unit, outcome, restarts):
+                self._fail(job,
+                           f"start job failed after {job.attempts} attempt(s)")
+                return
+            if self._start_limit_hit(job):
+                self._fail(job, f"start-limit-hit: {job.attempts} starts "
+                                f"within {unit.start_limit_interval_ns} ns")
+                return
+            # Monitoring and recovery (§2.5.2): restart after a delay.
+            restarts += 1
+            delay = self._restart_delay(unit, restarts)
+            job.restart_delays_ns.append(delay)
+            if delay:
+                yield Timeout(delay)
+
+    def _should_restart(self, unit: Unit, outcome: str, restarts: int) -> bool:
+        """Whether the unit's restart policy allows another attempt.
+
+        ``on-failure`` restarts after any failed attempt (crash or
+        JobTimeout), ``on-watchdog`` only after a JobTimeout interruption
+        — both bounded by ``max_restarts``.  ``always`` ignores
+        ``max_restarts`` and is bounded only by the start-rate limit.
+        """
+        policy = unit.restart_policy
+        if policy is RestartPolicy.NO:
+            return False
+        if policy is RestartPolicy.ALWAYS:
+            return True
+        if restarts >= unit.max_restarts:
+            return False
+        if policy is RestartPolicy.ON_WATCHDOG:
+            return outcome == ATTEMPT_TIMED_OUT
+        return True  # ON_FAILURE: crash or timeout
+
+    def _start_limit_hit(self, job: Job) -> bool:
+        """systemd start-rate limiting over the attempt-launch history.
+
+        A burst of 0 means unlimited — except under ``Restart=always``,
+        which would loop forever without a limit, so it gets systemd's
+        default of 5 starts per 10 s.
+        """
+        unit = job.unit
+        burst = unit.start_limit_burst
+        if burst == 0 and unit.restart_policy is RestartPolicy.ALWAYS:
+            burst = DEFAULT_START_LIMIT_BURST
+        if burst <= 0:
+            return False
+        window_start = self._engine.now - unit.start_limit_interval_ns
+        recent = sum(1 for t in job.attempt_began_ns if t >= window_start)
+        return recent >= burst
+
+    def _restart_delay(self, unit: Unit, restart_number: int) -> int:
+        """Seeded exponential backoff with deterministic jitter."""
+        delay = (unit.restart_delay_ns
+                 * unit.restart_backoff_factor ** (restart_number - 1))
+        if self._restart_jitter:
+            digest = hashlib.sha256(repr(
+                (self._restart_seed, "restart-jitter", unit.name,
+                 restart_number)).encode()).digest()
+            unit_draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            delay *= 1.0 + self._restart_jitter * (2.0 * unit_draw - 1.0)
+        return int(delay)
 
     def _attempt_with_watchdog(self, job: Job) -> "ProcessGenerator":
         """One start attempt, guarded by the unit's JobTimeout watchdog.
 
         A unit that exceeds ``start_timeout_ns`` without becoming ready is
         interrupted (its held simulation locks are released by the
-        generator's ``finally`` blocks) and the attempt counts as failed,
-        so the unit's restart policy applies.
+        generator's ``finally`` blocks) and the attempt counts as
+        :data:`ATTEMPT_TIMED_OUT`, so the unit's restart policy applies.
+        The watchdog event is cancelled whatever the outcome — a
+        successful attempt leaves no stray timer in the event queue.
         """
         unit = job.unit
         engine = self._engine
@@ -422,7 +494,7 @@ class JobExecutor:
             result = yield from self._runner.run(job)
         except Interrupted:
             engine.tracer.instant(f"{unit.name}.start-timeout", "service")
-            return False
+            return ATTEMPT_TIMED_OUT
         finally:
             engine.events.cancel(event)
         return result
@@ -438,6 +510,39 @@ class JobExecutor:
             job.settled.fire(job.name)
         self.failed_jobs.append(job.name)
         self._engine.tracer.instant(f"{job.name}.start-failed", "service")
+        for handler in job.unit.on_failure:
+            self._activate_on_failure(job.name, handler)
+
+    def _activate_on_failure(self, failed: str, handler: str) -> None:
+        """``OnFailure=``: enqueue a start job for ``handler``.
+
+        A handler already part of the transaction is merely recorded (its
+        job runs regardless); one outside it gets a fresh edge-free job
+        and shepherd, appended to ``_shepherds`` — ``wait_all`` iterates
+        the live list, so late additions are still drained.
+        """
+        engine = self._engine
+        if handler in self.transaction.jobs:
+            self.on_failure_activated.append((failed, handler))
+            return
+        try:
+            unit = self.transaction.registry.get(handler)
+        except UnitNotFoundError:
+            engine.tracer.instant(f"{handler}.on-failure-missing", "service")
+            return
+        job = Job(unit=unit, pulled_strongly=False)
+        job.started = engine.completion(f"{job.name}.started")
+        job.ready = engine.completion(f"{job.name}.ready")
+        job.settled = engine.completion(f"{job.name}.settled")
+        self.transaction.jobs[handler] = job
+        priority = (self._priority_fn(unit) if self._priority_fn
+                    else SERVICE_PRIORITY)
+        shepherd = engine.spawn(self._shepherd(job),
+                                name=f"job:{job.name}",
+                                priority=priority)
+        self._shepherds.append(shepherd)
+        self.on_failure_activated.append((failed, handler))
+        engine.tracer.instant(f"{handler}.on-failure-activated", "service")
 
     def _fire_all(self, job: Job) -> None:
         monitor = self._engine.monitor

@@ -67,6 +67,10 @@ class ManagerConfig:
         ondemand_modules: BB On-demand Modularizer — no kmod bulk loading.
         startup_tasks: Manager start-up task list (Fig. 6(b) by default).
         submodule_tasks: Init sub-module list (Fig. 6(c) by default).
+        restart_seed: Seed for the executor's deterministic restart
+            jitter draws (recovery replay determinism).
+        restart_jitter: Relative jitter applied to restart backoff
+            delays (0.0 = constant delays, the pre-recovery behaviour).
     """
 
     goal: str = "multi-user.target"
@@ -77,6 +81,8 @@ class ManagerConfig:
     ondemand_modules: bool = False
     startup_tasks: tuple[StartupTask, ...] = STARTUP_TASKS
     submodule_tasks: tuple[StartupTask, ...] = SUBMODULE_TASKS
+    restart_seed: int = 0
+    restart_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.completion_units:
@@ -180,7 +186,9 @@ class InitManager:
             engine, self.transaction, self.storage, self.rcu, self.paths,
             manager_lock=self.fork_lock, edge_filter=self._edge_filter,
             priority_fn=self._priority_fn, path_faulter=self._path_faulter,
-            fault_injector=self._fault_injector)
+            fault_injector=self._fault_injector,
+            restart_seed=self.config.restart_seed,
+            restart_jitter=self.config.restart_jitter)
         self.executor.start_all()
 
         yield from self._wait_for_completion()

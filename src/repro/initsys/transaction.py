@@ -79,6 +79,12 @@ class Job:
     # that was restarted), while the ``started`` completion keeps
     # first-fire semantics for dependents.
     attempt_started_ns: list[int] = field(default_factory=list)
+    # Launch instants of *every* attempt including ones that crashed
+    # before the unit counted as started (start-rate limiting counts
+    # those too), and the backoff delay slept before each restart —
+    # the §2.5.2 restart/backoff history the recovery report exports.
+    attempt_began_ns: list[int] = field(default_factory=list)
+    restart_delays_ns: list[int] = field(default_factory=list)
     failure_reason: str | None = None
 
     @property

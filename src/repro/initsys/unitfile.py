@@ -36,7 +36,8 @@ from repro.errors import UnitParseError
 #: Keys whose values are whitespace-separated lists that accumulate.
 LIST_KEYS = frozenset({
     "Requires", "Wants", "Before", "After", "Conflicts", "WantedBy",
-    "RequiredBy", "ProvidesPaths", "WaitsForPaths", "IpcTargets",
+    "RequiredBy", "OnFailure", "ProvidesPaths", "WaitsForPaths",
+    "IpcTargets",
 })
 
 

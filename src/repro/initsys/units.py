@@ -65,10 +65,25 @@ class ServiceType(enum.Enum):
 
 class RestartPolicy(enum.Enum):
     """``Restart=`` recovery policy (the init scheme's monitoring and
-    recovery mechanism, §2.5.2)."""
+    recovery mechanism, §2.5.2).
+
+    ``on-failure`` restarts after any failed attempt (crash or watchdog
+    timeout), ``on-watchdog`` only after a ``JobTimeout`` interruption,
+    and ``always`` restarts regardless of the failure kind and ignores
+    ``max_restarts`` — it is bounded only by the unit's start-rate limit
+    (``StartLimitBurst``/``StartLimitIntervalNs``), like systemd.
+    """
 
     NO = "no"
     ON_FAILURE = "on-failure"
+    ON_WATCHDOG = "on-watchdog"
+    ALWAYS = "always"
+
+
+#: systemd's DefaultStartLimitBurst / DefaultStartLimitIntervalSec:
+#: at most 5 starts within any 10 s window for rate-limited policies.
+DEFAULT_START_LIMIT_BURST = 5
+DEFAULT_START_LIMIT_INTERVAL_NS = 10_000_000_000
 
 
 def default_service_type(unit_type: "UnitType") -> ServiceType:
@@ -154,12 +169,29 @@ class Unit:
     max_restarts: int = 3
     failures_before_success: int = 0
     start_timeout_ns: int = 0  # 0 = no watchdog (JobTimeoutSec=infinity)
+    # §2.5.2 escalation knobs: OnFailure= units activated when this unit
+    # fails permanently, systemd-style start-rate limiting (0 burst means
+    # "use the policy default": unlimited unless Restart=always, which
+    # falls back to the systemd 5-per-10 s default), and the exponential
+    # growth factor applied to restart_delay_ns between restarts.
+    on_failure: list[str] = field(default_factory=list)
+    start_limit_burst: int = 0
+    start_limit_interval_ns: int = DEFAULT_START_LIMIT_INTERVAL_NS
+    restart_backoff_factor: float = 1.0
     unit_type: UnitType = field(init=False)
 
     def __post_init__(self) -> None:
         self.unit_type = UnitType.from_name(self.name)
         if self.name in self.requires or self.name in self.wants:
             raise UnitError(f"{self.name}: unit depends on itself")
+        if self.name in self.on_failure:
+            raise UnitError(f"{self.name}: unit is its own OnFailure handler")
+        if self.restart_backoff_factor < 1.0:
+            raise UnitError(f"{self.name}: restart_backoff_factor must be "
+                            f">= 1.0, got {self.restart_backoff_factor}")
+        if self.start_limit_burst < 0 or self.start_limit_interval_ns < 0:
+            raise UnitError(f"{self.name}: start-limit values cannot be "
+                            f"negative")
 
     @property
     def is_daemon(self) -> bool:
@@ -220,6 +252,37 @@ class Unit:
         except ValueError:
             raise UnitParseError(f"invalid Restart={restart_value!r}",
                                  parsed.name) from None
+
+        def unit_int(section: str, key: str, default: int) -> int:
+            raw = parsed.get(section, key)
+            if raw is None:
+                return default
+            try:
+                value = int(str(raw))
+            except ValueError:
+                raise UnitParseError(
+                    f"[{section}] {key} must be an integer, got {raw!r}",
+                    parsed.name) from None
+            if value < 0:
+                raise UnitParseError(
+                    f"[{section}] {key} cannot be negative, got {value}",
+                    parsed.name)
+            return value
+
+        backoff_raw = parsed.get("Service", "RestartBackoffFactor")
+        if backoff_raw is None:
+            backoff_factor = 1.0
+        else:
+            try:
+                backoff_factor = float(str(backoff_raw))
+            except ValueError:
+                raise UnitParseError(
+                    f"[Service] RestartBackoffFactor must be a number, "
+                    f"got {backoff_raw!r}", parsed.name) from None
+            if backoff_factor < 1.0:
+                raise UnitParseError(
+                    f"[Service] RestartBackoffFactor must be >= 1.0, "
+                    f"got {backoff_raw!r}", parsed.name)
         condition = parsed.get("Unit", "ConditionPathExists")
         return cls(
             name=parsed.name,
@@ -244,6 +307,12 @@ class Unit:
             max_restarts=sim_int("MaxRestarts", 3),
             failures_before_success=sim_int("FailuresBeforeSuccess", 0),
             start_timeout_ns=sim_int("StartTimeoutNs", 0),
+            on_failure=parsed.get_list("Unit", "OnFailure"),
+            start_limit_burst=unit_int("Unit", "StartLimitBurst", 0),
+            start_limit_interval_ns=unit_int(
+                "Unit", "StartLimitIntervalNs",
+                DEFAULT_START_LIMIT_INTERVAL_NS),
+            restart_backoff_factor=backoff_factor,
         )
 
     def to_parsed(self) -> ParsedUnitFile:
@@ -259,11 +328,21 @@ class Unit:
                 unit_section[key] = list(values)
         if self.condition_paths:
             unit_section["ConditionPathExists"] = self.condition_paths[0]
+        if self.on_failure:
+            unit_section["OnFailure"] = list(self.on_failure)
+        if self.start_limit_burst:
+            unit_section["StartLimitBurst"] = str(self.start_limit_burst)
+        if self.start_limit_interval_ns != DEFAULT_START_LIMIT_INTERVAL_NS:
+            unit_section["StartLimitIntervalNs"] = str(
+                self.start_limit_interval_ns)
         if (self.unit_type is UnitType.SERVICE
                 or self.service_type is not default_service_type(self.unit_type)):
             sections["Service"] = {"Type": self.service_type.value}
         if self.restart_policy is not RestartPolicy.NO:
             sections.setdefault("Service", {})["Restart"] = self.restart_policy.value
+        if self.restart_backoff_factor != 1.0:
+            sections.setdefault("Service", {})["RestartBackoffFactor"] = (
+                repr(self.restart_backoff_factor))
         install: dict[str, object] = {}
         if self.wanted_by:
             install["WantedBy"] = list(self.wanted_by)
@@ -326,4 +405,8 @@ def replace_unit(unit: Unit) -> Unit:
         max_restarts=unit.max_restarts,
         failures_before_success=unit.failures_before_success,
         start_timeout_ns=unit.start_timeout_ns,
+        on_failure=list(unit.on_failure),
+        start_limit_burst=unit.start_limit_burst,
+        start_limit_interval_ns=unit.start_limit_interval_ns,
+        restart_backoff_factor=unit.restart_backoff_factor,
     )

@@ -10,6 +10,7 @@ boot-then-suspend violates the EU 1 W standby regulation [9]).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.errors import KernelError
@@ -63,6 +64,58 @@ class HibernationModel:
     def usable_with_factory_image(self) -> bool:
         """Factory (pre-loaded) snapshots only work without third-party apps."""
         return not self.third_party_apps
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotVerification:
+    """Verdict of a snapshot-image integrity check.
+
+    Attributes:
+        intact: Whether the stored image checksums clean; a corrupt image
+            must not be restored (half a restored kernel is worse than a
+            slow boot), so the boot falls back to the conventional path.
+        verify_time_ns: Time the check itself took — charged to the boot
+            whichever way the verdict goes.
+    """
+
+    intact: bool
+    verify_time_ns: int
+
+
+def verify_snapshot(model: HibernationModel, platform: HardwarePlatform,
+                    seed: int, corrupt_rate: float = 0.0,
+                    checksum_fraction: float = 0.02,
+                    checksum_overhead_ns: int = msec(50),
+                    ) -> SnapshotVerification:
+    """Simulated integrity check of a stored hibernation image.
+
+    The bootloader reads ``checksum_fraction`` of the image (header plus
+    sampled pages) and verifies checksums before committing to a restore —
+    the fail-safe real devices ship, because a power cut mid-
+    :meth:`HibernationModel.create_time_ns` leaves a torn image on flash.
+    The verdict is seed-deterministic: the corruption draw is addressed by
+    ``(seed, "snapshot-corrupt")``, never by global RNG state, so recovery
+    replays are byte-identical.
+
+    Raises:
+        KernelError: If ``corrupt_rate`` or ``checksum_fraction`` is out
+            of range.
+    """
+    if not 0.0 <= corrupt_rate <= 1.0:
+        raise KernelError(f"corrupt_rate must be in [0, 1]: {corrupt_rate}")
+    if not 0.0 < checksum_fraction <= 1.0:
+        raise KernelError(
+            f"checksum_fraction must be in (0, 1]: {checksum_fraction}")
+    if checksum_overhead_ns < 0:
+        raise KernelError("checksum overhead cannot be negative")
+    read_bytes = round(model.image_bytes(platform) * checksum_fraction)
+    verify_ns = checksum_overhead_ns + transfer_time_ns(
+        read_bytes, platform.storage.seq_read_bps)
+    digest = hashlib.sha256(
+        repr((seed, "snapshot-corrupt")).encode()).digest()
+    draw = int.from_bytes(digest[:8], "big") / 2.0**64
+    return SnapshotVerification(intact=draw >= corrupt_rate,
+                                verify_time_ns=verify_ns)
 
 
 @dataclass(frozen=True, slots=True)

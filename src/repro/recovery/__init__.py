@@ -1,0 +1,41 @@
+"""Boot-recovery orchestration: restart ladders and snapshot fallback.
+
+The paper's init scheme is not just fast — it is the component that must
+get the device to a usable state *no matter what* (§2.5.2's monitoring
+and recovery, §4's snapshot fail-safe).  This package supplies the
+orchestrator: :class:`BootSupervisor` drives repeated
+:class:`~repro.core.BootSimulation` boots up a declarative
+:class:`RecoveryPolicy` ladder until one completes, recording every rung,
+restart, and masked unit in a schema-pinned recovery section.
+"""
+
+from repro.recovery.policy import (DEFAULT_LADDER, RUNG_AS_CONFIGURED,
+                                   RUNG_ISOLATE, RUNG_RESCUE, RUNG_RESTART,
+                                   RUNG_SAFE_MODE, RUNG_SNAPSHOT,
+                                   AttemptRecord, RecoveryOutcome,
+                                   RecoveryPolicy, SnapshotPolicy)
+from repro.recovery.supervisor import (OUTCOME_COMPLETED, OUTCOME_DEGRADED,
+                                       OUTCOME_FAILED, OUTCOME_SKIPPED,
+                                       OUTCOME_WEDGED, RESCUE_TARGET,
+                                       BootSupervisor)
+
+__all__ = [
+    "AttemptRecord",
+    "BootSupervisor",
+    "DEFAULT_LADDER",
+    "OUTCOME_COMPLETED",
+    "OUTCOME_DEGRADED",
+    "OUTCOME_FAILED",
+    "OUTCOME_SKIPPED",
+    "OUTCOME_WEDGED",
+    "RESCUE_TARGET",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "RUNG_AS_CONFIGURED",
+    "RUNG_ISOLATE",
+    "RUNG_RESCUE",
+    "RUNG_RESTART",
+    "RUNG_SAFE_MODE",
+    "RUNG_SNAPSHOT",
+    "SnapshotPolicy",
+]

@@ -1,0 +1,229 @@
+"""Declarative recovery policies and their outcome records.
+
+A :class:`RecoveryPolicy` describes *how far* a device is willing to go
+to finish booting (§2.5.2: a consumer device must always come up) and
+*how* each rung of the escalation ladder behaves: the snapshot fast path
+and its integrity gate, forced restart semantics (timeout, backoff,
+jitter), and the per-retry reboot overhead.  Policies are pure data, so
+they pickle across sweep workers and participate in job fingerprints the
+same way :class:`~repro.faults.FaultPlan` does.
+
+:class:`RecoveryOutcome` is the machine-readable result of one supervised
+recovery run: which rungs were tried, where the ladder converged, the
+cumulative recovered boot time, and the restart/backoff history — the
+``recovery`` section of the exported boot report
+(:func:`repro.analysis.schema.validate_recovery_dict` pins its shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.config import BBConfig
+from repro.errors import ConfigurationError
+from repro.kernel.snapshot import HibernationModel
+from repro.quantities import msec
+
+if TYPE_CHECKING:
+    from repro.analysis.metrics import BootReport
+    from repro.core.degraded import DegradedBootReport
+
+#: Ladder rung names, in default escalation order.
+RUNG_SNAPSHOT = "snapshot"
+RUNG_AS_CONFIGURED = "as-configured"
+RUNG_RESTART = "restart"
+RUNG_ISOLATE = "isolate"
+RUNG_SAFE_MODE = "safe-mode"
+RUNG_RESCUE = "rescue"
+
+#: The full default ladder (the snapshot rung only runs when the policy
+#: configures a snapshot).
+DEFAULT_LADDER = (RUNG_SNAPSHOT, RUNG_AS_CONFIGURED, RUNG_RESTART,
+                  RUNG_ISOLATE, RUNG_SAFE_MODE, RUNG_RESCUE)
+
+_KNOWN_RUNGS = frozenset(DEFAULT_LADDER)
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotPolicy:
+    """The hibernation fast path tried before any full boot.
+
+    Attributes:
+        model: The snapshot model (image size, restore overhead).
+        corrupt_rate: Probability the stored image is torn/corrupt; the
+            verdict is drawn deterministically from the recovery seed, so
+            a given (policy, seed) pair always takes the same branch.
+    """
+
+    model: HibernationModel = field(default_factory=HibernationModel)
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ConfigurationError(
+                f"SnapshotPolicy.corrupt_rate must be in [0, 1], "
+                f"got {self.corrupt_rate!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryPolicy:
+    """How the :class:`~repro.recovery.BootSupervisor` escalates.
+
+    Attributes:
+        label: Human-facing policy name (enters the recovery section).
+        seed: Root of every probabilistic recovery decision — restart
+            jitter and the snapshot-corruption draw.  Same policy + same
+            seed + same fault plan ⇒ byte-identical recovery JSON.
+        ladder: Rung names to try, in order (subset/reorder to study
+            individual rungs).  Unknown names are a configuration error.
+        snapshot: Optional snapshot fast path; ``None`` skips the
+            snapshot rung entirely.
+        base_bb: BB feature set for the ``as-configured``/``restart``
+            rungs (``None`` = :meth:`BBConfig.none`).
+        reboot_overhead_ns: Extra time charged per escalation reboot
+            (watchdog reset + firmware), on top of each failed boot's
+            own give-up time.
+        forced_start_timeout_ns: ``JobTimeout`` forced onto units that
+            declare none, at the ``restart`` rung and beyond — converts
+            silent hangs into failed attempts the restart policy can act
+            on.
+        restart_backoff_factor: Exponential backoff factor forced onto
+            units that keep the 1.0 default.
+        restart_jitter: Relative jitter on restart delays at the
+            ``restart`` rung and beyond (seeded, deterministic).
+        on_failure_handler: Name of a lightweight diagnostic unit the
+            supervisor injects and wires as ``OnFailure=`` on every
+            BB-group unit at the ``restart`` rung and beyond (``None``
+            disables the injection).
+    """
+
+    label: str = "default"
+    seed: int = 0
+    ladder: tuple[str, ...] = DEFAULT_LADDER
+    snapshot: SnapshotPolicy | None = None
+    base_bb: BBConfig | None = None
+    reboot_overhead_ns: int = msec(400)
+    forced_start_timeout_ns: int = msec(5_000)
+    restart_backoff_factor: float = 2.0
+    restart_jitter: float = 0.1
+    on_failure_handler: str | None = "recovery-notifier.service"
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ConfigurationError("RecoveryPolicy.label cannot be empty")
+        if not self.ladder:
+            raise ConfigurationError("RecoveryPolicy.ladder cannot be empty")
+        unknown = [rung for rung in self.ladder if rung not in _KNOWN_RUNGS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ladder rungs {unknown}; choose from "
+                f"{', '.join(DEFAULT_LADDER)}")
+        if self.reboot_overhead_ns < 0 or self.forced_start_timeout_ns < 0:
+            raise ConfigurationError("recovery overheads cannot be negative")
+        if self.restart_backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"restart_backoff_factor must be >= 1.0, "
+                f"got {self.restart_backoff_factor!r}")
+        if not 0.0 <= self.restart_jitter <= 1.0:
+            raise ConfigurationError(
+                f"restart_jitter must be in [0, 1], "
+                f"got {self.restart_jitter!r}")
+
+
+@dataclass(slots=True)
+class AttemptRecord:
+    """One ladder rung's attempt, as recorded in the recovery section."""
+
+    rung: str
+    outcome: str  # completed | degraded | failed | wedged | skipped
+    boot_ns: int
+    failed_units: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view (shape pinned by ``RECOVERY_RUNG_KEYS``)."""
+        return {"rung": self.rung, "outcome": self.outcome,
+                "boot_ns": self.boot_ns,
+                "failed_units": list(self.failed_units)}
+
+
+@dataclass(slots=True)
+class RecoveryOutcome:
+    """Everything a supervised recovery run produced.
+
+    ``report`` is the final successful :class:`BootReport` (``None`` when
+    the ladder was exhausted); ``degraded_report`` the last failure's
+    post-mortem.  Both are carried for programmatic consumers but stay
+    out of :meth:`to_dict` — the JSON recovery section is summary data.
+    """
+
+    policy: str
+    seed: int
+    converged: bool
+    rung: str | None
+    rungs: list[AttemptRecord]
+    total_recovery_ns: int
+    restart_history: dict[str, dict[str, Any]]
+    masked_units: list[str]
+    snapshot: dict[str, Any] | None
+    report: "BootReport | None" = None
+    degraded_report: "DegradedBootReport | None" = None
+
+    @property
+    def clean(self) -> bool:
+        """Recovered on a fast path with nothing lost (exit code 0)."""
+        return (self.converged
+                and not self.masked_units
+                and self.rung in (RUNG_SNAPSHOT, RUNG_AS_CONFIGURED)
+                and (self.report is None or not self.report.degraded))
+
+    @property
+    def exit_code(self) -> int:
+        """CLI contract: 0 clean, 3 recovered-degraded, 1 unrecoverable."""
+        if self.clean:
+            return 0
+        return 3 if self.converged else 1
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON recovery section (see ``validate_recovery_dict``)."""
+        return {
+            "policy": self.policy,
+            "seed": self.seed,
+            "converged": self.converged,
+            "rung": self.rung,
+            "rungs": [record.to_dict() for record in self.rungs],
+            "total_recovery_ns": self.total_recovery_ns,
+            "restart_history": {
+                unit: {"attempts": entry["attempts"],
+                       "delays_ns": list(entry["delays_ns"])}
+                for unit, entry in sorted(self.restart_history.items())},
+            "masked_units": list(self.masked_units),
+            "snapshot": dict(self.snapshot) if self.snapshot else None,
+        }
+
+    def summary(self) -> str:
+        """One paragraph for humans (the CLI prints this)."""
+        if self.converged:
+            head = (f"recovered at rung {self.rung!r} after "
+                    f"{len(self.rungs)} attempt(s), "
+                    f"{self.total_recovery_ns / 1e6:.1f} ms total")
+        else:
+            head = (f"unrecoverable after {len(self.rungs)} attempt(s), "
+                    f"{self.total_recovery_ns / 1e6:.1f} ms spent")
+        lines = [head]
+        for record in self.rungs:
+            line = (f"  {record.rung}: {record.outcome} "
+                    f"({record.boot_ns / 1e6:.1f} ms)")
+            if record.failed_units:
+                line += f" failed: {', '.join(record.failed_units)}"
+            lines.append(line)
+        if self.masked_units:
+            lines.append("  masked: " + ", ".join(self.masked_units))
+        restarted = {unit: entry for unit, entry
+                     in sorted(self.restart_history.items())
+                     if entry["delays_ns"]}
+        if restarted:
+            lines.append("  restarts: " + ", ".join(
+                f"{unit}×{entry['attempts']}"
+                for unit, entry in restarted.items()))
+        return "\n".join(lines)

@@ -31,6 +31,7 @@ from repro.faults.plan import FaultPlan
 #: Job kinds understood by :func:`execute_job`.
 KIND_BOOT = "boot"
 KIND_KERNEL = "kernel"
+KIND_RECOVERY = "recovery"
 
 
 @lru_cache(maxsize=1)
@@ -107,11 +108,14 @@ class SimJob:
         manual_bb_group: Manual BB-Group override for the Isolator.
         platform_preset: Hardware preset name (``kernel`` jobs only),
             resolved against :mod:`repro.hw.presets`.
-        fault_plan: Seeded fault plan for the run (``boot`` jobs only);
-            part of the fingerprint, so a faulted run caches and
-            deduplicates like any other.  A boot the plan keeps from
-            completing yields a
+        fault_plan: Seeded fault plan for the run (``boot`` and
+            ``recovery`` jobs); part of the fingerprint, so a faulted run
+            caches and deduplicates like any other.  A boot the plan
+            keeps from completing yields a
             :class:`~repro.core.degraded.DegradedBootReport` result.
+        recovery_policy: Escalation policy (``recovery`` jobs only); the
+            job runs a :class:`~repro.recovery.BootSupervisor` ladder and
+            the result is a :class:`~repro.recovery.RecoveryOutcome`.
         label: Human-facing tag; excluded from the fingerprint.
     """
 
@@ -125,6 +129,7 @@ class SimJob:
     manual_bb_group: tuple[str, ...] | None = None
     platform_preset: str = "ue48h6200"
     fault_plan: FaultPlan | None = None
+    recovery_policy: Any | None = None
     label: str = ""
 
     # ------------------------------------------------------------ builders
@@ -145,6 +150,18 @@ class SimJob:
                    bb=bb, cores=cores, kernel_config=kernel_config,
                    manual_bb_group=manual_bb_group, fault_plan=fault_plan,
                    label=label)
+
+    @classmethod
+    def recover(cls, workload_factory: Callable[..., Any], *args: Any,
+                policy: Any = None, fault_plan: FaultPlan | None = None,
+                label: str = "", **kwargs: Any) -> "SimJob":
+        """A supervised recovery job: the full escalation ladder of
+        :class:`~repro.recovery.BootSupervisor` over the workload."""
+        _require_module_level(workload_factory)
+        return cls(kind=KIND_RECOVERY, workload_factory=workload_factory,
+                   workload_args=tuple(args),
+                   workload_kwargs=tuple(sorted(kwargs.items())),
+                   fault_plan=fault_plan, recovery_policy=policy, label=label)
 
     @classmethod
     def kernel(cls, kernel_config: Any, platform_preset: str = "ue48h6200",
@@ -172,6 +189,7 @@ class SimJob:
             self.manual_bb_group,
             self.platform_preset if self.kind == KIND_KERNEL else None,
             self.fault_plan,
+            self.recovery_policy,
         ))
         digest = hashlib.sha256()
         digest.update(code_version().encode())
@@ -188,6 +206,8 @@ def execute_job(job: SimJob) -> Any:
     """
     if job.kind == KIND_KERNEL:
         return _execute_kernel(job)
+    if job.kind == KIND_RECOVERY:
+        return _execute_recovery(job)
     if job.kind != KIND_BOOT:
         raise SimulationError(f"unknown SimJob kind {job.kind!r}")
     if job.workload_factory is None:
@@ -207,6 +227,26 @@ def execute_job(job: SimJob) -> Any:
         # A failed boot is a *result* for sweep purposes: cacheable,
         # deterministic, and countable in completion-rate statistics.
         return exc.report
+
+
+def _execute_recovery(job: SimJob) -> Any:
+    """Supervised recovery ladder; the result is a ``RecoveryOutcome``.
+
+    The invariant monitor is built inside the worker (it holds live
+    simulator references and does not pickle); every rung of every job in
+    a sweep is therefore invariant-checked.
+    """
+    from repro.recovery import BootSupervisor
+    from repro.verify import InvariantMonitor
+
+    if job.workload_factory is None:
+        raise SimulationError("recovery SimJob has no workload factory")
+    workload = job.workload_factory(*job.workload_args,
+                                    **dict(job.workload_kwargs))
+    supervisor = BootSupervisor(workload, policy=job.recovery_policy,
+                                fault_plan=job.fault_plan,
+                                monitor=InvariantMonitor())
+    return supervisor.run()
 
 
 def _execute_kernel(job: SimJob) -> int:

@@ -1,0 +1,126 @@
+"""Schema enforcement for the recovery section of exported boot reports."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.analysis.schema import (RECOVERY_KEYS, RECOVERY_OUTCOMES,
+                                   RECOVERY_RUNG_KEYS, validate_recovery_dict,
+                                   validate_report_dict)
+
+
+def valid_recovery():
+    return {
+        "policy": "default",
+        "seed": 1,
+        "converged": True,
+        "rung": "restart",
+        "rungs": [
+            {"rung": "as-configured", "outcome": "failed", "boot_ns": 100,
+             "failed_units": ["var.mount"]},
+            {"rung": "restart", "outcome": "completed", "boot_ns": 200,
+             "failed_units": []},
+        ],
+        "total_recovery_ns": 300,
+        "restart_history": {"var.mount": {"attempts": 5,
+                                          "delays_ns": [10, 20, 40]}},
+        "masked_units": [],
+        "snapshot": {"intact": False, "verify_ns": 50, "restore_ns": 0},
+    }
+
+
+def test_valid_recovery_passes():
+    validate_recovery_dict(valid_recovery())
+
+
+def test_key_sets_are_pinned():
+    assert set(valid_recovery()) == set(RECOVERY_KEYS)
+    assert set(valid_recovery()["rungs"][0]) == set(RECOVERY_RUNG_KEYS)
+    assert "completed" in RECOVERY_OUTCOMES and "skipped" in RECOVERY_OUTCOMES
+
+
+@pytest.mark.parametrize("mutate, message", [
+    (lambda d: d.pop("rung"), "missing"),
+    (lambda d: d.update(extra=1), "unexpected"),
+    (lambda d: d.update(policy=""), "policy"),
+    (lambda d: d.update(seed="one"), "seed"),
+    (lambda d: d.update(converged="yes"), "converged"),
+    (lambda d: d.update(rung=None), "rung"),  # converged => rung non-null
+    (lambda d: d.update(rungs=[]), "rungs"),
+    (lambda d: d["rungs"][0].update(outcome="exploded"), "outcome"),
+    (lambda d: d["rungs"][0].pop("boot_ns"), "expected keys"),
+    (lambda d: d["rungs"][0].update(stray=1), "expected keys"),
+    (lambda d: d.update(total_recovery_ns=-1), "total_recovery_ns"),
+    (lambda d: d["restart_history"].update(bad={"attempts": 0,
+                                                "delays_ns": []}),
+     "attempts"),
+    (lambda d: d["restart_history"].update(bad={"attempts": 1,
+                                                "delays_ns": [-5]}),
+     "delays_ns"),
+    (lambda d: d.update(masked_units=[1]), "masked_units"),
+    (lambda d: d.update(snapshot={"intact": True}), "snapshot"),
+])
+def test_invalid_recovery_rejected(mutate, message):
+    document = valid_recovery()
+    mutate(document)
+    with pytest.raises(SchemaError, match=message):
+        validate_recovery_dict(document)
+
+
+def test_unconverged_recovery_allows_null_rung():
+    document = valid_recovery()
+    document["converged"] = False
+    document["rung"] = None
+    document["rungs"][-1]["outcome"] = "failed"
+    validate_recovery_dict(document)
+
+
+def test_null_snapshot_allowed():
+    document = valid_recovery()
+    document["snapshot"] = None
+    validate_recovery_dict(document)
+
+
+# ----------------------------------------------------- report integration
+
+def healthy_report_dict():
+    from repro.analysis.export import report_to_dict
+    from repro.core import BBConfig, BootSimulation
+    from repro.workloads import camera_workload
+
+    report = BootSimulation(camera_workload(), BBConfig.none()).run()
+    return report_to_dict(report)
+
+
+def test_report_with_recovery_section_validates():
+    document = healthy_report_dict()
+    assert document["recovery"] is None  # unsupervised boot
+    validate_report_dict(document)
+    document["recovery"] = valid_recovery()
+    validate_report_dict(document)
+
+
+def test_report_with_invalid_recovery_rejected():
+    document = healthy_report_dict()
+    document["recovery"] = {"policy": "p"}
+    with pytest.raises(SchemaError):
+        validate_report_dict(document)
+
+
+def test_exporter_enforces_recovery_schema():
+    """report_to_json refuses to serialize a report whose recovery
+    section drifted from the schema."""
+    from repro.analysis.export import report_to_json
+    from repro.core import BBConfig, BootSimulation
+    from repro.workloads import camera_workload
+
+    report = BootSimulation(camera_workload(), BBConfig.none()).run()
+    report.recovery = {"not": "a recovery section"}
+    with pytest.raises(SchemaError):
+        report_to_json(report)
+
+
+def test_unit_attempts_validated():
+    document = healthy_report_dict()
+    document["unit_attempts"] = {"a.service": 0}
+    with pytest.raises(SchemaError, match="unit_attempts"):
+        validate_report_dict(document)

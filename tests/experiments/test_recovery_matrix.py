@@ -1,0 +1,37 @@
+"""Smoke tests for the recovery-matrix experiment driver."""
+
+from repro.experiments import recovery_matrix
+from repro.recovery import RUNG_RESCUE, RUNG_RESTART
+from repro.runner import SweepRunner
+
+
+class TestRecoveryMatrix:
+    def test_smoke_subset_converges_everywhere(self):
+        result = recovery_matrix.run(smoke=True)
+        assert result.smoke
+        assert result.all_converged
+        by_preset = {row.preset: row for row in result.presets}
+        assert set(by_preset) == set(recovery_matrix.SMOKE_PRESETS)
+        # The smoke presets were chosen one per convergence depth.
+        assert by_preset["transient-storage-burst"].rungs == (RUNG_RESTART,)
+        assert by_preset["missing-device"].rungs == (RUNG_RESCUE,)
+        assert by_preset["missing-device"].masked_units[0] > 0
+        for row in result.presets:
+            assert all(ms > 0 for ms in row.total_ms)
+
+    def test_render_names_presets_and_verdict(self):
+        result = recovery_matrix.run(smoke=True)
+        text = recovery_matrix.render(result)
+        assert "Recovery matrix" in text
+        for preset in recovery_matrix.SMOKE_PRESETS:
+            assert preset in text
+        assert "every fault preset converges" in text
+        assert "smoke subset" in text
+
+    def test_jobs_are_cache_deduplicated(self):
+        runner = SweepRunner()
+        recovery_matrix.run(runner, smoke=True)
+        first = runner.stats.executed
+        assert first == len(recovery_matrix.SMOKE_PRESETS)
+        recovery_matrix.run(runner, smoke=True)
+        assert runner.stats.executed == first  # all hits the second time

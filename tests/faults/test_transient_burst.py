@@ -1,0 +1,48 @@
+"""Tests for the transient-storage-burst preset and attempt-offset
+carryover in the injector (escalation-aware replay)."""
+
+from repro.faults import PRESETS, build_preset
+from repro.faults.presets import transient_storage_burst
+
+
+def test_preset_registered():
+    assert "transient-storage-burst" in PRESETS
+    plan = build_preset("transient-storage-burst", seed=3)
+    assert plan.seed == 3
+    assert plan.label == "transient-storage-burst"
+
+
+def test_burst_fails_first_four_var_mount_attempts():
+    injector = transient_storage_burst(seed=1).compile()
+    decisions = [injector.service_decision("var.mount", attempt)
+                 for attempt in range(1, 6)]
+    assert [d.fail for d in decisions] == [True, True, True, True, False]
+
+
+def test_attempt_offsets_shift_the_failure_budget():
+    """With one attempt already spent in an earlier supervised boot, the
+    next boot's attempt 4 is effectively attempt 5 — past the burst."""
+    plan = transient_storage_burst(seed=1)
+    offset = plan.compile(attempt_offsets={"var.mount": 1})
+    assert offset.service_decision("var.mount", 3).fail is True
+    assert offset.service_decision("var.mount", 4).fail is False
+    # Units without an offset are unaffected.
+    plain = plan.compile()
+    assert plain.service_decision("var.mount", 4).fail is True
+
+
+def test_offsets_keep_probabilistic_draws_aligned():
+    """An offset attempt must reuse the same per-(unit, attempt) draw the
+    unsupervised run would have made at that effective attempt."""
+    plan = build_preset("flaky-services", seed=7)
+    base = plan.compile()
+    shifted = plan.compile(attempt_offsets={"app-03.service": 2})
+    for attempt in range(1, 8):
+        assert (shifted.service_decision("app-03.service", attempt).fail
+                == base.service_decision("app-03.service", attempt + 2).fail)
+
+
+def test_storage_burst_also_degrades_the_channel():
+    plan = transient_storage_burst(seed=1)
+    assert plan.storage, "the preset must exercise the storage stream too"
+    assert plan.storage[0].error_rate > 0

@@ -1,0 +1,98 @@
+"""Round-trip tests for the §2.5.2 recovery unit-file keys.
+
+``OnFailure=``, ``StartLimitBurst=``, ``StartLimitIntervalNs=`` and
+``RestartBackoffFactor=`` must survive parse -> semantic unit -> render
+-> parse unchanged, and invalid values must fail as parse errors, not
+deep in the executor.
+"""
+
+import pytest
+
+from repro.errors import UnitError, UnitParseError
+from repro.initsys.registry import UnitRegistry
+from repro.initsys.unitfile import parse_unit_file, render_unit_file
+from repro.initsys.units import DEFAULT_START_LIMIT_INTERVAL_NS, Unit
+
+RECOVERY_UNIT_TEXT = """\
+[Unit]
+Description=flaky daemon with full recovery settings
+OnFailure=cleanup.service diagnose.service
+StartLimitBurst=4
+StartLimitIntervalNs=5000000000
+
+[Service]
+Type=notify
+Restart=on-failure
+RestartBackoffFactor=2.5
+"""
+
+
+def parse_unit(text, name="flaky.service"):
+    return Unit.from_parsed(parse_unit_file(text, name=name))
+
+
+def test_recovery_keys_parse():
+    unit = parse_unit(RECOVERY_UNIT_TEXT)
+    assert unit.on_failure == ["cleanup.service", "diagnose.service"]
+    assert unit.start_limit_burst == 4
+    assert unit.start_limit_interval_ns == 5_000_000_000
+    assert unit.restart_backoff_factor == 2.5
+
+
+def test_recovery_keys_round_trip_through_render():
+    unit = parse_unit(RECOVERY_UNIT_TEXT)
+    rendered = render_unit_file(unit.to_parsed())
+    again = parse_unit(rendered)
+    assert again.on_failure == unit.on_failure
+    assert again.start_limit_burst == unit.start_limit_burst
+    assert again.start_limit_interval_ns == unit.start_limit_interval_ns
+    assert again.restart_backoff_factor == unit.restart_backoff_factor
+    # Idempotent: rendering the re-parsed unit changes nothing.
+    assert render_unit_file(again.to_parsed()) == rendered
+
+
+def test_dump_unit_text_parity():
+    unit = parse_unit(RECOVERY_UNIT_TEXT)
+    registry = UnitRegistry([unit])
+    text = registry.dump_unit_text("flaky.service")
+    assert "OnFailure=cleanup.service diagnose.service" in text
+    assert "StartLimitBurst=4" in text
+    assert "StartLimitIntervalNs=5000000000" in text
+    assert "RestartBackoffFactor=2.5" in text
+
+
+def test_default_values_stay_out_of_rendered_text():
+    unit = Unit(name="plain.service")
+    rendered = render_unit_file(unit.to_parsed())
+    assert "OnFailure" not in rendered
+    assert "StartLimitBurst" not in rendered
+    assert "StartLimitIntervalNs" not in rendered
+    assert "RestartBackoffFactor" not in rendered
+    again = parse_unit(rendered, name="plain.service")
+    assert again.on_failure == []
+    assert again.start_limit_burst == 0
+    assert again.start_limit_interval_ns == DEFAULT_START_LIMIT_INTERVAL_NS
+    assert again.restart_backoff_factor == 1.0
+
+
+@pytest.mark.parametrize("text, message", [
+    ("[Unit]\nStartLimitBurst=lots\n", "must be an integer"),
+    ("[Unit]\nStartLimitBurst=-2\n", "cannot be negative"),
+    ("[Unit]\nStartLimitIntervalNs=soon\n", "must be an integer"),
+    ("[Unit]\nStartLimitIntervalNs=-1\n", "cannot be negative"),
+    ("[Service]\nRestartBackoffFactor=fast\n", "must be a number"),
+    ("[Service]\nRestartBackoffFactor=0.5\n", "must be >= 1.0"),
+])
+def test_invalid_values_raise_parse_errors(text, message):
+    with pytest.raises(UnitParseError, match=message):
+        parse_unit(text)
+
+
+def test_unit_cannot_be_its_own_on_failure_handler():
+    with pytest.raises(UnitError, match="own OnFailure"):
+        Unit(name="a.service", on_failure=["a.service"])
+
+
+def test_programmatic_backoff_below_one_rejected():
+    with pytest.raises(UnitError, match="restart_backoff_factor"):
+        Unit(name="a.service", restart_backoff_factor=0.9)

@@ -1,0 +1,76 @@
+"""Tests for recovery policies and outcome records."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.recovery import (DEFAULT_LADDER, RUNG_AS_CONFIGURED, RUNG_RESCUE,
+                            RUNG_SNAPSHOT, AttemptRecord, RecoveryOutcome,
+                            RecoveryPolicy, SnapshotPolicy)
+
+
+def outcome(**overrides):
+    defaults = dict(
+        policy="p", seed=1, converged=True, rung=RUNG_AS_CONFIGURED,
+        rungs=[AttemptRecord(RUNG_AS_CONFIGURED, "completed", 1000)],
+        total_recovery_ns=1000, restart_history={}, masked_units=[],
+        snapshot=None)
+    defaults.update(overrides)
+    return RecoveryOutcome(**defaults)
+
+
+def test_default_ladder_order():
+    assert DEFAULT_LADDER[0] == RUNG_SNAPSHOT
+    assert DEFAULT_LADDER[-1] == RUNG_RESCUE
+    assert RecoveryPolicy().ladder == DEFAULT_LADDER
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(label=""),
+    dict(ladder=()),
+    dict(ladder=("as-configured", "warp-speed")),
+    dict(reboot_overhead_ns=-1),
+    dict(forced_start_timeout_ns=-1),
+    dict(restart_backoff_factor=0.5),
+    dict(restart_jitter=1.5),
+])
+def test_invalid_policies_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        RecoveryPolicy(**kwargs)
+
+
+def test_invalid_snapshot_policy_rejected():
+    with pytest.raises(ConfigurationError):
+        SnapshotPolicy(corrupt_rate=2.0)
+
+
+def test_exit_codes():
+    assert outcome().exit_code == 0
+    assert outcome(rung="restart").exit_code == 3
+    assert outcome(masked_units=["x.service"]).exit_code == 3
+    assert outcome(converged=False, rung=None).exit_code == 1
+
+
+def test_snapshot_convergence_is_clean():
+    snap = outcome(rung=RUNG_SNAPSHOT,
+                   snapshot={"intact": True, "verify_ns": 1, "restore_ns": 2})
+    assert snap.clean and snap.exit_code == 0
+
+
+def test_to_dict_matches_schema_keys():
+    from repro.analysis.schema import (RECOVERY_KEYS, RECOVERY_RUNG_KEYS,
+                                       validate_recovery_dict)
+
+    document = outcome(restart_history={
+        "a.service": {"attempts": 3, "delays_ns": [10, 20]}}).to_dict()
+    assert set(document) == set(RECOVERY_KEYS)
+    assert set(document["rungs"][0]) == set(RECOVERY_RUNG_KEYS)
+    validate_recovery_dict(document)
+
+
+def test_summary_mentions_rungs_and_restarts():
+    text = outcome(restart_history={
+        "a.service": {"attempts": 3, "delays_ns": [10, 20]}}).summary()
+    assert "as-configured" in text
+    assert "a.service" in text
+    text = outcome(converged=False, rung=None).summary()
+    assert "unrecoverable" in text

@@ -1,0 +1,207 @@
+"""End-to-end tests for the boot-recovery escalation ladder."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import report_to_json
+from repro.analysis.schema import validate_recovery_dict
+from repro.faults import PRESETS, build_preset
+from repro.faults.plan import FaultPlan, ServiceFault
+from repro.recovery import (RUNG_AS_CONFIGURED, RUNG_ISOLATE, RUNG_RESCUE,
+                            RUNG_RESTART, RUNG_SNAPSHOT, BootSupervisor,
+                            RecoveryOutcome, RecoveryPolicy, SnapshotPolicy)
+from repro.verify import InvariantMonitor
+from repro.workloads import opensource_tv_workload
+
+
+def supervise(preset=None, seed=1, monitor=True, **policy_kwargs):
+    plan = build_preset(preset, seed=seed) if preset else None
+    policy = RecoveryPolicy(label=preset or "healthy", seed=seed,
+                            **policy_kwargs)
+    supervisor = BootSupervisor(
+        opensource_tv_workload(), policy, fault_plan=plan,
+        monitor=InvariantMonitor() if monitor else None)
+    return supervisor.run()
+
+
+# ------------------------------------------------------------- convergence
+
+def test_healthy_boot_converges_clean_at_first_real_rung():
+    outcome = supervise()
+    assert outcome.converged and outcome.rung == RUNG_AS_CONFIGURED
+    assert outcome.exit_code == 0
+    assert len(outcome.rungs) == 1
+    assert outcome.report is not None and not outcome.report.degraded
+    # The recovery section rides on the final report and validates.
+    assert outcome.report.recovery == outcome.to_dict()
+    validate_recovery_dict(outcome.report.recovery)
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_every_fault_preset_converges_monitor_clean(preset):
+    """The acceptance bar: every preset that defeats an unsupervised boot
+    must converge at some ladder rung, invariant-clean throughout."""
+    outcome = supervise(preset)
+    assert outcome.converged, f"{preset} exhausted the ladder"
+    assert outcome.rung is not None
+    assert outcome.total_recovery_ns > 0
+    assert outcome.rungs[-1].rung == outcome.rung
+    validate_recovery_dict(outcome.to_dict())
+
+
+def test_transient_burst_converges_at_restart_with_attempt_carryover():
+    """The burst clears after 4 attempts; attempt counts carry across the
+    supervised reboot, so the restart rung's 4 attempts (offset by the
+    as-configured rung's one) get var.mount over the hump."""
+    outcome = supervise("transient-storage-burst")
+    assert outcome.rung == RUNG_RESTART
+    assert outcome.exit_code == 3
+    history = outcome.restart_history["var.mount"]
+    assert history["attempts"] == 5  # 1 (as-configured) + 4 (restart rung)
+    assert len(history["delays_ns"]) == 3
+    # Exponential backoff with jitter: delays grow roughly geometrically.
+    assert history["delays_ns"][1] > history["delays_ns"][0]
+    assert history["delays_ns"][2] > history["delays_ns"][1]
+
+
+def test_missing_device_escalates_to_rescue():
+    outcome = supervise("missing-device")
+    assert outcome.rung == RUNG_RESCUE
+    assert outcome.exit_code == 3
+    # The unit wedged on the absent device is masked out of the rescue
+    # boot; its requirement chain (dbus etc.) survives.
+    assert "fasttv.service" in outcome.masked_units
+    assert "dbus.service" not in outcome.masked_units
+    rungs = [record.rung for record in outcome.rungs]
+    assert rungs[0] == RUNG_AS_CONFIGURED
+    assert outcome.rungs[0].outcome == "wedged"
+    assert outcome.report is not None
+    assert outcome.report.recovery["rung"] == RUNG_RESCUE
+
+
+def test_ladder_exhaustion_is_reported_not_raised():
+    outcome = supervise("broken-tuner", ladder=(RUNG_AS_CONFIGURED,))
+    assert not outcome.converged
+    assert outcome.rung is None and outcome.report is None
+    assert outcome.exit_code == 1
+    assert outcome.degraded_report is not None
+    assert "tuner.service" in outcome.rungs[0].failed_units
+    validate_recovery_dict(outcome.to_dict())
+
+
+def test_isolation_rung_drops_hostile_ordering():
+    """A vendor unit hanging ahead of var.mount delays an as-configured
+    boot by its full stall; the isolate rung drops the outside->inside
+    ordering edge and completes without waiting for it."""
+    stall_ns = 30_000_000_000
+    plan = FaultPlan(seed=0, label="hanging-vendor", services=(
+        ServiceFault(unit="vendor-early-00.service", hang_ns=stall_ns,
+                     hang_rate=1.0),))
+    workload = opensource_tv_workload()
+    slow = BootSupervisor(
+        workload, RecoveryPolicy(seed=1, ladder=(RUNG_AS_CONFIGURED,)),
+        fault_plan=plan).run()
+    fast = BootSupervisor(
+        opensource_tv_workload(),
+        RecoveryPolicy(seed=1, ladder=(RUNG_ISOLATE,)),
+        fault_plan=plan).run()
+    assert slow.converged and slow.rungs[0].boot_ns > stall_ns
+    assert fast.converged and fast.rungs[0].boot_ns < stall_ns
+
+
+# ---------------------------------------------------------------- snapshot
+
+def test_intact_snapshot_short_circuits_the_ladder():
+    outcome = supervise(snapshot=SnapshotPolicy(corrupt_rate=0.0))
+    assert outcome.rung == RUNG_SNAPSHOT
+    assert outcome.exit_code == 0
+    assert outcome.report is None  # no userspace boot happened
+    assert outcome.snapshot["intact"] is True
+    assert outcome.snapshot["restore_ns"] > 0
+    assert outcome.total_recovery_ns == outcome.rungs[0].boot_ns
+
+
+def test_corrupt_snapshot_fails_over_to_full_boot():
+    outcome = supervise(snapshot=SnapshotPolicy(corrupt_rate=1.0))
+    assert outcome.rung == RUNG_AS_CONFIGURED
+    assert outcome.snapshot["intact"] is False
+    assert outcome.snapshot["verify_ns"] > 0
+    assert outcome.rungs[0].rung == RUNG_SNAPSHOT
+    assert outcome.rungs[0].outcome == "skipped"
+    # The wasted verification time is charged to the recovery total.
+    assert (outcome.total_recovery_ns
+            == outcome.rungs[0].boot_ns + outcome.rungs[1].boot_ns)
+
+
+def test_snapshot_skipped_when_third_party_apps_invalidate_it():
+    from repro.kernel.snapshot import HibernationModel
+
+    outcome = supervise(snapshot=SnapshotPolicy(
+        model=HibernationModel(third_party_apps=True)))
+    assert outcome.rung == RUNG_AS_CONFIGURED
+    assert outcome.rungs[0].outcome == "skipped"
+    assert outcome.rungs[0].boot_ns == 0  # gate costs nothing
+
+
+# ------------------------------------------------------------- determinism
+
+@pytest.mark.parametrize("preset", ["transient-storage-burst",
+                                    "missing-device"])
+def test_same_seed_replay_is_byte_identical(preset):
+    def run_json():
+        outcome = supervise(preset, seed=2,
+                            snapshot=SnapshotPolicy(corrupt_rate=1.0))
+        recovery = json.dumps(outcome.to_dict(), sort_keys=True)
+        report = (report_to_json(outcome.report)
+                  if outcome.report is not None else "")
+        return recovery + report
+
+    assert run_json() == run_json()
+
+
+def test_different_seed_changes_the_backoff_history():
+    a = supervise("transient-storage-burst", seed=1)
+    b = supervise("transient-storage-burst", seed=5)
+    assert (a.restart_history["var.mount"]["delays_ns"]
+            != b.restart_history["var.mount"]["delays_ns"])
+
+
+# ----------------------------------------------------------------- surface
+
+def test_supervisor_records_every_simulation():
+    outcome = supervise("transient-storage-burst")
+    supervised_rungs = [r for r in outcome.rungs if r.rung != RUNG_SNAPSHOT
+                        and r.outcome != "skipped"]
+    assert len(supervised_rungs) == 2
+
+
+def test_recovery_outcome_pickles():
+    import pickle
+
+    outcome = supervise("transient-storage-burst")
+    clone = pickle.loads(pickle.dumps(outcome))
+    assert isinstance(clone, RecoveryOutcome)
+    assert clone.to_dict() == outcome.to_dict()
+
+
+def test_on_failure_handler_injected_at_restart_rung():
+    """The restart rung wires the policy's diagnostic handler onto the
+    completion closure."""
+    plan = build_preset("transient-storage-burst", seed=1)
+    supervisor = BootSupervisor(opensource_tv_workload(),
+                                RecoveryPolicy(seed=1), fault_plan=plan)
+    supervisor.run()
+    registry = supervisor.simulations[-1].manager.registry
+    assert "recovery-notifier.service" in registry
+    assert "recovery-notifier.service" in registry.get("var.mount").on_failure
+
+
+def test_handler_injection_can_be_disabled():
+    plan = build_preset("transient-storage-burst", seed=1)
+    supervisor = BootSupervisor(
+        opensource_tv_workload(),
+        RecoveryPolicy(seed=1, on_failure_handler=None), fault_plan=plan)
+    outcome = supervisor.run()
+    assert outcome.converged
+    assert "recovery-notifier.service" not in supervisor.simulations[-1].manager.registry

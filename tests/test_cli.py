@@ -84,3 +84,52 @@ def test_analyze_clean_workload_returns_zero(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ---------------------------------------------------------------- recovery
+
+def test_recover_preset_exits_degraded(capsys):
+    code, output = run_cli(capsys, "recover", "transient-storage-burst")
+    assert code == 3
+    assert "restart" in output
+
+
+def test_recover_unknown_preset_exits(capsys):
+    with pytest.raises(SystemExit, match="unknown fault preset"):
+        main(["recover", "warp-core-breach"])
+
+
+def test_recover_json_is_valid_report(capsys):
+    import json
+
+    from repro.analysis.schema import validate_report_dict
+
+    code, output = run_cli(capsys, "recover", "transient-storage-burst",
+                           "--json")
+    assert code == 3
+    document = json.loads(output)
+    validate_report_dict(document)
+    assert document["recovery"]["converged"] is True
+
+
+def test_recover_smoke_matrix_converges(capsys):
+    code, output = run_cli(capsys, "recover", "--smoke")
+    assert code == 0
+    assert "every fault preset converges" in output
+
+
+def test_boot_with_recover_flag_exits_degraded(capsys):
+    code, output = run_cli(capsys, "boot", "--faults",
+                           "transient-storage-burst", "--recover")
+    assert code == 3
+    assert "recovered" in output or "restart" in output
+
+
+def test_boot_faulted_unsupervised_can_fail(capsys):
+    code, output = run_cli(capsys, "boot", "--faults", "broken-tuner")
+    assert code in (1, 3)
+
+
+def test_boot_clean_still_exits_zero(capsys):
+    code, _ = run_cli(capsys, "boot", "--workload", "camera")
+    assert code == 0
