@@ -1,6 +1,6 @@
 # Convenience targets for the BB reproduction.
 
-.PHONY: install test test-fast coverage verify recover bench experiments artifacts examples clean
+.PHONY: install test test-fast coverage verify recover bench bench-smoke experiments artifacts examples clean
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -32,6 +32,16 @@ recover:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# CI-scale perf gate: event-queue + cache microbenchmarks plus a 24-cell
+# checkpoint/fork matrix.  Exits nonzero if branched outputs are not
+# byte-identical to from-scratch runs or the wall-time speedup drops
+# below the committed floor (full 120-cell record measures >= 3x; the
+# smoke floor leaves headroom for noisy CI runners).
+bench-smoke:
+	PYTHONPATH=src python -m repro bench --skip-sweep --events 50000 \
+		--checkpoint-cells 24 --branch-floor 1.8 \
+		--out BENCH_smoke.json
 
 experiments:
 	python -m repro experiment all

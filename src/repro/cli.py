@@ -3,20 +3,25 @@
 Commands:
 
 * ``boot [--workload NAME] [--bb | --no-bb | --features a,b,c] [--cores N]
-  [--faults PRESET] [--recover]`` — run one simulated cold boot and print
-  the stage breakdown; exit 0 clean, 3 degraded/recovered-degraded,
-  1 unrecoverable,
-* ``recover [PRESET] [--seed N] [--smoke] [--json]`` — run the
-  boot-recovery escalation ladder: one supervised run for a named fault
-  preset, or the recovery matrix (``--smoke`` for the CI subset),
-* ``experiment <id> | all [--jobs N] [--cache-dir DIR]`` — run an
-  evaluation experiment and print the regenerated artifact
+  [--faults PRESET] [--recover] [--branch]`` — run one simulated cold
+  boot and print the stage breakdown; exit 0 clean, 3
+  degraded/recovered-degraded, 1 unrecoverable; ``--branch`` routes the
+  boot through the checkpoint/fork sweep runner (identical output),
+* ``recover [PRESET] [--seed N] [--smoke] [--json] [--branch]`` — run
+  the boot-recovery escalation ladder: one supervised run for a named
+  fault preset, or the recovery matrix (``--smoke`` for the CI subset),
+* ``experiment <id> | all [--jobs N] [--cache-dir DIR] [--branch]`` —
+  run an evaluation experiment and print the regenerated artifact
   (``experiment list`` shows the ids); sweeps are deduplicated, cached,
-  and fanned out over ``N`` worker processes,
+  optionally checkpoint/fork-branched, and fanned out over ``N`` worker
+  processes,
 * ``faults [PRESET] [--seed N] [--no-bb] [--list-presets]`` — boot under
   a named fault preset and print the (possibly degraded) outcome,
-* ``bench [--jobs N] [--out FILE]`` — engine microbenchmark +
-  serial-vs-parallel sweep benchmark, recorded to ``BENCH_runner.json``,
+* ``bench [--jobs N] [--out FILE] [--branch-floor X]`` — engine/cache
+  microbenchmarks + checkpoint/fork benchmark + serial-vs-parallel sweep
+  benchmark, recorded to ``BENCH_runner.json``; nonzero exit if branched
+  results are not identical to from-scratch runs or the checkpoint
+  speedup lands below ``--branch-floor``,
 * ``bootchart [--workload NAME] [--bb] [--cores N] [--svg FILE]`` — boot
   and render the bootchart (ASCII to stdout, optionally SVG to a file),
 * ``verify [--smoke] [--seed N] [--json]`` — run the verification
@@ -122,13 +127,25 @@ def _cmd_boot(args: argparse.Namespace) -> int:
         return _recover_once(workload, plan, label=args.faults or "healthy",
                              seed=args.seed, base_bb=config,
                              as_json=getattr(args, "json", False))
-    simulation = BootSimulation(workload, config, cores=args.cores,
-                                fault_plan=plan)
-    try:
-        report = simulation.run()
-    except DegradedBootError as exc:
-        print(exc.report.summary())
-        return 1
+    if getattr(args, "branch", False):
+        from repro.core.degraded import DegradedBootReport
+        from repro.runner import SimJob, SweepRunner
+
+        job = SimJob.boot(WORKLOADS[args.workload], bb=config,
+                          cores=args.cores, fault_plan=plan)
+        with SweepRunner(jobs=1, branch=True, min_branch_group=2) as runner:
+            report = runner.run_one(job)
+        if isinstance(report, DegradedBootReport):
+            print(report.summary())
+            return 1
+    else:
+        simulation = BootSimulation(workload, config, cores=args.cores,
+                                    fault_plan=plan)
+        try:
+            report = simulation.run()
+        except DegradedBootError as exc:
+            print(exc.report.summary())
+            return 1
     if getattr(args, "json", False):
         from repro.analysis.export import report_to_json
         print(report_to_json(report))
@@ -197,8 +214,8 @@ def _cmd_recover(args: argparse.Namespace) -> int:
                              as_json=args.json)
     from repro.experiments import recovery_matrix
 
-    with SweepRunner(jobs=args.jobs,
-                     cache=ResultCache(args.cache_dir)) as runner:
+    with SweepRunner(jobs=args.jobs, cache=ResultCache(args.cache_dir),
+                     branch=getattr(args, "branch", False)) as runner:
         result = recovery_matrix.run(runner=runner, smoke=args.smoke)
     print(recovery_matrix.render(result))
     return 0 if result.all_converged else 1
@@ -225,8 +242,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             raise SystemExit(f"cannot use cache dir {args.cache_dir!r}: {exc}")
     # One shared runner across the whole invocation, so 'experiment all'
     # never boots the same (workload, config, cores) twice.
-    with SweepRunner(jobs=args.jobs,
-                     cache=ResultCache(args.cache_dir)) as runner:
+    with SweepRunner(jobs=args.jobs, cache=ResultCache(args.cache_dir),
+                     branch=getattr(args, "branch", False)) as runner:
         for exp_id in ids:
             run, render = experiments[exp_id]
             params = inspect.signature(run).parameters
@@ -292,12 +309,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     record = build_record(jobs=jobs, events=args.events,
                           skip_sweep=args.skip_sweep,
-                          cache_dir=args.cache_dir)
+                          cache_dir=args.cache_dir,
+                          skip_checkpoint=args.skip_checkpoint,
+                          checkpoint_cells=args.checkpoint_cells,
+                          checkpoint_backend=args.checkpoint_backend)
     write_record(record, args.out)
     queue = record["event_queue"]
     print(f"event queue: {queue['optimized_events_per_sec']:,.0f} events/s "
           f"(legacy {queue['legacy_events_per_sec']:,.0f}, "
           f"speedup {queue['speedup']:.2f}x)")
+    cache = record["cache"]
+    print(f"result cache: {cache['optimized_roundtrips_per_sec']:,.0f} "
+          f"roundtrips/s (legacy deepcopy "
+          f"{cache['legacy_roundtrips_per_sec']:,.0f}, "
+          f"speedup {cache['speedup']:.2f}x)")
+    failed = False
+    if "checkpoint" in record:
+        checkpoint = record["checkpoint"]
+        print(f"checkpoint: {checkpoint['cells']}-cell matrix, scratch "
+              f"{checkpoint['scratch_wall_s']:.1f} s, branched "
+              f"({checkpoint['backend']}) "
+              f"{checkpoint['branched_wall_s']:.1f} s "
+              f"(speedup {checkpoint['speedup']:.2f}x, outputs identical: "
+              f"{checkpoint['outputs_identical']})")
+        if not checkpoint["outputs_identical"]:
+            print("FAIL: branched results differ from from-scratch runs")
+            failed = True
+        if args.branch_floor and checkpoint["speedup"] < args.branch_floor:
+            print(f"FAIL: checkpoint speedup {checkpoint['speedup']:.2f}x "
+                  f"below the committed floor {args.branch_floor:.2f}x")
+            failed = True
     if "experiment_all" in record:
         sweep = record["experiment_all"]
         print(f"experiment all: serial {sweep['serial_wall_s']:.1f} s, "
@@ -309,7 +350,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{sweep['runner']['cache_hits']} cache hits, "
               f"{sweep['runner']['executed']} executed")
     print(f"record written to {args.out}")
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_bootchart(args: argparse.Namespace) -> int:
@@ -384,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="supervise the boot with the recovery ladder; "
                            "exit 0 clean, 3 recovered-degraded, "
                            "1 unrecoverable")
+    boot.add_argument("--branch", action=argparse.BooleanOptionalAction,
+                      default=False,
+                      help="route the boot through the checkpoint/fork "
+                           "sweep runner (identical output)")
     boot.set_defaults(fn=_cmd_boot)
 
     recover = sub.add_parser(
@@ -407,6 +452,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for the matrix sweep")
     recover.add_argument("--cache-dir",
                          help="persist matrix results to this directory")
+    recover.add_argument("--branch", action=argparse.BooleanOptionalAction,
+                         default=False,
+                         help="checkpoint/fork-branch prefix-sharing boot "
+                              "jobs in the matrix sweep")
     recover.set_defaults(fn=_cmd_recover)
 
     experiment = sub.add_parser("experiment",
@@ -421,6 +470,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--smoke", action="store_true",
                             help="reduced sweep for CI, where the "
                                  "experiment supports one")
+    experiment.add_argument("--branch", action=argparse.BooleanOptionalAction,
+                            default=False,
+                            help="checkpoint/fork-branch prefix-sharing "
+                                 "boot jobs instead of booting each from "
+                                 "scratch (identical results)")
     experiment.set_defaults(fn=_cmd_experiment)
 
     faults = sub.add_parser("faults",
@@ -447,7 +501,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--events", type=int, default=200_000,
                        help="events per engine-microbenchmark run")
     bench.add_argument("--skip-sweep", action="store_true",
-                       help="only run the engine microbenchmark")
+                       help="skip the experiment-all sweep benchmark")
+    bench.add_argument("--skip-checkpoint", action="store_true",
+                       help="skip the checkpoint/fork benchmark")
+    bench.add_argument("--checkpoint-cells", type=int, default=120,
+                       help="fault-matrix cells for the checkpoint "
+                            "benchmark (default 120)")
+    bench.add_argument("--checkpoint-backend", default=None,
+                       choices=("fork", "replay"),
+                       help="branch backend for the checkpoint benchmark "
+                            "(default: fork where available)")
+    bench.add_argument("--branch-floor", type=float, default=0.0,
+                       help="fail (exit 1) if the checkpoint speedup lands "
+                            "below this factor (0 = report only)")
     bench.add_argument("--cache-dir",
                        help="disk cache directory for the sweep benchmark")
     bench.add_argument("--out", default="BENCH_runner.json",

@@ -78,6 +78,11 @@ class BootSimulation:
             (0.0 keeps the constant-delay behaviour).
         attempt_offsets: Start attempts already made in previous boots of
             a supervised recovery run (see :meth:`FaultPlan.compile`).
+        injector_slot: Optional :class:`~repro.sim.checkpoint.InjectorSlot`
+            wired into every fault-hook site instead of a compiled plan.
+            The slot answers null until a plan is swapped in mid-run with
+            :meth:`install_plan` — the checkpoint/fork branching seam.
+            Mutually exclusive with ``fault_plan``.
     """
 
     def __init__(self, workload: Workload, bb: BBConfig | None = None,
@@ -86,7 +91,12 @@ class BootSimulation:
                  manual_bb_group: tuple[str, ...] | None = None,
                  fault_plan=None, monitor=None, event_queue=None,
                  restart_seed: int = 0, restart_jitter: float = 0.0,
-                 attempt_offsets: dict[str, int] | None = None):
+                 attempt_offsets: dict[str, int] | None = None,
+                 injector_slot=None):
+        if injector_slot is not None and fault_plan is not None:
+            raise SimulationError(
+                "injector_slot and fault_plan are mutually exclusive; "
+                "install the plan into the slot with install_plan()")
         self.workload = workload
         self.bb = bb if bb is not None else BBConfig.none()
         self.platform = workload.platform_factory()
@@ -100,6 +110,7 @@ class BootSimulation:
         self.restart_seed = restart_seed
         self.restart_jitter = restart_jitter
         self.attempt_offsets = dict(attempt_offsets or {})
+        self.injector_slot = injector_slot
         self.sim: Simulator | None = None
         self.booster: BootingBooster | None = None
         self.manager: InitManager | None = None
@@ -109,11 +120,27 @@ class BootSimulation:
 
         A simulation is single-shot (device statistics and unit state are
         consumed by the run); build a new ``BootSimulation`` per boot.
+        Equivalent to :meth:`start` followed by :meth:`complete`.
 
         Raises:
             SimulationError: If called twice.
             DegradedBootError: If the boot cannot reach completion under
                 the fault plan (``.report`` names the culprit).
+        """
+        self.start()
+        return self.complete()
+
+    def start(self) -> None:
+        """Set up the simulator and schedule the boot, without running it.
+
+        Split out of :meth:`run` for checkpoint/fork branching: after
+        ``start()`` the caller may drive ``self.sim.run(until_ns=...)`` to
+        pause the boot at an exact sim time, fork, :meth:`install_plan`,
+        and :meth:`complete` — the paused event stream is identical to an
+        uninterrupted run's, so branches are byte-reproducible.
+
+        Raises:
+            SimulationError: If called twice.
         """
         if self.sim is not None:
             raise SimulationError("BootSimulation.run() is single-shot; "
@@ -123,7 +150,10 @@ class BootSimulation:
         if self.monitor is not None:
             self.monitor.attach(sim)
         self.platform.attach(sim)
-        if self.fault_plan is not None:
+        if self.injector_slot is not None:
+            self.injector_slot.attach(sim)
+            self.platform.storage.fault_hook = self.injector_slot.storage_extra_ns
+        elif self.fault_plan is not None:
             self.fault_injector = self.fault_plan.compile(
                 attempt_offsets=self.attempt_offsets)
             self.platform.storage.fault_hook = self.fault_injector.storage_extra_ns
@@ -144,6 +174,33 @@ class BootSimulation:
         sim.spawn(self._boot(sim, registry, core_engine, bootup_engine,
                              service_engine),
                   name="boot", priority=10)
+
+    def install_plan(self, fault_plan) -> None:
+        """Swap a fault plan into the injector slot mid-run (branching).
+
+        Compiles the plan and installs it as the slot's delegate, so every
+        later fault query — and the stats tally — behaves exactly as in a
+        from-scratch run of the plan.  Only meaningful between
+        :meth:`start` and :meth:`complete` on a slot-equipped simulation.
+        """
+        if self.injector_slot is None:
+            raise SimulationError("install_plan() needs an injector_slot")
+        injector = fault_plan.compile(attempt_offsets=self.attempt_offsets)
+        self.injector_slot.swap(injector)
+        self.fault_plan = fault_plan
+        self.fault_injector = injector
+
+    def complete(self) -> BootReport:
+        """Run the started simulation to quiescence and build the report.
+
+        Raises:
+            SimulationError: If :meth:`start` has not run.
+            DegradedBootError: If the boot cannot reach completion under
+                the fault plan (``.report`` names the culprit).
+        """
+        sim = self.sim
+        if sim is None:
+            raise SimulationError("complete() before start()")
         try:
             sim.run()
         except DegradedBootError:
@@ -185,7 +242,9 @@ class BootSimulation:
             edge_filter=service_engine.edge_filter,
             priority_fn=service_engine.priority_fn,
             on_boot_complete=lambda: bootup_engine.on_boot_complete(sim),
-            fault_injector=self.fault_injector,
+            fault_injector=(self.injector_slot
+                            if self.injector_slot is not None
+                            else self.fault_injector),
             path_faulter_factory=(
                 (lambda paths: bootup_engine.make_path_faulter(sim, paths))
                 if self.bb.ondemand_modularizer else None))

@@ -101,9 +101,15 @@ def _summarize(preset: str, results: list) -> PresetOutcome:
 
 
 def run(runner: SweepRunner | None = None,
-        smoke: bool = False) -> FaultMatrixResult:
-    """Sweep the fault presets across seeds, BB and no-BB."""
-    runner = runner if runner is not None else SweepRunner()
+        smoke: bool = False, branch: bool = False) -> FaultMatrixResult:
+    """Sweep the fault presets across seeds, BB and no-BB.
+
+    ``branch=True`` (only honored when no ``runner`` is supplied) routes
+    the sweep through the checkpoint/fork engine: cells sharing a boot
+    prefix run as one recorded prefix plus forked suffixes — same
+    results, fewer full boots.
+    """
+    runner = runner if runner is not None else SweepRunner(branch=branch)
     presets = SMOKE_PRESETS if smoke else tuple(PRESETS)
     seeds = SMOKE_SEEDS if smoke else SEEDS
 

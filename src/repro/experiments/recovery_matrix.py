@@ -80,9 +80,16 @@ class RecoveryMatrixResult:
 
 
 def run(runner: SweepRunner | None = None,
-        smoke: bool = False) -> RecoveryMatrixResult:
-    """Drive every preset through the recovery ladder across seeds."""
-    runner = runner if runner is not None else SweepRunner()
+        smoke: bool = False, branch: bool = False) -> RecoveryMatrixResult:
+    """Drive every preset through the recovery ladder across seeds.
+
+    ``branch=True`` (only honored when no ``runner`` is supplied) enables
+    checkpoint/fork branching on the internal runner.  Recovery jobs are
+    structurally non-branchable (the supervisor re-boots), so this is
+    plumbing parity with the fault matrix: branchable boot jobs mixed
+    into the same runner benefit, recovery jobs transparently fall back.
+    """
+    runner = runner if runner is not None else SweepRunner(branch=branch)
     presets = SMOKE_PRESETS if smoke else tuple(PRESETS)
     seeds = SMOKE_SEEDS if smoke else SEEDS
 

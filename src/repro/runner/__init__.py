@@ -13,8 +13,12 @@ This package exploits that:
 * :class:`~repro.runner.sweep.SweepRunner` — deduplicates jobs and fans
   them out over a ``ProcessPoolExecutor`` (``jobs=1`` is a strictly
   serial, deterministic fallback),
-* :mod:`~repro.runner.bench` — the engine microbenchmark and the
-  serial-vs-parallel sweep benchmark behind ``python -m repro bench``.
+* :class:`~repro.runner.branch.BranchRunner` — the checkpoint/fork
+  engine: jobs sharing a prefix fingerprint run as one recorded prefix
+  boot plus cheap copy-on-write suffixes (``SweepRunner(branch=True)``),
+* :mod:`~repro.runner.bench` — the engine/cache microbenchmarks, the
+  checkpoint benchmark and the serial-vs-parallel sweep benchmark behind
+  ``python -m repro bench``.
 
 The experiment drivers under :mod:`repro.experiments` enumerate their
 boots as ``SimJob``\\ s and submit them through a shared runner, so
@@ -22,16 +26,25 @@ boots as ``SimJob``\\ s and submit them through a shared runner, so
 (workload, config, cores) twice.
 """
 
+from repro.runner.branch import (BranchRunner, BranchStats, canonical_bytes,
+                                 default_backend)
 from repro.runner.cache import CacheStats, ResultCache
-from repro.runner.jobs import SimJob, code_version, execute_job
+from repro.runner.jobs import (CheckpointSpec, SimJob, code_version,
+                               execute_job, make_boot_simulation)
 from repro.runner.sweep import SweepRunner, SweepStats
 
 __all__ = [
+    "BranchRunner",
+    "BranchStats",
     "CacheStats",
+    "CheckpointSpec",
     "ResultCache",
     "SimJob",
     "SweepRunner",
     "SweepStats",
+    "canonical_bytes",
     "code_version",
+    "default_backend",
     "execute_job",
+    "make_boot_simulation",
 ]

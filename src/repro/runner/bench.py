@@ -1,6 +1,6 @@
 """Performance benchmarks behind ``python -m repro bench``.
 
-Two measurements seed the repo's perf trajectory, recorded to
+Four measurements seed the repo's perf trajectory, recorded to
 ``BENCH_runner.json``:
 
 * **Engine microbenchmark** — events/second through the optimized
@@ -8,6 +8,18 @@ Two measurements seed the repo's perf trajectory, recorded to
   pre-optimization dataclass-ordered queue, on an identical deterministic
   push/pop workload.  This keeps the hot-path speedup measurable forever,
   not just in the PR that made it.
+* **Cache microbenchmark** — put+get round-trips of a real boot report
+  through the pickle-bytes :class:`~repro.runner.cache.ResultCache`
+  versus a faithful copy of the pre-optimization deepcopy-on-both-ends
+  cache.
+* **Checkpoint benchmark** — cold-cache wall time of a 100+-cell
+  late-phase fault matrix executed from scratch versus through the
+  checkpoint/fork engine (:mod:`repro.runner.branch`), with a canonical
+  byte-identity check between the two runs' results.  The matrix is
+  derived from a prefix probe: deferred-task faults (post-completion
+  divergence), transient flakes of the latest-queried services, and
+  settle jitter — cells whose shared prefix is long by construction,
+  which is exactly the sweep shape branching exists for.
 * **Sweep benchmark** — wall time of the full ``experiment all`` sweep
   executed serially (``jobs=1``) versus fanned out over worker processes,
   plus the dedup/cache statistics, with a byte-identity check between the
@@ -16,6 +28,7 @@ Two measurements seed the repo's perf trajectory, recorded to
 
 from __future__ import annotations
 
+import copy
 import heapq
 import json
 import time
@@ -129,6 +142,169 @@ def bench_event_queue(events: int = 200_000, repeats: int = 3) -> dict[str, floa
 
 
 # --------------------------------------------------------------------------
+# Cache microbenchmark.
+
+
+class _LegacyDeepcopyCache:
+    """Deepcopy-on-both-ends in-memory cache, as shipped before the
+    pickle-bytes rewrite (kept verbatim as the baseline)."""
+
+    def __init__(self) -> None:
+        self._memory: dict[str, Any] = {}
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        if key in self._memory:
+            return True, copy.deepcopy(self._memory[key])
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        self._memory[key] = copy.deepcopy(value)
+
+
+def _reference_report() -> Any:
+    """A real full-size boot report to push through the caches."""
+    from repro.core.config import BBConfig
+    from repro.runner.jobs import SimJob, execute_job
+    from repro.workloads import opensource_tv_workload
+
+    return execute_job(SimJob.boot(opensource_tv_workload,
+                                   bb=BBConfig.full()))
+
+
+def bench_cache(rounds: int = 300, repeats: int = 3) -> dict[str, float]:
+    """Round-trips/second through the bytes cache vs the deepcopy cache.
+
+    One round is a ``put`` of a real TV boot report under a fresh key
+    followed by a ``get`` of it — the exact hot path a cold sweep pays
+    per unique job.  Best-of-``repeats`` wall time per implementation.
+    """
+    report = _reference_report()
+
+    def best_rps(factory: Callable[[], Any]) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            cache = factory()
+            start = time.perf_counter()
+            for index in range(rounds):
+                key = f"bench-{index}"
+                cache.put(key, report)
+                hit, _ = cache.get(key)
+                assert hit
+            best = min(best, time.perf_counter() - start)
+        return rounds / best
+
+    optimized = best_rps(ResultCache)
+    legacy = best_rps(_LegacyDeepcopyCache)
+    return {
+        "rounds": float(rounds),
+        "optimized_roundtrips_per_sec": optimized,
+        "legacy_roundtrips_per_sec": legacy,
+        "speedup": optimized / legacy,
+    }
+
+
+# --------------------------------------------------------------------------
+# Checkpoint benchmark.
+
+
+def checkpoint_matrix(cells: int = 120) -> list[Any]:
+    """A late-phase what-if matrix of ``cells`` jobs sharing one prefix.
+
+    Composition is probe-derived so it adapts to the workload: mostly
+    per-task deferred faults (§2.5.2 post-completion work — the faults
+    diverge after ~95% of the boot), plus transient flakes of the
+    latest-queried services and settle jitter on the settle-capable
+    units.  Speedup under branching is by construction bounded by how
+    late the cells diverge; this matrix is the "what breaks *late* in
+    the boot" sweep that motivates checkpointing.
+    """
+    from repro.core.config import BBConfig
+    from repro.faults import (DeferredFault, FaultPlan, ServiceFault,
+                              SettleFault)
+    from repro.runner.jobs import SimJob, make_boot_simulation
+    from repro.sim.checkpoint import DEFERRED, SERVICE, SETTLE, InjectorSlot
+    from repro.workloads import opensource_tv_workload
+
+    def boot(plan: Any) -> Any:
+        return SimJob.boot(opensource_tv_workload, bb=BBConfig.full(),
+                           fault_plan=plan)
+
+    slot = InjectorSlot(record=True)
+    probe = make_boot_simulation(boot(None), injector_slot=slot)
+    probe.start()
+    probe.complete()
+
+    service_first: dict[str, int] = {}
+    for record in slot.records:
+        if record[0] == SERVICE and record[1] not in service_first:
+            service_first[record[1]] = record[3]
+    late_units = sorted(service_first, key=service_first.get)
+    settle_units = sorted({r[1] for r in slot.records if r[0] == SETTLE})
+    tasks = sorted({r[1] for r in slot.records if r[0] == DEFERRED})
+
+    n_settle = min(2 * len(settle_units), max(2, cells // 16))
+    n_service = min(len(late_units), max(4, cells // 8))
+    n_deferred = max(0, cells - n_settle - n_service)
+
+    jobs: list[Any] = []
+    for index in range(n_deferred):
+        task = tasks[index % len(tasks)]
+        jobs.append(boot(FaultPlan(seed=1000 + index, deferred=(
+            DeferredFault(task=task, fail_attempts=1),))))
+    for index in range(n_service):
+        unit = late_units[-1 - index]
+        jobs.append(boot(FaultPlan(seed=2000 + index, services=(
+            ServiceFault(unit=unit, fail_attempts=1),))))
+    for index in range(n_settle):
+        unit = settle_units[index % len(settle_units)]
+        jobs.append(boot(FaultPlan(seed=3000 + index, settles=(
+            SettleFault(unit=unit, jitter=0.5),))))
+    return jobs
+
+
+def bench_checkpoint(cells: int = 120,
+                     backend: str | None = None) -> dict[str, Any]:
+    """Cold-cache wall time of the matrix: from-scratch vs branched.
+
+    Both legs run serially (``jobs=1``) on fresh caches, so the measured
+    ratio is purely the checkpoint/fork engine's doing — no process pool,
+    no warm cache on either side.  Results are compared cell-by-cell via
+    :func:`~repro.runner.branch.canonical_bytes`.
+    """
+    from repro.runner.branch import canonical_bytes, default_backend
+
+    backend = backend or default_backend()
+    jobs = checkpoint_matrix(cells)
+
+    start = time.perf_counter()
+    with SweepRunner(jobs=1, branch=False) as runner:
+        scratch = runner.run(jobs)
+    scratch_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with SweepRunner(jobs=1, branch=True, branch_backend=backend) as runner:
+        branched = runner.run(jobs)
+        stats = runner.stats
+    branched_s = time.perf_counter() - start
+
+    identical = all(canonical_bytes(a) == canonical_bytes(b)
+                    for a, b in zip(scratch, branched))
+    return {
+        "cells": len(jobs),
+        "backend": backend,
+        "scratch_wall_s": scratch_s,
+        "branched_wall_s": branched_s,
+        "speedup": scratch_s / branched_s if branched_s else 0.0,
+        "outputs_identical": identical,
+        "runner": {
+            "branched": stats.branched,
+            "executed": stats.executed,
+            "prefix_boots": stats.prefix_boots,
+        },
+    }
+
+
+# --------------------------------------------------------------------------
 # Sweep benchmark.
 
 
@@ -189,12 +365,19 @@ def bench_sweep(jobs: int, cache_dir: str | None = None) -> dict[str, Any]:
 
 def build_record(jobs: int, events: int = 200_000,
                  skip_sweep: bool = False,
-                 cache_dir: str | None = None) -> dict[str, Any]:
+                 cache_dir: str | None = None,
+                 skip_checkpoint: bool = False,
+                 checkpoint_cells: int = 120,
+                 checkpoint_backend: str | None = None) -> dict[str, Any]:
     """The full ``BENCH_runner.json`` payload."""
     record: dict[str, Any] = {
         "code_version": code_version(),
         "event_queue": bench_event_queue(events=events),
+        "cache": bench_cache(),
     }
+    if not skip_checkpoint:
+        record["checkpoint"] = bench_checkpoint(cells=checkpoint_cells,
+                                                backend=checkpoint_backend)
     if not skip_sweep:
         record["experiment_all"] = bench_sweep(jobs, cache_dir=cache_dir)
     return record

@@ -7,11 +7,18 @@ content-addressed stores like git rely on.  The in-memory layer makes
 repeats within one ``experiment all`` free; the optional on-disk layer
 (one pickle per fingerprint, written atomically) makes them free across
 process runs.
+
+Both layers store the same canonical pickle bytes: a ``put`` pickles the
+value exactly once (the disk layer writes those bytes verbatim) and every
+``get`` unpickles a fresh object.  That keeps the mutation-safety of the
+old deepcopy-on-both-ends design — callers can never alias the cached
+master — while being markedly cheaper for large boot reports, and it
+makes memory hits byte-equivalent to disk hits by construction (the
+``repro bench`` ``cache`` section tracks the speedup).
 """
 
 from __future__ import annotations
 
-import copy
 import os
 import pickle
 import tempfile
@@ -19,8 +26,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-#: Sentinel distinguishing "no entry" from a cached ``None``.
-_MISS = object()
+#: Exceptions that mean "this pickle is junk": a torn write, bit rot, or
+#: a pickle referencing a class that no longer exists.
+_LOAD_ERRORS = (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, MemoryError, UnicodeDecodeError)
 
 
 @dataclass(slots=True)
@@ -28,7 +37,7 @@ class CacheStats:
     """Hit/miss accounting for one :class:`ResultCache`.
 
     Attributes:
-        memory_hits: Results served from the in-process dictionary.
+        memory_hits: Results served from the in-process byte store.
         disk_hits: Results loaded (and re-memoized) from the disk layer.
         misses: Lookups that found nothing anywhere.
         stores: Results written into the cache.
@@ -64,7 +73,7 @@ class ResultCache:
     """
 
     def __init__(self, disk_dir: str | os.PathLike[str] | None = None):
-        self._memory: dict[str, Any] = {}
+        self._memory: dict[str, bytes] = {}
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.stats = CacheStats()
 
@@ -78,13 +87,13 @@ class ResultCache:
     def get(self, key: str) -> tuple[bool, Any]:
         """Look up ``key``; returns ``(hit, value)``.
 
-        Memory hits return a deep copy so callers can never mutate the
-        cached master; disk hits are freshly unpickled anyway.
+        Every hit returns a fresh unpickle of the canonical bytes, so
+        callers can never mutate the cached master.
         """
-        value = self._memory.get(key, _MISS)
-        if value is not _MISS:
+        blob = self._memory.get(key)
+        if blob is not None:
             self.stats.memory_hits += 1
-            return True, copy.deepcopy(value)
+            return True, pickle.loads(blob)
         if self.disk_dir is not None:
             path = self._disk_path(key)
             try:
@@ -92,40 +101,41 @@ class ResultCache:
             except OSError:
                 handle = None  # no entry (or unreadable dir): plain miss
             if handle is not None:
-                # The entry exists; if it cannot be unpickled it is junk —
-                # a torn write, bit rot, or a pickle referencing a class
-                # that no longer exists (AttributeError/ImportError).
-                # Drop it so it cannot fail again on every future run.
+                # The entry exists; if it cannot be read and unpickled it
+                # is junk — drop it so it cannot fail again on every run.
                 try:
                     with handle:
-                        value = pickle.load(handle)
-                except (OSError, pickle.UnpicklingError, EOFError,
-                        AttributeError, ImportError, IndexError,
-                        MemoryError, UnicodeDecodeError):
+                        blob = handle.read()
+                    value = pickle.loads(blob)
+                except _LOAD_ERRORS:
                     self.stats.disk_errors += 1
                     try:
                         os.unlink(path)
                     except OSError:
                         pass
                 else:
-                    self._memory[key] = value
+                    self._memory[key] = blob
                     self.stats.disk_hits += 1
-                    return True, copy.deepcopy(value)
+                    return True, value
         self.stats.misses += 1
         return False, None
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` in every enabled layer."""
-        self._memory[key] = copy.deepcopy(value)
+        """Store ``value`` under ``key`` in every enabled layer.
+
+        The value is pickled once; the disk layer persists the identical
+        bytes (write-then-rename, so a crashed run never leaves a torn
+        pickle a later run would try to load).
+        """
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._memory[key] = blob
         self.stats.stores += 1
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
-            # Write-then-rename so a crashed run never leaves a torn pickle
-            # that a later run would try to load.
             fd, tmp_name = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(blob)
                 os.replace(tmp_name, self._disk_path(key))
             except BaseException:
                 try:

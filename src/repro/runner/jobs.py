@@ -79,6 +79,35 @@ def canonical_repr(obj: Any) -> str:
     return repr(obj)
 
 
+@dataclass(frozen=True, slots=True)
+class CheckpointSpec:
+    """How a boot job may branch off a shared null-boot prefix.
+
+    Attached to a :class:`SimJob` purely as execution *strategy*: the spec
+    never enters the fingerprint, because branching is required to be
+    result-invariant (the verify oracle enforces byte-identity).
+
+    Attributes:
+        divergence_ns: Optional "fork no later than" sim time.  The branch
+            runner forks at ``min(divergence_ns, first injected fault)`` —
+            forking earlier than necessary is always sound (the suffix
+            just replays more shared events), forking later is not, so an
+            explicit time can only tighten the automatic probe-derived
+            bound.  ``None`` derives the time entirely from the probe.
+        enabled: ``False`` opts this job out of branching even inside an
+            eligible group (it runs from scratch).
+    """
+
+    divergence_ns: int | None = None
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.divergence_ns is not None and self.divergence_ns < 0:
+            raise SimulationError(
+                f"CheckpointSpec.divergence_ns cannot be negative: "
+                f"{self.divergence_ns!r}")
+
+
 def _require_module_level(factory: Callable[..., Any]) -> None:
     """Jobs cross process boundaries; the factory must pickle by reference."""
     qualname = getattr(factory, "__qualname__", "")
@@ -116,6 +145,9 @@ class SimJob:
         recovery_policy: Escalation policy (``recovery`` jobs only); the
             job runs a :class:`~repro.recovery.BootSupervisor` ladder and
             the result is a :class:`~repro.recovery.RecoveryOutcome`.
+        checkpoint: Optional :class:`CheckpointSpec` tuning checkpoint/fork
+            branching; excluded from the fingerprint (branching must be
+            result-invariant).
         label: Human-facing tag; excluded from the fingerprint.
     """
 
@@ -130,6 +162,7 @@ class SimJob:
     platform_preset: str = "ue48h6200"
     fault_plan: FaultPlan | None = None
     recovery_policy: Any | None = None
+    checkpoint: CheckpointSpec | None = None
     label: str = ""
 
     # ------------------------------------------------------------ builders
@@ -140,6 +173,7 @@ class SimJob:
              kernel_config: Any | None = None,
              manual_bb_group: tuple[str, ...] | None = None,
              fault_plan: FaultPlan | None = None,
+             checkpoint: CheckpointSpec | None = None,
              label: str = "", **kwargs: Any) -> "SimJob":
         """A full cold-boot job: ``workload_factory(*args, **kwargs)``
         booted under ``bb``."""
@@ -149,7 +183,7 @@ class SimJob:
                    workload_kwargs=tuple(sorted(kwargs.items())),
                    bb=bb, cores=cores, kernel_config=kernel_config,
                    manual_bb_group=manual_bb_group, fault_plan=fault_plan,
-                   label=label)
+                   checkpoint=checkpoint, label=label)
 
     @classmethod
     def recover(cls, workload_factory: Callable[..., Any], *args: Any,
@@ -172,11 +206,16 @@ class SimJob:
 
     # --------------------------------------------------------- fingerprint
 
-    def fingerprint(self) -> str:
-        """Stable content hash identifying this job's result.
+    def prefix_fingerprint(self) -> str:
+        """Content hash of the *shared boot prefix* this job runs.
 
-        Covers every semantically meaningful field plus the code-version
-        salt; ``label`` is presentation only and excluded.
+        Covers everything except the divergent inputs (``fault_plan``,
+        ``recovery_policy``): two jobs with equal prefix fingerprints boot
+        the identical simulation up to their first injected fault, which
+        is what lets the branch runner run that prefix once and fork per
+        cell — and lets :class:`~repro.runner.cache.ResultCache` serve a
+        recorded prefix probe across sweeps.  Salted with the
+        code-version hash like :meth:`fingerprint`.
         """
         payload = canonical_repr((
             self.kind,
@@ -188,14 +227,63 @@ class SimJob:
             self.kernel_config,
             self.manual_bb_group,
             self.platform_preset if self.kind == KIND_KERNEL else None,
-            self.fault_plan,
-            self.recovery_policy,
         ))
         digest = hashlib.sha256()
         digest.update(code_version().encode())
         digest.update(b"\0")
         digest.update(payload.encode())
         return digest.hexdigest()
+
+    def divergence_fingerprint(self) -> str:
+        """Content hash of the inputs that make this job diverge from its
+        prefix (the fault plan and the recovery policy)."""
+        payload = canonical_repr((self.fault_plan, self.recovery_policy))
+        digest = hashlib.sha256()
+        digest.update(payload.encode())
+        return digest.hexdigest()
+
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this job's result.
+
+        Factored as ``sha256(prefix_fingerprint || divergence_fingerprint)``
+        so the prefix component is independently addressable; covers every
+        semantically meaningful field plus the code-version salt.
+        ``label`` and ``checkpoint`` are presentation/strategy only and
+        excluded — branching a job must not change its result.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.prefix_fingerprint().encode())
+        digest.update(b"\0")
+        digest.update(self.divergence_fingerprint().encode())
+        return digest.hexdigest()
+
+    # ----------------------------------------------------------- branching
+
+    def branchable(self) -> bool:
+        """True when this job can run as a suffix branched off a shared
+        null-boot prefix.
+
+        Only ``boot`` jobs branch (a recovery ladder constructs its boots
+        internally), and only under plans without ``paths`` specs: missing
+        or late device paths are *structural* — the init manager blocks
+        them at construction and schedules their lift events at init
+        start, so the prefix itself differs and no late swap can reproduce
+        it.  An explicit ``CheckpointSpec(enabled=False)`` also opts out.
+        """
+        if self.kind != KIND_BOOT:
+            return False
+        if self.checkpoint is not None and not self.checkpoint.enabled:
+            return False
+        return self.fault_plan is None or not self.fault_plan.paths
+
+    def prefix_job(self) -> "SimJob":
+        """The null (fault-free) job booting this job's shared prefix."""
+        from dataclasses import replace
+
+        return replace(self, fault_plan=None, recovery_policy=None,
+                       checkpoint=None,
+                       label=f"prefix of {self.label}" if self.label
+                             else "prefix")
 
 
 def execute_job(job: SimJob) -> Any:
@@ -210,23 +298,39 @@ def execute_job(job: SimJob) -> Any:
         return _execute_recovery(job)
     if job.kind != KIND_BOOT:
         raise SimulationError(f"unknown SimJob kind {job.kind!r}")
-    if job.workload_factory is None:
-        raise SimulationError("boot SimJob has no workload factory")
-    from repro.core import BootSimulation
     from repro.core.degraded import DegradedBootError
 
-    workload = job.workload_factory(*job.workload_args,
-                                    **dict(job.workload_kwargs))
-    simulation = BootSimulation(workload, job.bb, cores=job.cores,
-                                kernel_config=job.kernel_config,
-                                manual_bb_group=job.manual_bb_group,
-                                fault_plan=job.fault_plan)
+    simulation = make_boot_simulation(job)
     try:
         return simulation.run()
     except DegradedBootError as exc:
         # A failed boot is a *result* for sweep purposes: cacheable,
         # deterministic, and countable in completion-rate statistics.
         return exc.report
+
+
+def make_boot_simulation(job: SimJob, injector_slot=None) -> Any:
+    """Build (without running) the ``BootSimulation`` a boot job describes.
+
+    With ``injector_slot`` the simulation is wired for checkpoint/fork
+    branching instead of compiling ``job.fault_plan`` (the branch runner
+    only passes slots for null prefix jobs).
+    """
+    if job.kind != KIND_BOOT:
+        raise SimulationError(f"cannot build a BootSimulation for a "
+                              f"{job.kind!r} job")
+    if job.workload_factory is None:
+        raise SimulationError("boot SimJob has no workload factory")
+    from repro.core import BootSimulation
+
+    workload = job.workload_factory(*job.workload_args,
+                                    **dict(job.workload_kwargs))
+    return BootSimulation(workload, job.bb, cores=job.cores,
+                          kernel_config=job.kernel_config,
+                          manual_bb_group=job.manual_bb_group,
+                          fault_plan=None if injector_slot is not None
+                          else job.fault_plan,
+                          injector_slot=injector_slot)
 
 
 def _execute_recovery(job: SimJob) -> Any:

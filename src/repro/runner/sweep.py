@@ -1,18 +1,24 @@
-"""The sweep runner: dedup, cache, fan out, return results in order.
+"""The sweep runner: dedup, cache, branch, fan out, return results in order.
 
 ``SweepRunner.run`` takes any sequence of :class:`SimJob`\\ s and returns
 their results *positionally* — submission order, not completion order —
 so a parallel run is bit-identical to the serial one.  Between submission
-and execution sit two cuts:
+and execution sit three cuts:
 
 1. **Dedup** — jobs with equal fingerprints are executed once and the
    result fanned back to every position (`experiment all` asks for the
    stock TV boot dozens of times).
 2. **Cache** — surviving fingerprints are looked up in the
    :class:`~repro.runner.cache.ResultCache` before any simulation runs.
+3. **Branch** (opt-in) — jobs sharing a prefix fingerprint are grouped
+   and routed through the :class:`~repro.runner.branch.BranchRunner`,
+   which boots the shared prefix once and forks a cheap copy-on-write
+   suffix per cell instead of re-simulating every boot from t=0.
 
 What remains executes serially (``jobs=1``) or on a lazily created
-``ProcessPoolExecutor``; either way results land by position.
+``ProcessPoolExecutor`` with a computed chunksize (one pickle round-trip
+per job at ``chunksize=1`` is measurable on 100+-cell matrices); either
+way results land by position.
 """
 
 from __future__ import annotations
@@ -34,37 +40,56 @@ class SweepStats:
         deduplicated: Submissions collapsed onto an identical job in the
             same batch.
         cache_hits: Unique jobs served from the result cache.
-        executed: Unique jobs actually simulated.
+        executed: Unique jobs simulated from scratch.
+        branched: Unique jobs resolved as branches off a shared prefix
+            (checkpoint/fork) instead of from-scratch runs.
+        prefix_boots: Full prefix boots (probes + rolling prefixes) the
+            branch runner paid to resolve the branched jobs.
     """
 
     submitted: int = 0
     deduplicated: int = 0
     cache_hits: int = 0
     executed: int = 0
+    branched: int = 0
+    prefix_boots: int = 0
 
     @property
     def savings_rate(self) -> float:
-        """Fraction of submissions that never reached a simulator."""
+        """Fraction of submissions that never ran a from-scratch boot."""
         if not self.submitted:
             return 0.0
         return 1.0 - self.executed / self.submitted
 
 
 class SweepRunner:
-    """Deduplicating, caching, optionally parallel job executor.
+    """Deduplicating, caching, optionally parallel/branching job executor.
 
     Args:
         jobs: Worker processes; ``1`` (the default) executes serially in
-            the calling process, in submission order.
+            the calling process, in submission order.  Also bounds the
+            concurrent fork children of a branched group.
         cache: Result store; defaults to a fresh in-memory cache.
+        branch: Route prefix-sharing job groups through the
+            checkpoint/fork :class:`~repro.runner.branch.BranchRunner`
+            (byte-identical results, verified by ``repro verify``; off by
+            default).
+        branch_backend: ``"fork"``/``"replay"``/``None`` (auto) — see
+            :mod:`repro.runner.branch`.
+        min_branch_group: Smallest prefix group worth branching.
 
     Use as a context manager (or call :meth:`close`) to shut down the
     worker pool; a never-used pool costs nothing.
     """
 
-    def __init__(self, jobs: int = 1, cache: ResultCache | None = None):
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
+                 branch: bool = False, branch_backend: str | None = None,
+                 min_branch_group: int = 3):
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else ResultCache()
+        self.branch = bool(branch)
+        self.branch_backend = branch_backend
+        self.min_branch_group = min_branch_group
         self.stats = SweepStats()
         self._pool: ProcessPoolExecutor | None = None
 
@@ -109,6 +134,12 @@ class SweepRunner:
             else:
                 missing.append((fingerprint, job))
 
+        # Branch cut: groups sharing a prefix run as one recorded prefix
+        # plus forked suffixes (before the pool sees anything, so fork
+        # children are never spawned from a thread-carrying process).
+        if missing and self.branch:
+            missing = self._run_branched(missing, results)
+
         # Execute what is left, serially or fanned out.
         if missing:
             self.stats.executed += len(missing)
@@ -116,7 +147,12 @@ class SweepRunner:
             if self.jobs == 1 or len(to_run) == 1:
                 outcomes = [execute_job(job) for job in to_run]
             else:
-                outcomes = list(self._get_pool().map(execute_job, to_run))
+                # Batch jobs per worker round-trip: chunksize=1 pays one
+                # pickle/unpickle cycle per job, which dominates on large
+                # matrices of fast simulations.
+                chunksize = max(1, len(to_run) // (self.jobs * 4))
+                outcomes = list(self._get_pool().map(execute_job, to_run,
+                                                     chunksize=chunksize))
             for (fingerprint, _), outcome in zip(missing, outcomes):
                 self.cache.put(fingerprint, outcome)
                 results[fingerprint] = outcome
@@ -126,6 +162,26 @@ class SweepRunner:
     def run_one(self, job: SimJob) -> Any:
         """Convenience wrapper: run a single job through dedup + cache."""
         return self.run([job])[0]
+
+    # ------------------------------------------------------------ internals
+
+    def _run_branched(self, missing: list[tuple[str, SimJob]],
+                      results: dict[str, Any]) -> list[tuple[str, SimJob]]:
+        """Resolve branchable prefix groups; returns the unbranched rest."""
+        from repro.runner.branch import BranchRunner
+
+        runner = BranchRunner(cache=self.cache, backend=self.branch_backend,
+                              jobs=self.jobs, min_group=self.min_branch_group)
+        groups, rest = runner.partition(missing)
+        for group in groups:
+            for fingerprint, outcome in runner.run_group(group).items():
+                self.cache.put(fingerprint, outcome)
+                results[fingerprint] = outcome
+        self.stats.branched += runner.stats.branched
+        self.stats.executed += runner.stats.fallbacks
+        self.stats.prefix_boots += (runner.stats.probe_boots
+                                    + runner.stats.prefix_boots)
+        return rest
 
     def _get_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:

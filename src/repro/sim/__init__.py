@@ -16,12 +16,17 @@ It provides:
   :class:`~repro.sim.sync.SpinLock` burns a core while waiting, while a
   :class:`~repro.sim.sync.Mutex` sleeps and releases the core,
 * :class:`~repro.sim.tracing.Tracer` — span/instant trace recording used by
-  the bootchart renderer.
+  the bootchart renderer,
+* :class:`~repro.sim.checkpoint.InjectorSlot` — the checkpoint/fork
+  seam: a swappable fault-injector stand-in that records every query the
+  boot makes, so a shared prefix can be branched per fault plan
+  (:func:`~repro.sim.checkpoint.first_divergence`).
 
 The engine is deterministic: ties are broken by scheduling order, time is
 integer nanoseconds, and no wall-clock or OS randomness is consulted.
 """
 
+from repro.sim.checkpoint import InjectorSlot, first_divergence
 from repro.sim.clock import SimClock
 from repro.sim.cpu import CPU, CpuStats
 from repro.sim.engine import Simulator
@@ -34,6 +39,7 @@ __all__ = [
     "Completion",
     "Compute",
     "CpuStats",
+    "InjectorSlot",
     "Interrupted",
     "Mutex",
     "Process",
@@ -46,4 +52,5 @@ __all__ = [
     "TraceInstant",
     "Tracer",
     "Wait",
+    "first_divergence",
 ]

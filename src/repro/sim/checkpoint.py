@@ -1,0 +1,236 @@
+"""Checkpoint/fork support: record a null boot prefix, branch per cell.
+
+Matrix sweeps re-simulate the same boot prefix for every cell even though
+cells only start to differ at their first injected fault.  This module
+provides the simulation-level machinery that lets a sweep run that shared
+prefix *once* and branch cheap divergent suffixes off it — the
+record-and-replay idea of rr and the reproducible-checkpoint methodology
+of gem5, applied to a deterministic DES (see ``docs/performance.md``).
+
+The design exploits two properties the simulator already guarantees:
+
+1. **Pausing is free and exact.**  ``Simulator.run(until_ns=T)`` executes
+   every event at time ``<= T`` and stops *without scheduling anything*,
+   so a paused run's event stream is byte-identical to an uninterrupted
+   one (same events, same seq numbers).  Calling ``run`` again resumes.
+2. **Injector answers are pure.**  Every :class:`~repro.faults.injector.
+   BootFaultInjector` decision is a function of ``(seed, stream,
+   stable identity)`` — never of draw order — so the answer a cell's
+   injector *would* give at any query point can be evaluated offline
+   against a recording of the queries a null (fault-free) boot makes.
+
+Put together: boot once with a recording :class:`InjectorSlot` (null
+answers, so the run equals a no-fault boot byte-for-byte), compute each
+cell's **divergence time** — the sim time of the first recorded query its
+real injector answers differently from null — with
+:func:`first_divergence`, then replay the null prefix up to just before
+each divergence and swap the cell's real injector into the slot.  From
+that point the branched run asks the same questions and gets the same
+answers as a from-scratch run of the cell, so the two are byte-identical
+by construction.  The :class:`~repro.runner.branch.BranchRunner` drives
+this with copy-on-write ``os.fork`` (or an in-process replay fallback).
+
+Plans with ``paths`` specs are *structural*: missing/late device paths
+are blocked at init-manager construction and their lift events are
+scheduled at init start, which changes the prefix itself.  Such cells
+cannot branch and must run from scratch (see ``SimJob.branchable``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+from repro.faults.injector import InjectedStats, ServiceDecision
+
+if TYPE_CHECKING:
+    from repro.faults.injector import BootFaultInjector
+    from repro.sim.engine import Simulator
+
+#: Record kinds emitted by a recording :class:`InjectorSlot`.  Each record
+#: is a plain tuple — picklable, so a probe's recording caches like any
+#: other result — whose last element is the sim time of the query.
+STORAGE = "storage"      # (STORAGE, index, nbytes, is_write, time_ns)
+SERVICE = "service"      # (SERVICE, unit, attempt, time_ns)
+MODULE = "module"        # (MODULE, module, time_ns)
+SETTLE = "settle"        # (SETTLE, unit, attempt, base_ns, time_ns)
+DEFERRED = "deferred"    # (DEFERRED, task, attempt, time_ns)
+
+_NULL_DECISION = ServiceDecision(fail=False, hang_ns=0)
+
+
+class InjectorSlot:
+    """A swappable fault-injector seam for checkpoint/fork branching.
+
+    Installed wherever a boot would wire a real injector (storage fault
+    hook, module-loader hook, init manager, job executor).  Until
+    :meth:`swap` is called it answers every query with the *null* answer —
+    no extra latency, no failure, base settle time — which is control-flow
+    and event-stream identical to running with no injector at all.  After
+    ``swap`` every query (and the ``stats`` tally the manager writes into)
+    forwards to the real injector, so the run continues exactly as if that
+    injector had been present from the start.
+
+    The one piece of per-run injector state that is *not* a pure function
+    of the query identity is the storage request counter; the slot counts
+    every storage query from t=0 and seeds the real injector's counter at
+    swap time, so post-swap draws are addressed by the same request
+    indices a from-scratch run would use.
+
+    Args:
+        record: Also append a query record (see the record-kind constants)
+            for every question asked while un-swapped — the probe mode
+            that feeds :func:`first_divergence`.
+    """
+
+    def __init__(self, record: bool = False):
+        self.delegate: "BootFaultInjector | None" = None
+        self.records: list[tuple[Any, ...]] | None = [] if record else None
+        self._sim: "Simulator | None" = None
+        self._storage_requests = 0
+        self._null_stats = InjectedStats()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def attach(self, sim: "Simulator") -> None:
+        """Bind the simulator whose clock timestamps recorded queries."""
+        self._sim = sim
+
+    def swap(self, injector: "BootFaultInjector") -> None:
+        """Install the real injector; all later queries forward to it."""
+        if self.delegate is not None:
+            raise SimulationError("InjectorSlot.swap() called twice")
+        injector._storage_requests = self._storage_requests
+        self.delegate = injector
+
+    @property
+    def swapped(self) -> bool:
+        """True once a real injector has been installed."""
+        return self.delegate is not None
+
+    def _now(self) -> int:
+        assert self._sim is not None, "InjectorSlot used before attach()"
+        return self._sim.now
+
+    # ----------------------------------------------- the injector surface
+
+    @property
+    def stats(self) -> InjectedStats:
+        """Tally the manager/executor write into (forwards after swap)."""
+        return (self.delegate.stats if self.delegate is not None
+                else self._null_stats)
+
+    @property
+    def blocked_paths(self) -> frozenset[str]:
+        # Branchable plans never block paths; pre-swap the answer is the
+        # null one and the manager reads this exactly once, at construction.
+        return (self.delegate.blocked_paths if self.delegate is not None
+                else frozenset())
+
+    def late_paths(self) -> tuple[tuple[str, int], ...]:
+        return (self.delegate.late_paths() if self.delegate is not None
+                else ())
+
+    def path_blocked(self, path: str) -> bool:
+        return (self.delegate.path_blocked(path)
+                if self.delegate is not None else False)
+
+    def storage_extra_ns(self, nbytes: int, is_write: bool) -> int:
+        if self.delegate is not None:
+            return self.delegate.storage_extra_ns(nbytes, is_write)
+        index = self._storage_requests
+        self._storage_requests += 1
+        if self.records is not None:
+            self.records.append((STORAGE, index, nbytes, is_write,
+                                 self._now()))
+        return 0
+
+    def service_decision(self, unit: str, attempt: int) -> ServiceDecision:
+        if self.delegate is not None:
+            return self.delegate.service_decision(unit, attempt)
+        if self.records is not None:
+            self.records.append((SERVICE, unit, attempt, self._now()))
+        return _NULL_DECISION
+
+    def module_decision(self, module: str) -> tuple[bool, int]:
+        if self.delegate is not None:
+            return self.delegate.module_decision(module)
+        if self.records is not None:
+            self.records.append((MODULE, module, self._now()))
+        return False, 0
+
+    def settle_ns(self, unit: str, attempt: int, base_ns: int) -> int:
+        if self.delegate is not None:
+            return self.delegate.settle_ns(unit, attempt, base_ns)
+        if self.records is not None:
+            self.records.append((SETTLE, unit, attempt, base_ns,
+                                 self._now()))
+        return base_ns
+
+    def deferred_fails(self, task: str, attempt: int) -> bool:
+        if self.delegate is not None:
+            return self.delegate.deferred_fails(task, attempt)
+        if self.records is not None:
+            self.records.append((DEFERRED, task, attempt, self._now()))
+        return False
+
+    def __repr__(self) -> str:
+        state = (f"swapped:{self.delegate!r}" if self.delegate is not None
+                 else ("recording" if self.records is not None else "null"))
+        return f"InjectorSlot({state}, storage_requests={self._storage_requests})"
+
+
+def first_divergence(records: list[tuple[Any, ...]],
+                     injector: "BootFaultInjector") -> int | None:
+    """Sim time of the first recorded query ``injector`` perturbs.
+
+    Evaluates a throwaway compiled injector over a null boot's query
+    recording, in query order, and returns the timestamp of the first
+    query whose answer differs from the null answer — the cell's
+    divergence time.  ``None`` means the injector never perturbs any
+    query the null boot makes: the cell's run *is* the null run (modulo
+    the all-zero fault tally in its report).
+
+    This is sound because injector answers are pure functions of
+    ``(seed, stream, identity)``: a from-scratch run of the cell asks the
+    exact same questions in the exact same order up to its first
+    perturbing answer, so the recording covers everything that can
+    diverge.  The injector's storage counter is force-aligned to each
+    record's request index, and the per-query ``stats`` writes land on
+    this throwaway instance, so evaluation has no side effects on the
+    caller.
+
+    Args:
+        records: The recording of a null boot of the cell's prefix job
+            (an :class:`InjectorSlot` created with ``record=True``).
+        injector: A freshly compiled injector for the cell's plan.  Do
+            not reuse it for a live run afterwards.
+    """
+    for record in records:
+        kind = record[0]
+        if kind == STORAGE:
+            _, index, nbytes, is_write, time_ns = record
+            injector._storage_requests = index
+            if injector.storage_extra_ns(nbytes, is_write):
+                return time_ns
+        elif kind == SERVICE:
+            _, unit, attempt, time_ns = record
+            decision = injector.service_decision(unit, attempt)
+            if decision.fail or decision.hang_ns:
+                return time_ns
+        elif kind == MODULE:
+            _, module, time_ns = record
+            fail, extra_ns = injector.module_decision(module)
+            if fail or extra_ns:
+                return time_ns
+        elif kind == SETTLE:
+            _, unit, attempt, base_ns, time_ns = record
+            if injector.settle_ns(unit, attempt, base_ns) != base_ns:
+                return time_ns
+        elif kind == DEFERRED:
+            _, task, attempt, time_ns = record
+            if injector.deferred_fails(task, attempt):
+                return time_ns
+        else:
+            raise SimulationError(f"unknown query record kind {kind!r}")
+    return None

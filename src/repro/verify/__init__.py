@@ -11,11 +11,15 @@ Three cooperating layers of defence against a silently wrong simulator:
 * :mod:`repro.verify.oracles` — property-based differential oracles
   checking simulations against closed-form analytic models and
   cross-cutting laws (BB never slows a boot; cores never hurt).
+* :mod:`repro.verify.branch` — the branch-identity oracle: every cell of
+  a mixed fault matrix run through the checkpoint/fork engine must be
+  canonically byte-identical to a from-scratch boot.
 
 :func:`run_verification` drives all three; the CLI surfaces it as
 ``repro verify [--smoke]``.
 """
 
+from repro.verify.branch import check_branch_identity, identity_matrix
 from repro.verify.monitor import InvariantMonitor, MonitorStats, Violation
 from repro.verify.perturb import (PerturbedEventQueue, diff_signatures,
                                   metamorphic_signature)
@@ -29,7 +33,9 @@ __all__ = [
     "PerturbedEventQueue",
     "VerificationReport",
     "Violation",
+    "check_branch_identity",
     "diff_signatures",
+    "identity_matrix",
     "metamorphic_signature",
     "run_verification",
 ]

@@ -1,6 +1,6 @@
 """The end-to-end verification harness behind ``repro verify``.
 
-Four check groups, each producing a :class:`CheckResult`:
+Five check groups, each producing a :class:`CheckResult`:
 
 * **invariant-monitor** — boot every scenario with a strict
   :class:`~repro.verify.monitor.InvariantMonitor` attached, so every
@@ -14,6 +14,10 @@ Four check groups, each producing a :class:`CheckResult`:
   checked against closed forms, plus engine-level core monotonicity.
 * **cross-cutting-laws** — "BB never slows a boot" and "more cores never
   slow a boot (modulo scheduling anomalies)" over generated workloads.
+* **branch-identity** — every cell of a mixed fault matrix run through
+  the checkpoint/fork engine (:mod:`repro.runner.branch`, both backends,
+  serial and parallel) must be canonically byte-identical to a
+  from-scratch boot (:mod:`repro.verify.branch`).
 
 ``smoke=True`` is the CI profile: it still runs well over fifty
 monitored/perturbed/property-generated boots but finishes in seconds.
@@ -244,6 +248,17 @@ def _check_analytic_oracles(seed: int, cases: int) -> CheckResult:
     return result
 
 
+def _check_branch_identity(smoke: bool) -> CheckResult:
+    from repro.verify.branch import check_branch_identity
+
+    result = CheckResult("branch-identity")
+    violations, boots, checks = check_branch_identity(smoke=smoke)
+    result.violations.extend(violations)
+    result.boots += boots
+    result.checks += checks
+    return result
+
+
 def _check_laws(seed: int, graphs: int) -> CheckResult:
     result = CheckResult("cross-cutting-laws")
     rng = random.Random(seed ^ 0x1A35)
@@ -290,6 +305,7 @@ def run_verification(smoke: bool = False, seed: int = 0) -> VerificationReport:
         lambda: _check_perturbation(scenarios, seed, perturbations),
         lambda: _check_analytic_oracles(seed, oracle_cases),
         lambda: _check_laws(seed, law_graphs),
+        lambda: _check_branch_identity(smoke),
     ]
     for group in groups:
         started = time.perf_counter()

@@ -1,0 +1,117 @@
+"""Property-based differential test of :class:`EventQueue` invariants.
+
+Drives random interleavings of push / pop / cancel / peek_time against a
+brutally simple reference model (a sorted list with eager deletion) and
+asserts the two never disagree.  The invariants pinned here are exactly
+the ones the checkpoint/fork engine leans on: ``len()`` counts live
+events only, pops come out in ``(time, seq)`` order (FIFO tie-break),
+and ``peek_time``'s lazy cleanup of cancelled heads never discards a
+live event.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+# An operation is ("push", time_ns) | ("pop",) | ("cancel", key) |
+# ("peek",).  Cancel keys are reduced modulo the number of pushes so far,
+# so cancels target arbitrary live/executed/already-cancelled events.
+_OPS = st.one_of(
+    st.tuples(st.just("push"), st.integers(min_value=0, max_value=1_000)),
+    st.tuples(st.just("pop")),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=10**6)),
+    st.tuples(st.just("peek")),
+)
+
+
+class _Model:
+    """Eager-deletion reference: a plain sorted list of (time, seq)."""
+
+    def __init__(self):
+        self.live = []
+        self.seq = 0
+
+    def push(self, time_ns):
+        self.live.append((time_ns, self.seq))
+        self.seq += 1
+        self.live.sort()
+
+    def pop(self):
+        return self.live.pop(0)
+
+    def cancel(self, key):
+        self.live = [entry for entry in self.live if entry[1] != key]
+
+    def peek_time(self):
+        return self.live[0][0] if self.live else None
+
+
+@given(st.lists(_OPS, max_size=200))
+def test_queue_agrees_with_eager_reference(ops):
+    queue = EventQueue()
+    model = _Model()
+    events = []  # every ScheduledEvent ever pushed, by seq
+
+    for op in ops:
+        if op[0] == "push":
+            event = queue.push(op[1], lambda: None)
+            assert event.seq == len(events)  # seq numbers are dense
+            events.append(event)
+            model.push(op[1])
+        elif op[0] == "pop":
+            if model.live:
+                popped = queue.pop()
+                assert (popped.time_ns, popped.seq) == model.pop()
+                assert popped.executed and not popped.cancelled
+            else:
+                with pytest.raises(SimulationError):
+                    queue.pop()
+        elif op[0] == "cancel":
+            if events:
+                target = events[op[1] % len(events)]
+                queue.cancel(target)  # idempotent, no-op on executed
+                if not target.executed:
+                    model.cancel(target.seq)
+        else:  # peek
+            assert queue.peek_time() == model.peek_time()
+        # Standing invariants after every single operation:
+        assert len(queue) == len(model.live)
+        assert queue.peek_time() == model.peek_time()
+
+    # Drain: everything still live pops out in exact (time, seq) order,
+    # proving peek_time's lazy head-cleanup dropped only cancelled events.
+    drained = []
+    while len(queue):
+        event = queue.pop()
+        drained.append((event.time_ns, event.seq))
+    assert drained == model.live
+    assert queue.peek_time() is None
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=2,
+                max_size=60))
+def test_equal_times_pop_in_push_order(times):
+    """FIFO tie-break: among equal timestamps, push order is pop order."""
+    queue = EventQueue()
+    for time_ns in times:
+        queue.push(time_ns, lambda: None)
+    last_seq_at_time = {}
+    while len(queue):
+        event = queue.pop()
+        previous = last_seq_at_time.get(event.time_ns)
+        assert previous is None or event.seq > previous
+        last_seq_at_time[event.time_ns] = event.seq
+
+
+@given(st.integers(min_value=-10**9, max_value=-1))
+def test_negative_times_rejected(time_ns):
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.push(time_ns, lambda: None)
+    assert len(queue) == 0 and queue.peek_time() is None

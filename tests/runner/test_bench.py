@@ -2,8 +2,10 @@
 
 import json
 
-from repro.runner.bench import (_LegacyEventQueue, _drive_queue,
-                                bench_event_queue, build_record, write_record)
+from repro.runner.bench import (_LegacyEventQueue, _drive_queue, bench_cache,
+                                bench_checkpoint, bench_event_queue,
+                                build_record, checkpoint_matrix, write_record)
+from repro.runner.branch import BACKEND_REPLAY
 from repro.sim.events import EventQueue
 
 
@@ -19,9 +21,35 @@ def test_microbenchmark_reports_speedup():
     assert result["speedup"] > 0
 
 
+def test_cache_benchmark_reports_speedup():
+    result = bench_cache(rounds=20, repeats=1)
+    assert result["rounds"] == 20
+    assert result["optimized_roundtrips_per_sec"] > 0
+    assert result["legacy_roundtrips_per_sec"] > 0
+    assert result["speedup"] > 0
+
+
+def test_checkpoint_matrix_shares_one_prefix():
+    jobs = checkpoint_matrix(cells=16)
+    assert len(jobs) == 16
+    assert len({job.fingerprint() for job in jobs}) == 16
+    assert len({job.prefix_fingerprint() for job in jobs}) == 1
+
+
+def test_checkpoint_benchmark_outputs_identical():
+    result = bench_checkpoint(cells=8, backend=BACKEND_REPLAY)
+    assert result["cells"] == 8
+    assert result["backend"] == BACKEND_REPLAY
+    assert result["outputs_identical"] is True
+    assert result["speedup"] > 0
+    assert result["runner"]["branched"] == 8
+
+
 def test_record_roundtrips_as_json(tmp_path):
-    record = build_record(jobs=1, events=2_000, skip_sweep=True)
+    record = build_record(jobs=1, events=2_000, skip_sweep=True,
+                          skip_checkpoint=True)
     path = tmp_path / "BENCH_runner.json"
     write_record(record, str(path))
     loaded = json.loads(path.read_text())
     assert "event_queue" in loaded and "code_version" in loaded
+    assert "cache" in loaded and "checkpoint" not in loaded

@@ -1,0 +1,235 @@
+"""Checkpoint/fork branch runner: grouping, identity and caching.
+
+The branch engine is only allowed to exist because it is invisible:
+every branched cell must be canonically byte-identical to a from-scratch
+run of the same job.  These tests pin that contract for both backends,
+plus the fingerprint factoring and partitioning rules that route jobs
+into it.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import BBConfig
+from repro.core.degraded import DegradedBootReport
+from repro.errors import SimulationError
+from repro.faults import (DeferredFault, FaultPlan, PathFault, ServiceFault,
+                          SettleFault)
+from repro.runner import (BranchRunner, CheckpointSpec, ResultCache, SimJob,
+                          SweepRunner, canonical_bytes, execute_job)
+from repro.runner.branch import BACKEND_FORK, BACKEND_REPLAY, PROBE_KEY
+from repro.workloads import opensource_tv_workload
+from repro.workloads.tizen_tv import perturbed_tv_workload
+
+BACKENDS = [BACKEND_REPLAY, BACKEND_FORK]
+
+
+def _boot(plan=None, **kwargs):
+    return SimJob.boot(opensource_tv_workload, bb=BBConfig.full(),
+                       fault_plan=plan, **kwargs)
+
+
+def _matrix_jobs():
+    """A small mixed matrix exercising every branch code path."""
+    return [
+        _boot(),  # null cell -> master report verbatim
+        _boot(FaultPlan(seed=21, services=(
+            ServiceFault(unit="logger.service", fail_attempts=1),))),
+        _boot(FaultPlan(seed=22, services=(
+            ServiceFault(unit="dbus.service", fail_attempts=99),))),  # degraded
+        _boot(FaultPlan(seed=23, settles=(
+            SettleFault(unit="fasttv.service", jitter=0.6),))),
+        _boot(FaultPlan(seed=24, settles=(
+            SettleFault(unit="logger.service", jitter=0.6),))),  # no divergence
+        _boot(FaultPlan(seed=25, deferred=(
+            DeferredFault(task="*", fail_attempts=1),))),
+    ]
+
+
+class TestFingerprintFactoring:
+    def test_plans_share_prefix_fingerprint(self):
+        jobs = _matrix_jobs()
+        assert len({job.prefix_fingerprint() for job in jobs}) == 1
+        assert len({job.fingerprint() for job in jobs}) == len(jobs)
+
+    def test_prefix_fingerprint_tracks_prefix_inputs(self):
+        base = _boot()
+        assert (SimJob.boot(opensource_tv_workload, bb=BBConfig.none())
+                .prefix_fingerprint() != base.prefix_fingerprint())
+        assert (SimJob.boot(perturbed_tv_workload, 0, 0.3,
+                            bb=BBConfig.full())
+                .prefix_fingerprint() != base.prefix_fingerprint())
+        assert (SimJob.boot(opensource_tv_workload, bb=BBConfig.full(),
+                            cores=2)
+                .prefix_fingerprint() != base.prefix_fingerprint())
+
+    def test_strategy_fields_outside_fingerprint(self):
+        plan = FaultPlan(seed=1, deferred=(
+            DeferredFault(task="*", fail_attempts=1),))
+        plain = _boot(plan)
+        tuned = _boot(plan, checkpoint=CheckpointSpec(divergence_ns=5),
+                      label="tuned")
+        assert plain.fingerprint() == tuned.fingerprint()
+        assert plain.prefix_fingerprint() == tuned.prefix_fingerprint()
+
+    def test_checkpoint_spec_rejects_negative_divergence(self):
+        with pytest.raises(SimulationError):
+            CheckpointSpec(divergence_ns=-1)
+
+
+class TestBranchability:
+    def test_boot_jobs_branch_by_default(self):
+        assert _boot().branchable()
+        assert _boot(FaultPlan(seed=1)).branchable()
+
+    def test_path_plans_are_structural(self):
+        plan = FaultPlan(seed=1, paths=(
+            PathFault(path="/dev/x", delay_ns=1_000),))
+        assert not _boot(plan).branchable()
+
+    def test_non_boot_kinds_do_not_branch(self):
+        assert not SimJob.recover(opensource_tv_workload).branchable()
+        assert not SimJob.kernel(None).branchable()
+
+    def test_spec_opt_out(self):
+        assert not _boot(checkpoint=CheckpointSpec(enabled=False)).branchable()
+
+    def test_prefix_job_strips_divergent_inputs(self):
+        job = _boot(FaultPlan(seed=5, deferred=(
+            DeferredFault(task="*", fail_attempts=1),)), label="cell")
+        prefix = job.prefix_job()
+        assert prefix.fault_plan is None
+        assert prefix.checkpoint is None
+        assert prefix.prefix_fingerprint() == job.prefix_fingerprint()
+
+    def test_partition_routes_small_groups_to_rest(self):
+        runner = BranchRunner(backend=BACKEND_REPLAY, min_group=3)
+        entries = [(job.fingerprint(), job) for job in _matrix_jobs()[:2]]
+        entries.append((SimJob.recover(opensource_tv_workload).fingerprint(),
+                        SimJob.recover(opensource_tv_workload)))
+        groups, rest = runner.partition(entries)
+        assert groups == []
+        assert len(rest) == 3
+
+    def test_partition_groups_by_prefix(self):
+        jobs = _matrix_jobs() + [
+            SimJob.boot(opensource_tv_workload, bb=BBConfig.none()),
+            SimJob.boot(perturbed_tv_workload, 0, 0.3, bb=BBConfig.full()),
+        ]
+        runner = BranchRunner(backend=BACKEND_REPLAY, min_group=3)
+        groups, rest = runner.partition(
+            [(job.fingerprint(), job) for job in jobs])
+        assert [len(g) for g in groups] == [6]
+        assert len(rest) == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            BranchRunner(backend="teleport")
+
+
+@pytest.fixture(scope="module")
+def scratch_results():
+    """From-scratch ground truth for the mixed matrix, computed once."""
+    return {job.fingerprint(): execute_job(job) for job in _matrix_jobs()}
+
+
+class TestBranchIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_branched_equals_scratch(self, backend, workers, scratch_results):
+        jobs = _matrix_jobs()
+        runner = BranchRunner(backend=backend, jobs=workers, min_group=2)
+        groups, rest = runner.partition(
+            [(job.fingerprint(), job) for job in jobs])
+        assert rest == []
+        results = runner.run_group(groups[0])
+        assert set(results) == set(scratch_results)
+        for fingerprint, branched in results.items():
+            assert (canonical_bytes(branched)
+                    == canonical_bytes(scratch_results[fingerprint]))
+        assert runner.stats.no_divergence == 2  # null cell + inert settle
+        assert runner.stats.branched == len(jobs)
+        if backend == BACKEND_FORK:
+            assert runner.stats.forked == 4
+        else:
+            assert runner.stats.replayed == 4
+
+    def test_degraded_cell_survives_branching(self, scratch_results):
+        degraded = [value for value in scratch_results.values()
+                    if isinstance(value, DegradedBootReport)]
+        assert len(degraded) == 1  # dbus fail_attempts=99 wedges the boot
+
+    def test_inert_plan_reports_zero_tally(self, scratch_results):
+        jobs = _matrix_jobs()
+        inert = jobs[4]  # settle jitter on a settle-free unit
+        report = scratch_results[inert.fingerprint()]
+        assert all(v == 0 for v in report.injected_faults.values())
+
+    def test_probe_cached_across_runs(self):
+        cache = ResultCache()
+        jobs = _matrix_jobs()
+        entries = [(job.fingerprint(), job) for job in jobs]
+        first = BranchRunner(cache=cache, backend=BACKEND_REPLAY, min_group=2)
+        first.run_group(first.partition(entries)[0][0])
+        assert first.stats.probe_boots == 1
+        assert first.stats.probe_cache_hits == 0
+        key = PROBE_KEY + jobs[0].prefix_fingerprint()
+        assert cache.get(key) is not None
+        second = BranchRunner(cache=cache, backend=BACKEND_REPLAY, min_group=2)
+        second.run_group(second.partition(entries)[0][0])
+        assert second.stats.probe_boots == 0
+        assert second.stats.probe_cache_hits == 1
+
+
+class TestSweepIntegration:
+    def _jobs_with_fallback(self):
+        return _matrix_jobs() + [_boot(FaultPlan(seed=31, paths=(
+            PathFault(path="/dev/branch_test", delay_ns=50_000_000),)))]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_branched_sweep_matches_plain_sweep(self, backend):
+        jobs = self._jobs_with_fallback()
+        plain = SweepRunner(jobs=1).run(jobs)
+        runner = SweepRunner(jobs=1, branch=True, branch_backend=backend,
+                             min_branch_group=2)
+        branched = runner.run(jobs)
+        assert len(branched) == len(plain)
+        for a, b in zip(branched, plain):
+            assert canonical_bytes(a) == canonical_bytes(b)
+        assert runner.stats.branched == 6
+        assert runner.stats.executed == 1  # the structural paths cell
+        assert runner.stats.prefix_boots >= 1
+
+    def test_branch_results_enter_the_cache(self):
+        runner = SweepRunner(jobs=1, branch=True,
+                             branch_backend=BACKEND_REPLAY,
+                             min_branch_group=2)
+        jobs = _matrix_jobs()
+        runner.run(jobs)
+        again = runner.run(jobs)
+        assert runner.stats.cache_hits == len(jobs)
+        assert len(again) == len(jobs)
+
+    def test_branch_disabled_by_default(self):
+        runner = SweepRunner(jobs=1)
+        runner.run(_matrix_jobs()[:2])
+        assert runner.stats.branched == 0
+        assert runner.stats.executed == 2
+
+
+class TestCanonicalBytes:
+    def test_set_order_insensitive(self):
+        left = frozenset({"alpha", "beta", "gamma"})
+        right = pickle.loads(pickle.dumps(frozenset(
+            ["gamma", "beta", "alpha"])))
+        assert canonical_bytes(left) == canonical_bytes(right)
+
+    def test_nested_structures(self):
+        a = {"k": [frozenset({1, 2}), (3, {4, 5})]}
+        b = {"k": [frozenset({2, 1}), (3, {5, 4})]}
+        assert canonical_bytes(a) == canonical_bytes(b)
+
+    def test_distinguishes_values(self):
+        assert canonical_bytes({"a": 1}) != canonical_bytes({"a": 2})
+        assert canonical_bytes((1, 2)) != canonical_bytes([1, 2])

@@ -1,0 +1,82 @@
+"""Pickle-bytes storage semantics of :class:`ResultCache`.
+
+The cache stores each result as one canonical pickle blob and
+materialises a fresh object per ``get`` — cheaper than the deepcopy it
+replaced, and safer: callers can mutate what they get back without ever
+reaching shared state.  These tests pin the blob-level contract the
+implementation relies on.
+"""
+
+import pickle
+from dataclasses import dataclass, field
+
+from repro.runner import ResultCache
+
+
+@dataclass
+class _Payload:
+    """Module-level so disk round-trips can re-import it."""
+    values: dict = field(default_factory=dict)
+    tags: frozenset = frozenset()
+
+
+def _payload():
+    return _Payload(values={"a": 1, "b": [2, 3]}, tags=frozenset({"x", "y"}))
+
+
+class TestMemoryBlobs:
+    def test_memory_layer_holds_bytes_not_objects(self):
+        cache = ResultCache()
+        cache.put("k", _payload())
+        blob = cache._memory["k"]
+        assert isinstance(blob, bytes)
+        assert pickle.loads(blob) == _payload()
+
+    def test_get_materialises_a_fresh_object_each_time(self):
+        cache = ResultCache()
+        cache.put("k", _payload())
+        _, first = cache.get("k")
+        _, second = cache.get("k")
+        assert first == second
+        assert first is not second
+        first.values["a"] = 999
+        first.values["b"].append(4)
+        assert second == _payload()  # mutation never leaks back
+
+    def test_put_snapshots_at_store_time(self):
+        cache = ResultCache()
+        original = _payload()
+        cache.put("k", original)
+        original.values.clear()
+        _, cached = cache.get("k")
+        assert cached == _payload()
+
+    def test_miss_and_stats(self):
+        cache = ResultCache()
+        hit, value = cache.get("absent")
+        assert not hit and value is None
+        cache.put("k", _payload())
+        cache.get("k")
+        assert cache.stats.stores == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+
+
+class TestDiskBlobs:
+    def test_disk_file_is_the_memory_blob(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", _payload())
+        on_disk = (tmp_path / "k.pkl").read_bytes()
+        assert on_disk == cache._memory["k"]
+
+    def test_disk_hit_rememoizes_the_blob(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        writer.put("k", _payload())
+        reader = ResultCache(tmp_path)
+        hit, value = reader.get("k")
+        assert hit and value == _payload()
+        assert reader.stats.disk_hits == 1
+        assert reader._memory["k"] == writer._memory["k"]
+        hit, again = reader.get("k")
+        assert hit and reader.stats.memory_hits == 1
+        assert again is not value

@@ -44,6 +44,20 @@ class TestDeterminism:
         assert results[0].features and not results[1].features
 
 
+class TestChunkedPool:
+    def test_chunked_map_is_order_and_result_identical(self):
+        # Enough distinct jobs that the computed chunksize exceeds 1
+        # (len // (jobs * 4) = 24 // 8 = 3): batching per worker
+        # round-trip must not reorder or alter results.
+        jobs = [SimJob.boot(perturbed_tv_workload, seed, 0.3,
+                            bb=BBConfig.full()) for seed in range(24)]
+        serial = SweepRunner(jobs=1).run(jobs)
+        with SweepRunner(jobs=2) as runner:
+            chunked = runner.run(jobs)
+        assert runner.stats.executed == 24
+        assert chunked == serial
+
+
 class TestDedupAndCache:
     def test_duplicate_jobs_simulated_once(self):
         runner = SweepRunner()
