@@ -1,6 +1,6 @@
 # Convenience targets for the BB reproduction.
 
-.PHONY: install test test-fast coverage verify recover bench bench-smoke experiments artifacts examples clean
+.PHONY: install test test-fast coverage verify recover predict bench bench-smoke experiments artifacts examples clean
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -30,17 +30,27 @@ verify:
 recover:
 	PYTHONPATH=src python -m repro recover --smoke
 
+# Closed-form boot prediction (no event loop) for the stock TV boot,
+# plus the smoke design-space sweep it pre-filters.
+predict:
+	PYTHONPATH=src python -m repro predict
+	PYTHONPATH=src python -m repro experiment design-space --smoke
+
 bench:
 	pytest benchmarks/ --benchmark-only -s
 
 # CI-scale perf gate: event-queue + cache microbenchmarks plus a 24-cell
-# checkpoint/fork matrix.  Exits nonzero if branched outputs are not
-# byte-identical to from-scratch runs or the wall-time speedup drops
-# below the committed floor (full 120-cell record measures >= 3x; the
-# smoke floor leaves headroom for noisy CI runners).
+# checkpoint/fork matrix and the 640-cell analytically pre-filtered
+# design-space sweep.  Exits nonzero if branched outputs are not
+# byte-identical to from-scratch runs, the checkpoint speedup drops
+# below its committed floor (full 120-cell record measures >= 3x; the
+# smoke floor leaves headroom for noisy CI runners), the design-space
+# pre-filter lands below 5x over exhaustive DES, or the analytic
+# frontier is not identical to the exhaustive one (full record measures
+# >= 15x, so 5x leaves similar headroom).
 bench-smoke:
 	PYTHONPATH=src python -m repro bench --skip-sweep --events 50000 \
-		--checkpoint-cells 24 --branch-floor 1.8 \
+		--checkpoint-cells 24 --branch-floor 1.8 --predict-floor 5 \
 		--out BENCH_smoke.json
 
 experiments:

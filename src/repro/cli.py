@@ -59,11 +59,12 @@ WORKLOADS: dict[str, Callable[[], Workload]] = {
 
 def _experiments() -> dict[str, tuple]:
     from repro.experiments import (ablations, background, boot_modes,
-                                   fault_matrix, fig1_boot_sequence,
-                                   fig2_dependency_graph, fig3_complexity,
-                                   fig5_rcu_bootchart, fig6_breakdown,
-                                   fig7_bbgroup_dbus, kernel_opt, portability,
-                                   prestart, recovery_matrix, scaling,
+                                   design_space, fault_matrix,
+                                   fig1_boot_sequence, fig2_dependency_graph,
+                                   fig3_complexity, fig5_rcu_bootchart,
+                                   fig6_breakdown, fig7_bbgroup_dbus,
+                                   kernel_opt, portability, prestart,
+                                   recovery_matrix, scaling,
                                    socket_activation, tradeoff, variance)
     return {
         "portability": (portability.run, portability.render),
@@ -84,6 +85,7 @@ def _experiments() -> dict[str, tuple]:
         "ablations": (ablations.run, ablations.render),
         "fault-matrix": (fault_matrix.run, fault_matrix.render),
         "recovery-matrix": (recovery_matrix.run, recovery_matrix.render),
+        "design-space": (design_space.run, design_space.render),
     }
 
 
@@ -301,6 +303,59 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_predict(args: argparse.Namespace) -> int:
+    """Solve a boot analytically — no event loop, same numbers.
+
+    Exit codes: 0 — predicted; 1 — the configuration is outside the
+    predictor's model (e.g. the single-core priority-inversion livelock).
+    """
+    from repro.analysis.predict import predict
+    from repro.errors import AnalysisError
+
+    workload = _resolve_workload(args.workload)
+    config = _resolve_config(args)
+    try:
+        prediction = predict(workload, config, cores=args.cores)
+    except AnalysisError as exc:
+        print(f"prediction failed: {exc}", file=sys.stderr)
+        return 1
+    if getattr(args, "json", False):
+        import json
+        document = {
+            "workload": prediction.workload,
+            "features": list(prediction.features),
+            "cores": prediction.cores,
+            "boot_complete_ns": prediction.boot_complete_ns,
+            "kernel_ns": prediction.kernel_ns,
+            "init_init_ns": prediction.init_init_ns,
+            "load_units_ns": prediction.load_units_ns,
+            "submodules_ns": prediction.submodules_ns,
+            "services_ns": prediction.services_ns,
+            "bb_group": sorted(prediction.bb_group),
+            "unit_started_ns": dict(sorted(
+                prediction.unit_started_ns.items())),
+            "unit_ready_ns": dict(sorted(prediction.unit_ready_ns.items())),
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+    features = ", ".join(prediction.features) or "none (conventional boot)"
+    print(f"workload: {prediction.workload} (predicted, no simulation)")
+    print(f"BB features: {features}")
+    print(f"cores: {prediction.cores}")
+    rows = [
+        ("(a) kernel initialization", f"{prediction.kernel_ns / 1e6:.1f} ms"),
+        ("(b) init initialization",
+         f"{prediction.init_init_ns / 1e6:.1f} ms"),
+        ("(c)+(d) services & applications",
+         f"{prediction.services_ns / 1e6:.1f} ms"),
+        ("boot completion", f"{prediction.boot_complete_ms:.1f} ms"),
+    ]
+    print(format_table(["stage", "predicted time"], rows))
+    if prediction.bb_group:
+        print(f"BB Group: {', '.join(sorted(prediction.bb_group))}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
@@ -312,7 +367,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                           cache_dir=args.cache_dir,
                           skip_checkpoint=args.skip_checkpoint,
                           checkpoint_cells=args.checkpoint_cells,
-                          checkpoint_backend=args.checkpoint_backend)
+                          checkpoint_backend=args.checkpoint_backend,
+                          skip_predict=args.skip_predict)
     write_record(record, args.out)
     queue = record["event_queue"]
     print(f"event queue: {queue['optimized_events_per_sec']:,.0f} events/s "
@@ -338,6 +394,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.branch_floor and checkpoint["speedup"] < args.branch_floor:
             print(f"FAIL: checkpoint speedup {checkpoint['speedup']:.2f}x "
                   f"below the committed floor {args.branch_floor:.2f}x")
+            failed = True
+    if "design_space" in record:
+        sweep = record["design_space"]
+        print(f"design space: {sweep['cells']} cells, pre-filtered "
+              f"{sweep['prefilter_wall_s']:.1f} s "
+              f"({sweep['des_boots']} DES boots), exhaustive DES "
+              f"{sweep['exhaustive_wall_s']:.1f} s (speedup "
+              f"{sweep['speedup']:.2f}x, frontier identical: "
+              f"{sweep['frontier_identical']})")
+        if not sweep["frontier_identical"]:
+            print("FAIL: analytic frontier differs from the exhaustive "
+                  "DES frontier")
+            failed = True
+        if args.predict_floor and sweep["speedup"] < args.predict_floor:
+            print(f"FAIL: design-space speedup {sweep['speedup']:.2f}x "
+                  f"below the committed floor {args.predict_floor:.2f}x")
             failed = True
     if "experiment_all" in record:
         sweep = record["experiment_all"]
@@ -493,6 +565,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the platform core count")
     faults.set_defaults(fn=_cmd_faults)
 
+    predict = sub.add_parser(
+        "predict",
+        help="solve a boot analytically (closed form, no event loop)")
+    predict.add_argument("--workload", default="tv", help="workload name")
+    predict.add_argument("--no-bb", action="store_true",
+                         help="conventional boot (default is full BB)")
+    predict.add_argument("--features",
+                         help="comma-separated BB feature list")
+    predict.add_argument("--cores", type=int, default=None,
+                         help="override the platform core count")
+    predict.add_argument("--json", action="store_true",
+                         help="emit the prediction as JSON")
+    predict.set_defaults(fn=_cmd_predict)
+
     bench = sub.add_parser("bench",
                            help="run the perf benchmarks, write BENCH_runner.json")
     bench.add_argument("--jobs", type=int, default=None,
@@ -514,6 +600,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--branch-floor", type=float, default=0.0,
                        help="fail (exit 1) if the checkpoint speedup lands "
                             "below this factor (0 = report only)")
+    bench.add_argument("--skip-predict", action="store_true",
+                       help="skip the design-space pre-filter benchmark")
+    bench.add_argument("--predict-floor", type=float, default=0.0,
+                       help="fail (exit 1) if the design-space pre-filter "
+                            "speedup lands below this factor "
+                            "(0 = report only)")
     bench.add_argument("--cache-dir",
                        help="disk cache directory for the sweep benchmark")
     bench.add_argument("--out", default="BENCH_runner.json",

@@ -72,30 +72,50 @@ def critical_path(registry: UnitRegistry, completion_units: Iterable[str],
             return estimate_start_ns(unit, storage)
 
     graph = DependencyGraph(registry)
-    durations = {u.name: duration_fn(u) for u in registry}
+    # Durations are filled in lazily, only for units actually reachable
+    # from the goals — large ingested registries with small goal sets
+    # must not pay storage estimates for dead units.
+    durations: dict[str, int] = {}
 
-    # Longest path via memoized DFS over strong predecessors.
+    def strong_predecessors(name: str) -> list[str]:
+        return [e.predecessor for e in graph.incoming(name)
+                if e.kind.is_strong and e.predecessor in registry]
+
+    # Longest path via an iterative post-order worklist over strong
+    # predecessors (a recursive DFS overflows on 1000+-unit chains).
+    # ``on_path`` holds the nodes whose post-order frame is still
+    # pending, i.e. the current DFS spine: popping an unexpanded node
+    # already on the spine means a strong ordering cycle.
     best: dict[str, tuple[int, tuple[str, ...]]] = {}
-    in_progress: set[str] = set()
-
-    def longest_to(name: str) -> tuple[int, tuple[str, ...]]:
+    on_path: set[str] = set()
+    stack: list[tuple[str, bool]] = [(goal, False) for goal in reversed(goals)]
+    while stack:
+        name, expanded = stack.pop()
+        if expanded:
+            on_path.discard(name)
+            if name not in durations:
+                durations[name] = duration_fn(registry.get(name))
+            predecessors = strong_predecessors(name)
+            if predecessors:
+                tail_len, tail_units = max((best[p] for p in predecessors),
+                                           key=lambda item: (item[0], item[1]))
+                best[name] = (tail_len + durations[name],
+                              tail_units + (name,))
+            else:
+                best[name] = (durations[name], (name,))
+            continue
         if name in best:
-            return best[name]
-        if name in in_progress:
+            continue
+        if name in on_path:
             raise AnalysisError(f"strong ordering cycle through {name!r}")
-        in_progress.add(name)
-        predecessors = [e.predecessor for e in graph.incoming(name)
-                        if e.kind.is_strong and e.predecessor in registry]
-        if predecessors:
-            tail_len, tail_units = max((longest_to(p) for p in predecessors),
-                                       key=lambda item: (item[0], item[1]))
-            result = (tail_len + durations[name], tail_units + (name,))
-        else:
-            result = (durations[name], (name,))
-        in_progress.discard(name)
-        best[name] = result
-        return result
+        on_path.add(name)
+        stack.append((name, True))
+        # Reversed push so predecessors are visited in declaration
+        # order, exactly like the recursive DFS this replaces.
+        for predecessor in reversed(strong_predecessors(name)):
+            if predecessor not in best:
+                stack.append((predecessor, False))
 
-    length, units = max((longest_to(goal) for goal in goals),
+    length, units = max((best[goal] for goal in goals),
                         key=lambda item: (item[0], item[1]))
     return CriticalPath(units=units, length_ns=length)

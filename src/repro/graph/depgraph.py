@@ -48,45 +48,59 @@ class GraphEdge:
 class DependencyGraph:
     """All declared relationships of a registry, with adjacency queries."""
 
+    _EMPTY: tuple[GraphEdge, ...] = ()
+
     def __init__(self, registry: UnitRegistry):
         self.registry = registry
         self.edges: list[GraphEdge] = []
-        self._out: dict[str, list[GraphEdge]] = {}
-        self._in: dict[str, list[GraphEdge]] = {}
+        out: dict[str, list[GraphEdge]] = {}
+        inc: dict[str, list[GraphEdge]] = {}
         for unit in registry:
             for dep in unit.requires:
-                self._add(GraphEdge(dep, unit.name, DependencyKind.REQUIRES,
+                self._add(out, inc,
+                          GraphEdge(dep, unit.name, DependencyKind.REQUIRES,
                                     declared_by=unit.name))
             for dep in unit.wants:
-                self._add(GraphEdge(dep, unit.name, DependencyKind.WANTS,
+                self._add(out, inc,
+                          GraphEdge(dep, unit.name, DependencyKind.WANTS,
                                     declared_by=unit.name))
             for dep in unit.after:
-                self._add(GraphEdge(dep, unit.name, DependencyKind.AFTER,
+                self._add(out, inc,
+                          GraphEdge(dep, unit.name, DependencyKind.AFTER,
                                     declared_by=unit.name))
             for succ in unit.before:
-                self._add(GraphEdge(unit.name, succ, DependencyKind.BEFORE,
+                self._add(out, inc,
+                          GraphEdge(unit.name, succ, DependencyKind.BEFORE,
                                     declared_by=unit.name))
             for enemy in unit.conflicts:
-                self._add(GraphEdge(unit.name, enemy, DependencyKind.CONFLICTS,
+                self._add(out, inc,
+                          GraphEdge(unit.name, enemy, DependencyKind.CONFLICTS,
                                     declared_by=unit.name))
+        # The edge set is fixed after construction; freeze the adjacency
+        # lists into tuples so lookups can hand them out without copying.
+        self._out: dict[str, tuple[GraphEdge, ...]] = {
+            name: tuple(edges) for name, edges in out.items()}
+        self._in: dict[str, tuple[GraphEdge, ...]] = {
+            name: tuple(edges) for name, edges in inc.items()}
 
-    def _add(self, edge: GraphEdge) -> None:
+    def _add(self, out: dict[str, list[GraphEdge]],
+             inc: dict[str, list[GraphEdge]], edge: GraphEdge) -> None:
         self.edges.append(edge)
-        self._out.setdefault(edge.predecessor, []).append(edge)
-        self._in.setdefault(edge.successor, []).append(edge)
+        out.setdefault(edge.predecessor, []).append(edge)
+        inc.setdefault(edge.successor, []).append(edge)
 
     @property
     def node_names(self) -> list[str]:
         """All unit names in the underlying registry."""
         return self.registry.names
 
-    def outgoing(self, name: str) -> list[GraphEdge]:
-        """Edges whose predecessor is ``name``."""
-        return list(self._out.get(name, []))
+    def outgoing(self, name: str) -> tuple[GraphEdge, ...]:
+        """Edges whose predecessor is ``name`` (cached, immutable)."""
+        return self._out.get(name, self._EMPTY)
 
-    def incoming(self, name: str) -> list[GraphEdge]:
-        """Edges whose successor is ``name``."""
-        return list(self._in.get(name, []))
+    def incoming(self, name: str) -> tuple[GraphEdge, ...]:
+        """Edges whose successor is ``name`` (cached, immutable)."""
+        return self._in.get(name, self._EMPTY)
 
     def edges_of_kind(self, *kinds: DependencyKind) -> list[GraphEdge]:
         """Edges filtered by kind."""

@@ -1,6 +1,6 @@
 """Performance benchmarks behind ``python -m repro bench``.
 
-Four measurements seed the repo's perf trajectory, recorded to
+Five measurements seed the repo's perf trajectory, recorded to
 ``BENCH_runner.json``:
 
 * **Engine microbenchmark** — events/second through the optimized
@@ -20,6 +20,11 @@ Four measurements seed the repo's perf trajectory, recorded to
   divergence), transient flakes of the latest-queried services, and
   settle jitter — cells whose shared prefix is long by construction,
   which is exactly the sweep shape branching exists for.
+* **Design-space benchmark** — wall time of the analytically pre-filtered
+  design-space sweep (:mod:`repro.experiments.design_space`: the
+  closed-form boot predictor ranks 640 feature/core cells and only the
+  per-workload frontier reaches the DES) versus a brute-force DES of
+  every cell, with a frontier-identity check between the two.
 * **Sweep benchmark** — wall time of the full ``experiment all`` sweep
   executed serially (``jobs=1``) versus fanned out over worker processes,
   plus the dedup/cache statistics, with a byte-identity check between the
@@ -305,6 +310,33 @@ def bench_checkpoint(cells: int = 120,
 
 
 # --------------------------------------------------------------------------
+# Design-space (analytic pre-filter) benchmark.
+
+
+def bench_design_space(smoke: bool = False) -> dict[str, Any]:
+    """Pre-filtered design-space sweep vs brute-force DES of every cell.
+
+    Runs :mod:`repro.experiments.design_space` with the exhaustive check
+    on: the closed-form predictor ranks every cell and only the
+    per-workload frontier reaches the DES, then a second fresh runner
+    boots *all* cells to confirm the frontier is identical and measure
+    the wall time the pre-filter saved.  Both legs run serially on fresh
+    caches.
+    """
+    from repro.experiments import design_space
+
+    result = design_space.run(smoke=smoke, exhaustive=True)
+    return {
+        "cells": result.cells,
+        "des_boots": result.des_boots,
+        "prefilter_wall_s": result.prefilter_wall_s,
+        "exhaustive_wall_s": result.exhaustive_wall_s,
+        "speedup": result.speedup,
+        "frontier_identical": result.frontier_identical,
+    }
+
+
+# --------------------------------------------------------------------------
 # Sweep benchmark.
 
 
@@ -368,7 +400,8 @@ def build_record(jobs: int, events: int = 200_000,
                  cache_dir: str | None = None,
                  skip_checkpoint: bool = False,
                  checkpoint_cells: int = 120,
-                 checkpoint_backend: str | None = None) -> dict[str, Any]:
+                 checkpoint_backend: str | None = None,
+                 skip_predict: bool = False) -> dict[str, Any]:
     """The full ``BENCH_runner.json`` payload."""
     record: dict[str, Any] = {
         "code_version": code_version(),
@@ -378,6 +411,8 @@ def build_record(jobs: int, events: int = 200_000,
     if not skip_checkpoint:
         record["checkpoint"] = bench_checkpoint(cells=checkpoint_cells,
                                                 backend=checkpoint_backend)
+    if not skip_predict:
+        record["design_space"] = bench_design_space()
     if not skip_sweep:
         record["experiment_all"] = bench_sweep(jobs, cache_dir=cache_dir)
     return record

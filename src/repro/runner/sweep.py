@@ -19,6 +19,13 @@ What remains executes serially (``jobs=1``) or on a lazily created
 ``ProcessPoolExecutor`` with a computed chunksize (one pickle round-trip
 per job at ``chunksize=1`` is measurable on 100+-cell matrices); either
 way results land by position.
+
+``SweepRunner.run_prefiltered`` adds a fourth cut *before* all of the
+above: every cell of a design-space sweep is solved by the closed-form
+boot predictor (:mod:`repro.analysis.predict`), the cells are ranked
+analytically, and only the top-``k`` frontier ever reaches the DES.
+Because the predictor is exact on unperturbed boots, the analytic
+frontier is the DES frontier.
 """
 
 from __future__ import annotations
@@ -45,6 +52,10 @@ class SweepStats:
             (checkpoint/fork) instead of from-scratch runs.
         prefix_boots: Full prefix boots (probes + rolling prefixes) the
             branch runner paid to resolve the branched jobs.
+        predicted: Jobs solved analytically by the closed-form boot
+            predictor during pre-filtered sweeps.
+        prefilter_skipped: Predicted jobs that never reached the DES
+            because they fell outside the requested frontier.
     """
 
     submitted: int = 0
@@ -53,6 +64,8 @@ class SweepStats:
     executed: int = 0
     branched: int = 0
     prefix_boots: int = 0
+    predicted: int = 0
+    prefilter_skipped: int = 0
 
     @property
     def savings_rate(self) -> float:
@@ -163,6 +176,74 @@ class SweepRunner:
         """Convenience wrapper: run a single job through dedup + cache."""
         return self.run([job])[0]
 
+    def run_prefiltered(self, jobs: Sequence[SimJob],
+                        top_k: int) -> "PrefilterOutcome":
+        """Rank boot jobs analytically; run the DES only on the frontier.
+
+        Every job is first solved by the closed-form boot predictor
+        (:mod:`repro.analysis.predict` — exact for unperturbed boots, so
+        the analytic ranking and a DES ranking agree).  The ``top_k``
+        fastest-predicted jobs then run through the normal
+        dedup/cache/branch pipeline; everything else is skipped and
+        carries its prediction as the result.
+
+        Jobs sharing a workload factory share one
+        :class:`~repro.analysis.predict.SweepPredictor`, so a feature
+        sweep pays for a handful of machine solutions, not one per cell.
+
+        Args:
+            jobs: Unperturbed ``boot`` jobs (a fault plan or a non-boot
+                kind raises :class:`~repro.errors.AnalysisError`).
+            top_k: Frontier size to execute through the DES.
+
+        Raises:
+            AnalysisError: If any job cannot be predicted.
+        """
+        from repro.analysis.predict import SweepPredictor, predict_job
+        from repro.runner.jobs import KIND_BOOT
+
+        jobs = list(jobs)
+        predictors: dict[tuple, SweepPredictor] = {}
+        predictions = []
+        for job in jobs:
+            if (job.kind != KIND_BOOT or job.fault_plan is not None
+                    or job.workload_factory is None
+                    or job.kernel_config is not None
+                    or job.manual_bb_group is not None):
+                # Overrides the sweep cache cannot key on, or job shapes
+                # the predictor rejects outright (raising AnalysisError).
+                predictions.append(predict_job(job))
+                continue
+            key = (job.workload_factory, job.workload_args,
+                   job.workload_kwargs)
+            predictor = predictors.get(key)
+            if predictor is None:
+                factory = job.workload_factory
+                args, kwargs = job.workload_args, dict(job.workload_kwargs)
+                predictor = SweepPredictor(
+                    lambda f=factory, a=args, k=kwargs: f(*a, **k))
+                predictors[key] = predictor
+            predictions.append(predictor.predict(job.bb, job.cores))
+        self.stats.predicted += len(jobs)
+
+        ranked = sorted(range(len(jobs)),
+                        key=lambda i: (predictions[i].boot_complete_ns, i))
+        selected = ranked[:max(0, top_k)]
+        self.stats.prefilter_skipped += len(jobs) - len(selected)
+        outcomes = self.run([jobs[index] for index in selected])
+        machine_runs = sum(p.machine_runs for p in predictors.values())
+        fast_hits = sum(p.fast_hits for p in predictors.values())
+        log = [
+            f"pre-filter: {len(jobs)} cells ranked analytically "
+            f"({machine_runs} machine solutions, {fast_hits} sweep-cache "
+            f"hits); DES ran {len(selected)} frontier cells, skipped "
+            f"{len(jobs) - len(selected)} "
+            f"({(len(jobs) - len(selected)) / max(1, len(jobs)):.1%})",
+        ]
+        return PrefilterOutcome(
+            predictions=predictions, selected=selected,
+            results=dict(zip(selected, outcomes)), log=log)
+
     # ------------------------------------------------------------ internals
 
     def _run_branched(self, missing: list[tuple[str, SimJob]],
@@ -187,3 +268,22 @@ class SweepRunner:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
+
+
+@dataclass(slots=True)
+class PrefilterOutcome:
+    """What :meth:`SweepRunner.run_prefiltered` produced.
+
+    Attributes:
+        predictions: One :class:`~repro.analysis.predict.BootPrediction`
+            per submitted job, positionally.
+        selected: Submission indices of the executed frontier, in
+            predicted-rank order (fastest first).
+        results: Submission index -> DES boot report, for frontier jobs.
+        log: Human-readable skip statistics for sweep logs.
+    """
+
+    predictions: list[Any]
+    selected: list[int]
+    results: dict[int, Any]
+    log: list[str]

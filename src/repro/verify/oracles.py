@@ -148,6 +148,48 @@ def check_engine_core_monotonicity(demands: list[int],
     return []
 
 
+def check_prediction_matches_des(workload_factory: Callable[[], Workload],
+                                 bb: BBConfig | None = None,
+                                 cores: int | None = None) -> list[str]:
+    """The closed-form boot predictor against a live DES boot.
+
+    gem5-style differential validation: the predictor solves the same
+    boot analytically (:mod:`repro.analysis.predict`); the DES executes
+    it event by event.  Completion time must agree within
+    ``PREDICTION_TOLERANCE`` (the model is currently exact — the
+    tolerance is a guard band, not slack), the serial stage breakdown
+    must agree exactly, and every per-unit ready time the prediction
+    covers must match the simulator's.
+    """
+    from repro.analysis.predict import PREDICTION_TOLERANCE, predict
+
+    report = BootSimulation(workload_factory(), bb, cores=cores).run()
+    prediction = predict(workload_factory(), bb, cores=cores)
+    violations = []
+    allowance = max(1, int(PREDICTION_TOLERANCE * report.boot_complete_ns))
+    delta = prediction.boot_complete_ns - report.boot_complete_ns
+    if abs(delta) > allowance:
+        violations.append(
+            f"predicted: boot {prediction.boot_complete_ns} ns vs DES "
+            f"{report.boot_complete_ns} ns (delta {delta} ns exceeds "
+            f"{PREDICTION_TOLERANCE:.1%} tolerance)")
+    if prediction.kernel_ns != report.stages.kernel_ns:
+        violations.append(
+            f"predicted: kernel stage {prediction.kernel_ns} ns vs DES "
+            f"{report.stages.kernel_ns} ns")
+    if prediction.init_init_ns != report.stages.init_init_ns:
+        violations.append(
+            f"predicted: manager init {prediction.init_init_ns} ns vs DES "
+            f"{report.stages.init_init_ns} ns")
+    mismatched = [name for name, ready_ns in prediction.unit_ready_ns.items()
+                  if report.unit_ready_ns.get(name) != ready_ns]
+    if mismatched:
+        violations.append(
+            f"predicted: {len(mismatched)} unit ready times diverge "
+            f"(first: {mismatched[0]!r})")
+    return violations
+
+
 # ------------------------------------------------------ cross-cutting laws
 
 def check_bb_not_slower(workload_factory: Callable[[], Workload],

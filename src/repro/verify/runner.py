@@ -1,6 +1,6 @@
 """The end-to-end verification harness behind ``repro verify``.
 
-Five check groups, each producing a :class:`CheckResult`:
+Six check groups, each producing a :class:`CheckResult`:
 
 * **invariant-monitor** — boot every scenario with a strict
   :class:`~repro.verify.monitor.InvariantMonitor` attached, so every
@@ -12,6 +12,11 @@ Five check groups, each producing a :class:`CheckResult`:
   one perturbed seed exports byte-identical JSON.
 * **analytic-oracles** — random storage-I/O and parallel-speedup cases
   checked against closed forms, plus engine-level core monotonicity.
+* **predicted** — the closed-form boot-time predictor
+  (:mod:`repro.analysis.predict`) against the DES on every unperturbed
+  scenario across several core counts (gem5-style differential
+  validation), plus sweep-cache identity for
+  :class:`~repro.analysis.predict.SweepPredictor`.
 * **cross-cutting-laws** — "BB never slows a boot" and "more cores never
   slow a boot (modulo scheduling anomalies)" over generated workloads.
 * **branch-identity** — every cell of a mixed fault matrix run through
@@ -259,6 +264,44 @@ def _check_branch_identity(smoke: bool) -> CheckResult:
     return result
 
 
+def _check_predicted(scenarios: list[_Scenario], smoke: bool) -> CheckResult:
+    """Closed-form predictor vs DES on every unperturbed scenario."""
+    from repro.analysis.predict import SweepPredictor, predict
+
+    result = CheckResult("predicted")
+    core_grid = (1, 2, 4) if smoke else (1, 2, 3, 4, 6)
+    for scenario in scenarios:
+        if scenario.fault_preset is not None:
+            continue  # the predictor models unperturbed boots only
+        for cores in core_grid:
+            result.boots += 1
+            result.checks += 1
+            try:
+                result.violations.extend(oracles.check_prediction_matches_des(
+                    scenario.workload_factory, scenario.bb, cores=cores))
+            except Exception as exc:  # noqa: BLE001 - report, don't crash CI
+                result.violations.append(
+                    f"{scenario.label}/c{cores}: predictor raised {exc!r}")
+    # The sweep cache must be invisible: SweepPredictor's fast path has
+    # to reproduce direct predict() bit for bit across the feature axes
+    # it treats as prefix-only shifts.
+    sweep = SweepPredictor(opensource_tv_workload)
+    for feature in ("preparser", "deferred_meminit", "deferred_journal",
+                    "defer_startup_tasks", "deferred_executor"):
+        for base in (BBConfig.none(), BBConfig.full()):
+            bb = base.with_feature(feature, not getattr(base, feature))
+            cached = sweep.predict(bb, cores=2)
+            direct = predict(opensource_tv_workload(), bb, cores=2)
+            result.checks += 1
+            if (cached.boot_complete_ns != direct.boot_complete_ns
+                    or cached.unit_ready_ns != direct.unit_ready_ns):
+                result.violations.append(
+                    f"sweep-cache/{feature}: cached prediction "
+                    f"{cached.boot_complete_ns} ns != direct "
+                    f"{direct.boot_complete_ns} ns")
+    return result
+
+
 def _check_laws(seed: int, graphs: int) -> CheckResult:
     result = CheckResult("cross-cutting-laws")
     rng = random.Random(seed ^ 0x1A35)
@@ -304,6 +347,7 @@ def run_verification(smoke: bool = False, seed: int = 0) -> VerificationReport:
         lambda: _check_monitored_boots(scenarios),
         lambda: _check_perturbation(scenarios, seed, perturbations),
         lambda: _check_analytic_oracles(seed, oracle_cases),
+        lambda: _check_predicted(scenarios, smoke),
         lambda: _check_laws(seed, law_graphs),
         lambda: _check_branch_identity(smoke),
     ]

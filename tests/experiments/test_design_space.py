@@ -1,0 +1,44 @@
+"""Tests for the analytically pre-filtered design-space experiment."""
+
+import pytest
+
+from repro.experiments import design_space
+
+
+@pytest.fixture(scope="module")
+def result():
+    return design_space.run(smoke=True, exhaustive=True)
+
+
+class TestDesignSpace:
+    def test_smoke_matrix_shape(self, result):
+        assert result.cells == 64
+        assert len(result.sweeps) == 2
+        assert result.des_boots == 2 * design_space.FRONTIER_K
+
+    def test_frontier_identical_to_exhaustive(self, result):
+        assert result.frontier_identical is True
+
+    def test_frontier_des_confirms_predictions(self, result):
+        for sweep in result.sweeps:
+            for cell in sweep.frontier:
+                assert cell.des_ms == pytest.approx(cell.predicted_ms)
+
+    def test_frontier_sorted_by_predicted_time(self, result):
+        for sweep in result.sweeps:
+            times = [cell.predicted_ms for cell in sweep.frontier]
+            assert times == sorted(times)
+
+    def test_prefilter_beats_exhaustive(self, result):
+        assert result.speedup is not None and result.speedup > 1.0
+
+    def test_render_mentions_skips_and_identity(self, result):
+        text = design_space.render(result)
+        assert "ranked analytically" in text
+        assert "frontier identical" in text
+        for sweep in result.sweeps:
+            assert f"Design space — {sweep.label}" in text
+
+    def test_full_matrix_is_at_least_500_cells(self):
+        cells = sum(len(jobs) for _, jobs in design_space.sweep_jobs())
+        assert cells >= 500

@@ -167,3 +167,58 @@ def test_dangling_strong_predecessor_is_skipped():
                          duration_fn=lambda u: msec(2))
     assert path.units == ("a.service",)
     assert path.length_ns == msec(2)
+
+
+def deep_after_chain(depth: int) -> UnitRegistry:
+    """unit-0 <- After= unit-1 <- ... <- unit-(depth-1)."""
+    units = [Unit(name="unit-0.service",
+                  cost=SimCost(init_cpu_ns=1_000, exec_bytes=0))]
+    for index in range(1, depth):
+        units.append(Unit(name=f"unit-{index}.service",
+                          after=[f"unit-{index - 1}.service"],
+                          cost=SimCost(init_cpu_ns=1_000, exec_bytes=0)))
+    return UnitRegistry(units)
+
+
+def test_deep_chain_no_recursion_error():
+    """Regression: a 5,000-unit After= chain must not hit the interpreter
+    recursion limit (the old memoized DFS overflowed around ~1000)."""
+    depth = 5_000
+    path = critical_path(deep_after_chain(depth),
+                         [f"unit-{depth - 1}.service"],
+                         duration_fn=lambda u: 1_000)
+    assert len(path.units) == depth
+    assert path.units[0] == "unit-0.service"
+    assert path.units[-1] == f"unit-{depth - 1}.service"
+    assert path.length_ns == depth * 1_000
+
+
+def test_deep_cycle_still_raises_analysis_error():
+    """Cycle detection must report AnalysisError even on deep graphs,
+    never RecursionError."""
+    units = [Unit(name=f"unit-{i}.service",
+                  after=[f"unit-{(i + 1) % 3_000}.service"])
+             for i in range(3_000)]
+    with pytest.raises(AnalysisError, match="cycle"):
+        critical_path(UnitRegistry(units), ["unit-0.service"],
+                      duration_fn=lambda u: 1)
+
+
+def test_durations_computed_lazily_for_reachable_units_only():
+    """Units outside the goals' ancestor closure must not be costed —
+    large ingested registries with small goal sets would otherwise pay
+    storage estimates for dead units."""
+    registry = UnitRegistry([
+        Unit(name="goal.service", requires=["dep.service"]),
+        Unit(name="dep.service"),
+        Unit(name="dead-1.service"),
+        Unit(name="dead-2.service", requires=["dead-1.service"]),
+    ])
+    costed: list[str] = []
+
+    def duration_fn(unit):
+        costed.append(unit.name)
+        return 1
+
+    critical_path(registry, ["goal.service"], duration_fn=duration_fn)
+    assert sorted(costed) == ["dep.service", "goal.service"]

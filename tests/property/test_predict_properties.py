@@ -1,0 +1,87 @@
+"""Property-based tests of the closed-form boot predictor.
+
+The predictor (:mod:`repro.analysis.predict`) claims to replicate the
+DES — not approximate it — on unperturbed boots.  These tests press the
+claim on randomly generated acyclic service graphs rather than the
+hand-built presets: exactness against a live simulation at several core
+counts, core monotonicity of the analytic solution, and the classic
+critical-path lower bound that no schedule can beat.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.predict import predict
+from repro.core import BBConfig, BootSimulation
+from repro.graph.critical_path import critical_path
+from repro.verify.oracles import (CORE_ANOMALY_TOLERANCE,
+                                  check_prediction_matches_des)
+from repro.workloads import GeneratorParams, generate_workload
+
+# Profile comes from tests/conftest.py; every example below solves (and
+# for the differential test, also simulates) whole boots, so cap the
+# example count well under the profile default.
+fewer_examples = settings(max_examples=10)
+
+params_strategy = st.builds(
+    GeneratorParams,
+    seed=st.integers(0, 10_000),
+    services=st.integers(5, 30),
+    chain_length=st.integers(2, 6),
+    want_density=st.floats(0.0, 0.8),
+    order_density=st.floats(0.0, 0.5),
+    mean_cpu_ms=st.floats(5.0, 80.0),
+    rcu_sync_mean=st.floats(0.0, 2.0),
+)
+
+# Neither BBConfig.none() nor BBConfig.full() can hit the single-core
+# priority-inversion livelock (it needs group_priority_boost *without*
+# rcu_booster), so both are safe across every core count drawn here.
+bb_strategy = st.sampled_from([None, BBConfig.none(), BBConfig.full()])
+
+
+@fewer_examples
+@given(params_strategy, bb_strategy, st.sampled_from([1, 2, 4]))
+def test_prediction_matches_des_on_random_graphs(params, bb, cores):
+    """Differential exactness: the shared verify oracle must hold on any
+    generated graph, any built-in config corner, any core count."""
+    violations = check_prediction_matches_des(
+        lambda: generate_workload(params), bb=bb, cores=cores)
+    assert not violations, violations
+
+
+@fewer_examples
+@given(params_strategy, bb_strategy)
+def test_prediction_is_core_monotone(params, bb):
+    """More cores never predict a slower boot (beyond the same Graham
+    scheduling-anomaly tolerance the DES-level law carries — the
+    predictor replicates the DES, anomalies included)."""
+    times = [predict(generate_workload(params), bb,
+                     cores=cores).boot_complete_ns
+             for cores in (1, 2, 4)]
+    for fewer, more in zip(times, times[1:]):
+        assert more <= fewer * (1.0 + CORE_ANOMALY_TOLERANCE), times
+
+
+@fewer_examples
+@given(params_strategy)
+def test_critical_path_lower_bounds_unlimited_cores(params):
+    """No schedule beats the costliest strong chain: the conventional
+    boot predicted on an effectively unlimited core count still takes at
+    least ``critical_path.length_ns`` of user-space time."""
+    workload = generate_workload(params)
+    path = critical_path(workload.fresh_registry(),
+                         workload.completion_units,
+                         storage=workload.platform_factory().storage)
+    prediction = predict(generate_workload(params), BBConfig.none(),
+                         cores=64)
+    assert prediction.boot_complete_ns >= path.length_ns
+
+
+def test_prediction_matches_des_on_stock_tv_boot():
+    """Non-hypothesis anchor: the headline preset stays exact."""
+    from repro.workloads import opensource_tv_workload
+
+    violations = check_prediction_matches_des(opensource_tv_workload,
+                                              bb=BBConfig.full(), cores=4)
+    assert not violations, violations

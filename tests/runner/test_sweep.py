@@ -140,3 +140,53 @@ class TestStats:
         runner = SweepRunner()
         assert runner.run([]) == []
         assert runner.stats.savings_rate == 0.0
+
+
+class TestPrefilteredSweep:
+    def _matrix(self):
+        jobs = []
+        for feature in ("rcu_booster", "preparser", "deferred_executor"):
+            for enabled in (False, True):
+                bb = BBConfig.none().with_feature(feature, enabled)
+                jobs.append(SimJob.boot(opensource_tv_workload, bb=bb,
+                                        cores=4))
+        return jobs
+
+    def test_frontier_des_matches_predictions_exactly(self):
+        jobs = self._matrix()
+        with SweepRunner() as runner:
+            outcome = runner.run_prefiltered(jobs, top_k=2)
+        assert len(outcome.predictions) == len(jobs)
+        assert len(outcome.selected) == 2
+        for index in outcome.selected:
+            assert (outcome.results[index].boot_complete_ns
+                    == outcome.predictions[index].boot_complete_ns)
+
+    def test_frontier_is_the_predicted_minimum(self):
+        jobs = self._matrix()
+        with SweepRunner() as runner:
+            outcome = runner.run_prefiltered(jobs, top_k=2)
+        ranked = sorted(range(len(jobs)),
+                        key=lambda i: (outcome.predictions[i]
+                                       .boot_complete_ns, i))
+        assert outcome.selected == ranked[:2]
+
+    def test_stats_count_predictions_and_skips(self):
+        jobs = self._matrix()
+        with SweepRunner() as runner:
+            outcome = runner.run_prefiltered(jobs, top_k=2)
+            assert runner.stats.predicted == len(jobs)
+            assert runner.stats.prefilter_skipped == len(jobs) - 2
+            assert runner.stats.submitted == 2  # only the frontier ran
+        assert outcome.log and "ranked analytically" in outcome.log[0]
+
+    def test_faulted_jobs_are_rejected(self):
+        from repro.errors import AnalysisError
+        from repro.faults.plan import FaultPlan
+
+        import dataclasses
+        job = dataclasses.replace(
+            SimJob.boot(opensource_tv_workload, bb=BBConfig.none()),
+            fault_plan=FaultPlan())
+        with SweepRunner() as runner, pytest.raises(AnalysisError):
+            runner.run_prefiltered([job], top_k=1)

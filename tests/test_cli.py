@@ -133,3 +133,41 @@ def test_boot_faulted_unsupervised_can_fail(capsys):
 def test_boot_clean_still_exits_zero(capsys):
     code, _ = run_cli(capsys, "boot", "--workload", "camera")
     assert code == 0
+
+
+def test_predict_matches_boot_completion(capsys):
+    code, predicted = run_cli(capsys, "predict", "--workload", "camera")
+    assert code == 0
+    assert "predicted, no simulation" in predicted
+    code, booted = run_cli(capsys, "boot", "--workload", "camera")
+    assert code == 0
+    completion = [line for line in predicted.splitlines()
+                  if line.startswith("boot completion")]
+    assert completion and completion[0].split()[-2:] == \
+        [line for line in booted.splitlines()
+         if line.startswith("boot completion")][0].split()[-2:]
+
+
+def test_predict_json_has_per_unit_times(capsys):
+    import json
+    code, output = run_cli(capsys, "predict", "--workload", "camera",
+                           "--no-bb", "--json")
+    assert code == 0
+    document = json.loads(output)
+    assert document["boot_complete_ns"] > 0
+    assert document["unit_ready_ns"]
+
+
+def test_predict_livelock_configuration_exits_nonzero(capsys):
+    code = main(["predict", "--features", "group_priority_boost",
+                 "--cores", "1"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "livelock" in captured.err
+
+
+def test_experiment_design_space_smoke(capsys):
+    code, output = run_cli(capsys, "experiment", "design-space", "--smoke")
+    assert code == 0
+    assert "ranked analytically" in output
+    assert "Design space — tv" in output
