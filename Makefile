@@ -1,6 +1,6 @@
 # Convenience targets for the BB reproduction.
 
-.PHONY: install test test-fast coverage verify recover predict bench bench-smoke experiments artifacts examples clean
+.PHONY: install test test-fast coverage verify recover predict bench bench-smoke fleet-smoke experiments artifacts examples clean
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -52,6 +52,16 @@ bench-smoke:
 	PYTHONPATH=src python -m repro bench --skip-sweep --events 50000 \
 		--checkpoint-cells 24 --branch-floor 1.8 --predict-floor 5 \
 		--out BENCH_smoke.json
+
+# CI-scale fleet campaign: 500 jobs through the async boot service
+# (TCP/JSON-lines, single-flight scheduler, auto-scaled worker shards),
+# byte-compared against a serial replay and gated on sustained
+# throughput.  The full campaign (make target-free: `repro fleet
+# campaign`) streams 10k+ jobs and measures ~40-50k jobs/min; the
+# 10k/min smoke floor leaves headroom for loaded CI runners.
+fleet-smoke:
+	PYTHONPATH=src python -m repro fleet campaign --smoke \
+		--total-jobs 500 --throughput-floor 10000
 
 experiments:
 	python -m repro experiment all

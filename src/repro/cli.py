@@ -17,11 +17,19 @@ Commands:
   processes,
 * ``faults [PRESET] [--seed N] [--no-bb] [--list-presets]`` — boot under
   a named fault preset and print the (possibly degraded) outcome,
-* ``bench [--jobs N] [--out FILE] [--branch-floor X]`` — engine/cache
-  microbenchmarks + checkpoint/fork benchmark + serial-vs-parallel sweep
-  benchmark, recorded to ``BENCH_runner.json``; nonzero exit if branched
-  results are not identical to from-scratch runs or the checkpoint
-  speedup lands below ``--branch-floor``,
+* ``bench [--jobs N] [--out FILE] [--branch-floor X] [--fleet-floor X]``
+  — engine/cache microbenchmarks + checkpoint/fork benchmark +
+  serial-vs-parallel sweep benchmark + fleet-campaign benchmark,
+  recorded to ``BENCH_runner.json``; nonzero exit if branched/fleet
+  results are not identical to from-scratch runs or a speedup/throughput
+  lands below its committed floor,
+* ``fleet serve|submit|status|campaign`` — the long-running async boot
+  service (:mod:`repro.fleet`): ``serve`` starts the TCP/JSON-lines
+  service (SIGTERM drains gracefully), ``submit`` streams jobs to a
+  running service, ``status`` prints its snapshot, and ``campaign``
+  runs the 10k+-job fleet campaign against an in-process service with
+  the fleet-vs-serial byte-identity check and a ``--throughput-floor``
+  gate,
 * ``bootchart [--workload NAME] [--bb] [--cores N] [--svg FILE]`` — boot
   and render the bootchart (ASCII to stdout, optionally SVG to a file),
 * ``verify [--smoke] [--seed N] [--json]`` — run the verification
@@ -42,19 +50,27 @@ from repro.analysis.report import format_table
 from repro.bootchart import BootChart, render_ascii, render_svg
 from repro.core import BBConfig, BootSimulation
 from repro.graph.analyzer import ServiceAnalyzer
-from repro.workloads import (appliance_workload, camera_workload,
-                             commercial_tv_workload, opensource_tv_workload,
-                             phone_workload, wearable_workload)
+from repro.workloads import WORKLOAD_FACTORIES
 from repro.workloads.base import Workload
 
-WORKLOADS: dict[str, Callable[[], Workload]] = {
-    "tv": opensource_tv_workload,
-    "tv-commercial": commercial_tv_workload,
-    "camera": camera_workload,
-    "phone": phone_workload,
-    "wearable": wearable_workload,
-    "appliance": appliance_workload,
-}
+#: CLI name -> workload factory (the shared registry; the fleet wire
+#: protocol resolves the same names).
+WORKLOADS: dict[str, Callable[[], Workload]] = WORKLOAD_FACTORIES
+
+
+def _resolve_jobs(value: int | None) -> int:
+    """Shared ``--jobs``/worker-count validation for every subcommand.
+
+    ``None`` defaults to the CPU count; anything below 1 exits with the
+    scheduler layer's error message instead of a silent clamp.
+    """
+    from repro.errors import ConfigurationError
+    from repro.runner.schedule import resolve_worker_count
+
+    try:
+        return resolve_worker_count(value)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
 
 
 def _experiments() -> dict[str, tuple]:
@@ -203,6 +219,7 @@ def _recover_once(workload: Workload, plan, label: str, seed: int,
 def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.runner import ResultCache, SweepRunner
 
+    jobs = _resolve_jobs(args.jobs)  # validate even on the single-run path
     if args.preset is not None:
         from repro.faults import build_preset
 
@@ -216,7 +233,8 @@ def _cmd_recover(args: argparse.Namespace) -> int:
                              as_json=args.json)
     from repro.experiments import recovery_matrix
 
-    with SweepRunner(jobs=args.jobs, cache=ResultCache(args.cache_dir),
+    with SweepRunner(jobs=jobs,
+                     cache=ResultCache(args.cache_dir),
                      branch=getattr(args, "branch", False)) as runner:
         result = recovery_matrix.run(runner=runner, smoke=args.smoke)
     print(recovery_matrix.render(result))
@@ -244,7 +262,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             raise SystemExit(f"cannot use cache dir {args.cache_dir!r}: {exc}")
     # One shared runner across the whole invocation, so 'experiment all'
     # never boots the same (workload, config, cores) twice.
-    with SweepRunner(jobs=args.jobs, cache=ResultCache(args.cache_dir),
+    with SweepRunner(jobs=_resolve_jobs(args.jobs),
+                     cache=ResultCache(args.cache_dir),
                      branch=getattr(args, "branch", False)) as runner:
         for exp_id in ids:
             run, render = experiments[exp_id]
@@ -357,18 +376,16 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    import os
-
     from repro.runner.bench import build_record, write_record
 
-    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
-    record = build_record(jobs=jobs, events=args.events,
+    record = build_record(jobs=_resolve_jobs(args.jobs), events=args.events,
                           skip_sweep=args.skip_sweep,
                           cache_dir=args.cache_dir,
                           skip_checkpoint=args.skip_checkpoint,
                           checkpoint_cells=args.checkpoint_cells,
                           checkpoint_backend=args.checkpoint_backend,
-                          skip_predict=args.skip_predict)
+                          skip_predict=args.skip_predict,
+                          skip_fleet=args.skip_fleet)
     write_record(record, args.out)
     queue = record["event_queue"]
     print(f"event queue: {queue['optimized_events_per_sec']:,.0f} events/s "
@@ -421,7 +438,151 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{sweep['runner']['deduplicated']} deduplicated, "
               f"{sweep['runner']['cache_hits']} cache hits, "
               f"{sweep['runner']['executed']} executed")
+    if "fleet" in record:
+        fleet = record["fleet"]
+        print(f"fleet: {fleet['total_jobs']:,} jobs "
+              f"({fleet['unique_jobs']} unique) streamed in "
+              f"{fleet['wall_s']:.1f} s = {fleet['jobs_per_min']:,.0f} "
+              f"jobs/min (peak {fleet['peak_workers']} workers, outputs "
+              f"identical: {fleet['outputs_identical']})")
+        if not fleet["outputs_identical"]:
+            print("FAIL: fleet results differ from the serial replay")
+            failed = True
+        if args.fleet_floor and fleet["jobs_per_min"] < args.fleet_floor:
+            print(f"FAIL: fleet throughput {fleet['jobs_per_min']:,.0f} "
+                  f"jobs/min below the committed floor "
+                  f"{args.fleet_floor:,.0f}")
+            failed = True
     print(f"record written to {args.out}")
+    return 1 if failed else 0
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    """Run the fleet service until SIGTERM/SIGINT drains it."""
+    import asyncio
+
+    from repro.fleet.resources import ResourcePolicy
+    from repro.fleet.service import FleetService
+
+    try:
+        policy = ResourcePolicy(
+            min_workers=args.min_workers,
+            max_workers=_resolve_jobs(args.max_workers),
+            max_rss_bytes=(args.max_rss_mb * 1024 * 1024
+                           if args.max_rss_mb else None))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    async def _serve() -> None:
+        service = FleetService(
+            host=args.host, port=args.port, policy=policy,
+            cache_dir=args.cache_dir,
+            cache_max_bytes=(args.cache_max_mb * 1024 * 1024
+                             if args.cache_max_mb else None),
+            branch=args.branch, batch_size=args.batch_size)
+        host, port = await service.start()
+        service.install_signal_handlers()
+        print(f"fleet service listening on {host}:{port} "
+              f"(workers {policy.min_workers}..{policy.max_workers}, "
+              f"SIGTERM drains gracefully)", flush=True)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass  # the drain already ran via the signal handler
+    print("fleet service drained")
+    return 0
+
+
+def _cmd_fleet_submit(args: argparse.Namespace) -> int:
+    """Submit jobs to a running service; stream and summarize results."""
+    import json
+
+    from repro.fleet.client import submit_sync
+
+    if args.spec_file:
+        with open(args.spec_file) as handle:
+            specs = json.load(handle)
+        if not isinstance(specs, list) or not specs:
+            raise SystemExit(f"{args.spec_file}: expected a non-empty "
+                             f"JSON list of job specs")
+    else:
+        spec: dict = {"kind": "recover" if args.recover else "boot",
+                      "workload": args.workload, "repeat": args.repeat}
+        if args.features:
+            spec["bb"] = [f.strip() for f in args.features.split(",")]
+        elif args.no_bb:
+            spec["bb"] = "none"
+        if args.cores is not None:
+            spec["cores"] = args.cores
+        if args.faults:
+            spec["fault"] = {"preset": args.faults, "seed": args.seed}
+        specs = [spec]
+    try:
+        outcome = submit_sync(args.host, args.port, specs,
+                              priority=args.priority)
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach a fleet service at "
+                         f"{args.host}:{args.port}: {exc}")
+    if args.verbose:
+        for index, summary in enumerate(outcome.summaries):
+            error = outcome.errors.get(index)
+            state = "cached" if outcome.cached[index] else "ran"
+            if error is not None:
+                print(f"  [{index}] ERROR: {error}")
+            else:
+                boot_ms = summary.get("boot_ms")
+                timing = f" {boot_ms:.1f} ms" if boot_ms is not None else ""
+                print(f"  [{index}] {summary.get('type', '?')}{timing} "
+                      f"({state})")
+    cached = sum(outcome.cached)
+    print(f"{len(outcome.payloads)}/{outcome.total} jobs delivered in "
+          f"{outcome.elapsed_s:.2f} s ({cached} cached, "
+          f"{len(outcome.errors)} errors)")
+    return 0 if outcome.ok else 1
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet.client import status_sync
+
+    try:
+        snapshot = status_sync(args.host, args.port)
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach a fleet service at "
+                         f"{args.host}:{args.port}: {exc}")
+    snapshot.pop("event", None)
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fleet_campaign(args: argparse.Namespace) -> int:
+    from repro.fleet import campaign
+
+    result = campaign.run(smoke=args.smoke, total_jobs=args.total_jobs,
+                          max_workers=_resolve_jobs(args.max_workers),
+                          batch_size=args.batch_size)
+    if args.json:
+        import json
+        document = {key: getattr(result, key) for key in (
+            "total_jobs", "unique_jobs", "executed", "cache_hits",
+            "coalesced", "wall_s", "jobs_per_min", "serial_wall_s",
+            "peak_workers", "scaled_up", "scaled_down", "identical",
+            "mismatches", "smoke")}
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(campaign.render(result))
+    failed = False
+    if not result.identical:
+        print("FAIL: fleet results differ from the serial replay")
+        failed = True
+    if (args.throughput_floor
+            and result.jobs_per_min < args.throughput_floor):
+        print(f"FAIL: fleet throughput {result.jobs_per_min:,.0f} jobs/min "
+              f"below the committed floor {args.throughput_floor:,.0f}")
+        failed = True
     return 1 if failed else 0
 
 
@@ -606,11 +767,97 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail (exit 1) if the design-space pre-filter "
                             "speedup lands below this factor "
                             "(0 = report only)")
+    bench.add_argument("--skip-fleet", action="store_true",
+                       help="skip the fleet-campaign benchmark")
+    bench.add_argument("--fleet-floor", type=float, default=0.0,
+                       help="fail (exit 1) if the fleet campaign sustains "
+                            "fewer jobs/min than this (0 = report only)")
     bench.add_argument("--cache-dir",
                        help="disk cache directory for the sweep benchmark")
     bench.add_argument("--out", default="BENCH_runner.json",
                        help="output record path")
     bench.set_defaults(fn=_cmd_bench)
+
+    fleet = sub.add_parser(
+        "fleet", help="the fleet-scale async boot service")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    serve = fleet_sub.add_parser(
+        "serve", help="run the TCP/JSON-lines boot service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7016,
+                       help="listen port (0 = ephemeral; default 7016)")
+    serve.add_argument("--min-workers", type=int, default=1,
+                       help="lower auto-scale bound (default 1)")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="upper auto-scale bound (default: cpu count)")
+    serve.add_argument("--max-rss-mb", type=int, default=None,
+                       help="scale down when the shards' combined RSS "
+                            "exceeds this many MiB")
+    serve.add_argument("--cache-dir",
+                       help="content-addressed disk cache shared by shards")
+    serve.add_argument("--cache-max-mb", type=int, default=None,
+                       help="LRU-evict the disk cache above this many MiB")
+    serve.add_argument("--batch-size", type=int, default=16,
+                       help="jobs dispatched per shard batch (default 16)")
+    serve.add_argument("--branch", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="checkpoint/fork-branch prefix-sharing jobs "
+                            "inside shard batches")
+    serve.set_defaults(fn=_cmd_fleet_serve)
+
+    submit = fleet_sub.add_parser(
+        "submit", help="submit jobs to a running fleet service")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7016)
+    submit.add_argument("--workload", default="tv")
+    submit.add_argument("--no-bb", action="store_true",
+                        help="conventional boot (default is full BB)")
+    submit.add_argument("--features",
+                        help="comma-separated BB feature list")
+    submit.add_argument("--cores", type=int, default=None)
+    submit.add_argument("--faults", metavar="PRESET",
+                        help="boot under a named fault preset")
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument("--recover", action="store_true",
+                        help="submit a recovery job instead of a boot")
+    submit.add_argument("--repeat", type=int, default=1,
+                        help="submit this many identical jobs "
+                             "(single-flight executes one)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="larger numbers dispatch first")
+    submit.add_argument("--spec-file",
+                        help="JSON file holding a list of job specs "
+                             "(overrides the flag-built spec)")
+    submit.add_argument("--verbose", action="store_true",
+                        help="print one line per streamed result")
+    submit.set_defaults(fn=_cmd_fleet_submit)
+
+    status = fleet_sub.add_parser(
+        "status", help="print a running service's status snapshot")
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=7016)
+    status.set_defaults(fn=_cmd_fleet_status)
+
+    fleet_campaign = fleet_sub.add_parser(
+        "campaign",
+        help="run the 10k+-job fleet campaign against an in-process "
+             "service, byte-checked vs a serial replay")
+    fleet_campaign.add_argument("--smoke", action="store_true",
+                                help="CI-sized matrix")
+    fleet_campaign.add_argument("--total-jobs", type=int, default=None,
+                                help="tickets after repeat expansion "
+                                     "(default 10080)")
+    fleet_campaign.add_argument("--max-workers", type=int, default=None,
+                                help="upper auto-scale bound "
+                                     "(default: cpu count)")
+    fleet_campaign.add_argument("--batch-size", type=int, default=16)
+    fleet_campaign.add_argument("--throughput-floor", type=float, default=0.0,
+                                help="fail (exit 1) below this many "
+                                     "jobs/min (0 = report only)")
+    fleet_campaign.add_argument("--json", action="store_true",
+                                help="emit the campaign record as JSON")
+    fleet_campaign.set_defaults(fn=_cmd_fleet_campaign)
 
     chart = sub.add_parser("bootchart", help="boot and render the bootchart")
     chart.add_argument("--workload", default="tv")

@@ -126,5 +126,33 @@ class AnalysisError(ReproError):
     """Graph or boot-report analysis failed (e.g. no path to completion)."""
 
 
+class RunnerError(ReproError):
+    """A sweep or fleet execution tier failed as a whole.
+
+    Raised by :class:`repro.runner.sweep.SweepRunner` when the worker
+    pool breaks or the sweep is interrupted (the pool is drained and
+    pending futures cancelled first, so no orphaned workers survive the
+    error), and by the fleet worker pool for the analogous shard-level
+    failures.
+    """
+
+
+class FleetError(ReproError):
+    """The fleet boot service could not satisfy a request.
+
+    Covers service-side failures that are not a single job's fault: a
+    draining service rejecting new submissions, a dead shard, or an
+    unusable service configuration.
+    """
+
+
+class ProtocolError(FleetError):
+    """A malformed fleet wire message (bad JSON, unknown op, bad spec).
+
+    Raised while decoding JSON-lines frames or while resolving a
+    declarative job spec into a :class:`~repro.runner.jobs.SimJob`.
+    """
+
+
 class ConfigurationError(ReproError):
     """An invalid BB or simulation configuration value."""

@@ -1,0 +1,44 @@
+"""Fleet-scale async boot service: queue, worker shards, streaming results.
+
+The runner tier (:mod:`repro.runner`) answers "run this batch"; the
+fleet tier answers "keep running whatever the fleet sends".  It is a
+long-running asyncio service built from four layers:
+
+- :mod:`repro.fleet.protocol` — the JSON-lines wire format and the
+  spec-to-:class:`~repro.runner.jobs.SimJob` translation;
+- :mod:`repro.fleet.resources` — /proc-based CPU/RSS sampling and the
+  :class:`ResourcePolicy` auto-scale rules;
+- :mod:`repro.fleet.workers` — the elastic :class:`WorkerPool` of
+  single-process shards that execute batches through ordinary
+  :class:`~repro.runner.sweep.SweepRunner` instances;
+- :mod:`repro.fleet.service` / :mod:`repro.fleet.client` — the TCP
+  server (scheduler + dispatch + streaming delivery) and its client.
+
+:mod:`repro.fleet.campaign` drives the whole stack: a 10k+-job device
+matrix streamed through the service and byte-compared against a serial
+replay.  ``repro fleet serve|submit|status|campaign`` is the CLI.
+"""
+
+from repro.fleet.campaign import CampaignResult, build_specs
+from repro.fleet.campaign import run as run_campaign
+from repro.fleet.client import FleetClient, SubmissionOutcome
+from repro.fleet.protocol import WORKLOAD_FACTORIES, job_from_spec
+from repro.fleet.resources import ProcessSampler, ResourcePolicy, ResourceSample
+from repro.fleet.service import FleetService
+from repro.fleet.workers import WorkerPool, WorkerShard
+
+__all__ = [
+    "CampaignResult",
+    "FleetClient",
+    "FleetService",
+    "ProcessSampler",
+    "ResourcePolicy",
+    "ResourceSample",
+    "SubmissionOutcome",
+    "WORKLOAD_FACTORIES",
+    "WorkerPool",
+    "WorkerShard",
+    "build_specs",
+    "job_from_spec",
+    "run_campaign",
+]

@@ -1,0 +1,237 @@
+"""The fleet campaign: 10k+ boot jobs through the service, verified.
+
+This is the deployment-shaped experiment the paper implies but never
+shows: a whole fleet of consumer-electronics devices — heterogeneous
+workload profiles x BB configurations x fault plans, most devices
+identical to thousands of siblings — booted through the async service
+instead of one batch sweep.  The campaign:
+
+1. builds a device matrix (:func:`build_specs`) whose ``repeat`` counts
+   model fleet popularity (one TV model ships millions of units),
+2. boots an in-process :class:`~repro.fleet.service.FleetService` on an
+   ephemeral port, submits everything over TCP, and streams results,
+3. replays every **unique** job through a fresh serial
+   :class:`~repro.runner.sweep.SweepRunner` and byte-compares the
+   canonical encodings — the fleet-vs-serial identity oracle — and
+4. reports sustained throughput (jobs/minute) for the floor gate in
+   ``make fleet-smoke``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.report import format_table
+from repro.fleet.client import FleetClient
+from repro.fleet.resources import ResourcePolicy
+from repro.fleet.service import FleetService
+from repro.runner.branch import canonical_bytes
+from repro.runner.sweep import SweepRunner
+from repro.fleet.protocol import job_from_spec
+
+#: Fault presets that model field failures worth sweeping at fleet scale.
+_FAULT_PRESETS = ("flaky-services", "storage-storm", "missing-device")
+
+
+def build_specs(smoke: bool = False,
+                total_jobs: int | None = None) -> list[dict[str, Any]]:
+    """The campaign device matrix as wire specs.
+
+    Full matrix: 6 workload profiles x {full, none} BB x (healthy + 3
+    fault presets x 2 seeds) = 84 unique boots; smoke: 2 profiles x 2 BB
+    x (healthy + 1 preset) = 8 unique.  ``repeat`` counts spread
+    ``total_jobs`` (default 10,080) across the cells with a deliberate
+    skew — earlier cells model popular device models — so the stream is
+    dominated by single-flight/cache traffic exactly like a real fleet.
+    """
+    workloads = ("tv", "camera") if smoke else (
+        "tv", "tv-commercial", "camera", "phone", "wearable", "appliance")
+    presets = _FAULT_PRESETS[:1] if smoke else _FAULT_PRESETS
+    seeds = (1,) if smoke else (1, 2)
+    if total_jobs is None:
+        total_jobs = 10_080
+
+    cells: list[dict[str, Any]] = []
+    for workload in workloads:
+        for bb in ("full", "none"):
+            cells.append({"kind": "boot", "workload": workload, "bb": bb,
+                          "label": f"{workload}/{bb}/healthy"})
+            for preset in presets:
+                for seed in seeds:
+                    cells.append({
+                        "kind": "boot", "workload": workload, "bb": bb,
+                        "fault": {"preset": preset, "seed": seed},
+                        "label": f"{workload}/{bb}/{preset}#{seed}",
+                    })
+
+    # Zipf-ish popularity skew: cell i ships proportionally to 1/(i+1),
+    # scaled so the campaign totals ``total_jobs``.
+    weights = [1.0 / (index + 1) for index in range(len(cells))]
+    scale = total_jobs / sum(weights)
+    repeats = [max(1, round(weight * scale)) for weight in weights]
+    deficit = total_jobs - sum(repeats)
+    repeats[0] = max(1, repeats[0] + deficit)
+    for cell, repeat in zip(cells, repeats):
+        cell["repeat"] = repeat
+    return cells
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """What one fleet campaign measured.
+
+    Attributes:
+        total_jobs: Tickets submitted (after ``repeat`` expansion).
+        unique_jobs: Distinct fingerprints in the matrix.
+        executed: Unique jobs the shards actually simulated.
+        cache_hits: Tickets answered from the cache at submit time.
+        coalesced: Tickets that rode an in-flight execution
+            (single-flight dedup).
+        wall_s: Submit-to-done wall time.
+        jobs_per_min: Sustained delivery throughput.
+        identical: Every fleet result byte-matched its serial replay.
+        mismatches: Human-readable identity violations (empty = pass).
+        serial_wall_s: Wall time of the serial replay of unique jobs.
+        peak_workers: Largest shard count the pool reached.
+        scaled_up / scaled_down: Auto-scale events observed.
+        smoke: Whether this was the CI-sized matrix.
+        status: The service's final status snapshot.
+    """
+
+    total_jobs: int
+    unique_jobs: int
+    executed: int
+    cache_hits: int
+    coalesced: int
+    wall_s: float
+    jobs_per_min: float
+    identical: bool
+    mismatches: list[str] = field(default_factory=list)
+    serial_wall_s: float = 0.0
+    peak_workers: int = 0
+    scaled_up: int = 0
+    scaled_down: int = 0
+    smoke: bool = False
+    status: dict[str, Any] = field(default_factory=dict)
+
+
+async def _run_campaign(specs: list[dict[str, Any]],
+                        policy: ResourcePolicy,
+                        batch_size: int) -> tuple[Any, dict[str, Any]]:
+    service = FleetService(port=0, policy=policy, batch_size=batch_size)
+    host, port = await service.start()
+    try:
+        async with FleetClient(host, port) as client:
+            started = time.perf_counter()
+            outcome = await client.submit(specs)
+            wall_s = time.perf_counter() - started
+            status = await client.status()
+        await service.drain()
+        return (outcome, wall_s), status
+    finally:
+        if not service.draining:
+            await service.stop()
+
+
+def run(smoke: bool = False, total_jobs: int | None = None,
+        max_workers: int | None = None,
+        batch_size: int = 16) -> CampaignResult:
+    """Run the campaign end to end; see :class:`CampaignResult`.
+
+    The identity oracle replays every unique fingerprint through a
+    fresh serial ``SweepRunner`` (separate caches, separate processes)
+    and compares canonical bytes against the streamed payloads.
+    """
+    from repro.runner.schedule import resolve_worker_count
+
+    specs = build_specs(smoke=smoke, total_jobs=total_jobs)
+    policy = ResourcePolicy(
+        min_workers=1,
+        max_workers=resolve_worker_count(max_workers))
+    (outcome, wall_s), status = asyncio.run(
+        _run_campaign(specs, policy, batch_size))
+
+    # ---------------------------------------------------- identity oracle
+    unique: dict[str, Any] = {}
+    for spec in specs:
+        job, _ = job_from_spec(spec)
+        unique.setdefault(job.fingerprint(), job)
+    serial_started = time.perf_counter()
+    with SweepRunner(jobs=1) as serial_runner:
+        serial_results = serial_runner.run(list(unique.values()))
+    serial_wall_s = time.perf_counter() - serial_started
+    serial_bytes = {fingerprint: canonical_bytes(result)
+                    for fingerprint, result
+                    in zip(unique, serial_results)}
+
+    mismatches: list[str] = []
+    for index, message in sorted(outcome.errors.items()):
+        mismatches.append(f"job {index}: streamed error: {message}")
+    for index, (fingerprint, payload) in enumerate(
+            zip(outcome.fingerprints, outcome.payloads)):
+        expected = serial_bytes.get(fingerprint)
+        if expected is None:
+            mismatches.append(f"job {index}: fleet fingerprint "
+                              f"{fingerprint[:12]} absent from the "
+                              f"serial replay")
+        elif payload != expected:
+            mismatches.append(f"job {index}: fleet payload differs from "
+                              f"the serial replay ({fingerprint[:12]})")
+    if len(outcome.payloads) != specs_expanded_total(specs):
+        mismatches.append(
+            f"delivered {len(outcome.payloads)} results for "
+            f"{specs_expanded_total(specs)} submitted jobs")
+
+    scheduler = status.get("scheduler", {})
+    pool = status.get("pool", {})
+    return CampaignResult(
+        total_jobs=outcome.total,
+        unique_jobs=len(unique),
+        executed=int(scheduler.get("dispatched", 0)),
+        cache_hits=int(scheduler.get("cache_hits", 0)),
+        coalesced=int(scheduler.get("coalesced", 0)),
+        wall_s=wall_s,
+        jobs_per_min=(outcome.total / wall_s * 60.0) if wall_s else 0.0,
+        identical=not mismatches,
+        mismatches=mismatches,
+        serial_wall_s=serial_wall_s,
+        peak_workers=int(pool.get("peak_workers", 0)),
+        scaled_up=int(pool.get("scaled_up", 0)),
+        scaled_down=int(pool.get("scaled_down", 0)),
+        smoke=smoke,
+        status=status,
+    )
+
+
+def specs_expanded_total(specs: list[dict[str, Any]]) -> int:
+    """Total tickets a spec list expands to."""
+    return sum(spec.get("repeat", 1) for spec in specs)
+
+
+def render(result: CampaignResult) -> str:
+    """Human-readable campaign report."""
+    scope = "smoke matrix" if result.smoke else "full matrix"
+    rows = [
+        ("jobs submitted", f"{result.total_jobs:,}"),
+        ("unique boots", f"{result.unique_jobs}"),
+        ("executed by shards", f"{result.executed}"),
+        ("cache hits at submit", f"{result.cache_hits:,}"),
+        ("single-flight coalesced", f"{result.coalesced:,}"),
+        ("stream wall time", f"{result.wall_s:.2f} s"),
+        ("throughput", f"{result.jobs_per_min:,.0f} jobs/min"),
+        ("serial replay (unique)", f"{result.serial_wall_s:.2f} s"),
+        ("peak workers", f"{result.peak_workers}"),
+        ("auto-scale events", f"+{result.scaled_up}/-{result.scaled_down}"),
+        ("fleet == serial", "yes" if result.identical else "NO"),
+    ]
+    out = [f"Fleet campaign ({scope}): async service vs serial sweep, "
+           "byte-identity checked",
+           format_table(["metric", "value"], rows)]
+    for mismatch in result.mismatches[:10]:
+        out.append(f"  ! {mismatch}")
+    if len(result.mismatches) > 10:
+        out.append(f"  ... and {len(result.mismatches) - 10} more")
+    return "\n".join(out)

@@ -1,0 +1,201 @@
+"""The fleet client: submit jobs, stream events, reassemble payloads.
+
+:class:`FleetClient` is the asyncio side (used by the campaign and the
+service tests); the module-level ``*_sync`` helpers wrap it in
+``asyncio.run`` for the CLI.  Payload de-duplication is reversed here: a
+``result`` frame carries either the canonical result bytes (``payload``)
+or a reference to bytes this connection already received
+(``payload_ref``), and :meth:`FleetClient.submit` hands back fully
+resolved per-job byte strings either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator
+
+from repro.errors import FleetError, ProtocolError
+from repro.fleet import protocol
+
+
+@dataclass(slots=True)
+class SubmissionOutcome:
+    """Everything one submission streamed back.
+
+    Attributes:
+        sid: The submission id.
+        total: Jobs in the submission (after ``repeat`` expansion).
+        payloads: Canonical result bytes per job, submission order.
+        fingerprints: Job fingerprint per job, submission order.
+        cached: Whether each job was answered from cache at submit time.
+        summaries: The streamed per-job synopses.
+        errors: ``index -> error`` for failed jobs (payload is ``b""``).
+        events: Count of each event type seen while streaming.
+        elapsed_s: Submit-to-done wall time reported by the server.
+    """
+
+    sid: str
+    total: int = 0
+    payloads: list[bytes] = field(default_factory=list)
+    fingerprints: list[str] = field(default_factory=list)
+    cached: list[bool] = field(default_factory=list)
+    summaries: list[dict[str, Any]] = field(default_factory=list)
+    errors: dict[int, str] = field(default_factory=dict)
+    events: dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and len(self.payloads) == self.total
+
+
+class FleetClient:
+    """One connection to a fleet service.
+
+    Use as an async context manager::
+
+        async with FleetClient(host, port) as client:
+            outcome = await client.submit(specs)
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._payloads: dict[str, bytes] = {}  # fingerprint -> bytes
+        self._next_sid = 0
+
+    async def __aenter__(self) -> "FleetClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=protocol.MAX_FRAME_BYTES)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def _send(self, message: dict[str, Any]) -> None:
+        if self._writer is None:
+            raise FleetError("client is not connected")
+        self._writer.write(protocol.encode_frame(message))
+        await self._writer.drain()
+
+    async def _read_event(self) -> dict[str, Any]:
+        assert self._reader is not None
+        line = await self._reader.readline()
+        if not line:
+            raise FleetError("server closed the connection mid-stream")
+        return protocol.decode_frame(line)
+
+    # ------------------------------------------------------------- streams
+
+    async def stream(self, specs: list[dict[str, Any]], priority: int = 0,
+                     sid: str | None = None) -> AsyncIterator[dict[str, Any]]:
+        """Submit and yield raw events (ack/result/progress/done/error)
+        until the submission completes."""
+        if sid is None:
+            sid = f"sub-{self._next_sid}"
+            self._next_sid += 1
+        await self._send({"op": "submit", "id": sid, "priority": priority,
+                          "jobs": specs})
+        while True:
+            event = await self._read_event()
+            yield event
+            kind = event.get("event")
+            if kind == "done" and event.get("id") == sid:
+                return
+            if kind == "error":
+                return
+
+    async def submit(self, specs: list[dict[str, Any]], priority: int = 0,
+                     sid: str | None = None) -> SubmissionOutcome:
+        """Submit and collect the whole stream into a
+        :class:`SubmissionOutcome` (payload refs resolved)."""
+        outcome = SubmissionOutcome(sid=sid if sid is not None else "")
+        async for event in self.stream(specs, priority=priority, sid=sid):
+            kind = str(event.get("event"))
+            outcome.events[kind] = outcome.events.get(kind, 0) + 1
+            if kind == "ack":
+                outcome.sid = str(event.get("id"))
+                outcome.total = int(event.get("jobs", 0))
+            elif kind == "result":
+                self._collect_result(outcome, event)
+            elif kind == "done":
+                outcome.elapsed_s = float(event.get("elapsed_s", 0.0))
+            elif kind == "error":
+                outcome.errors[-1] = str(event.get("message"))
+        return outcome
+
+    def _collect_result(self, outcome: SubmissionOutcome,
+                        event: dict[str, Any]) -> None:
+        index = len(outcome.payloads)
+        fingerprint = str(event.get("fingerprint", ""))
+        outcome.fingerprints.append(fingerprint)
+        outcome.cached.append(bool(event.get("cached", False)))
+        outcome.summaries.append(event.get("summary") or {})
+        if "error" in event:
+            outcome.errors[index] = str(event["error"])
+            outcome.payloads.append(b"")
+            return
+        if "payload" in event:
+            payload = protocol.decode_payload(event["payload"])
+            self._payloads[fingerprint] = payload
+        elif "payload_ref" in event:
+            payload = self._payloads.get(str(event["payload_ref"]))
+            if payload is None:
+                raise ProtocolError(
+                    f"payload_ref {event['payload_ref']!r} references "
+                    f"bytes this connection never received")
+        else:
+            raise ProtocolError("result frame carries neither payload "
+                                "nor payload_ref")
+        outcome.payloads.append(payload)
+
+    # -------------------------------------------------------------- admin
+
+    async def status(self) -> dict[str, Any]:
+        """The service's ``status`` snapshot."""
+        await self._send({"op": "status"})
+        while True:
+            event = await self._read_event()
+            if event.get("event") in ("status", "error"):
+                return event
+
+    async def request_drain(self) -> dict[str, Any]:
+        """Ask the service to drain gracefully (the remote SIGTERM)."""
+        await self._send({"op": "drain"})
+        return await self._read_event()
+
+
+# ------------------------------------------------------------ sync wrappers
+
+
+def submit_sync(host: str, port: int, specs: list[dict[str, Any]],
+                priority: int = 0) -> SubmissionOutcome:
+    """Blocking submit-and-collect for the CLI."""
+    async def _run() -> SubmissionOutcome:
+        async with FleetClient(host, port) as client:
+            return await client.submit(specs, priority=priority)
+    return asyncio.run(_run())
+
+
+def status_sync(host: str, port: int) -> dict[str, Any]:
+    """Blocking status snapshot for the CLI."""
+    async def _run() -> dict[str, Any]:
+        async with FleetClient(host, port) as client:
+            return await client.status()
+    return asyncio.run(_run())

@@ -1,0 +1,150 @@
+"""Per-worker resource sampling and the auto-scale policy.
+
+The fleet's worker shards are child processes; this module watches them
+the way a deployment watchdog would — CPU share and resident set size —
+and turns the samples plus the queue backlog into a target worker count.
+Sampling reads ``/proc/<pid>/stat`` and ``/proc/<pid>/statm`` directly
+(no third-party dependency); on platforms without procfs every sample
+degrades to ``None`` fields and the policy falls back to pure
+backlog-driven scaling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+_CLOCK_TICKS = (os.sysconf("SC_CLK_TCK")
+                if hasattr(os, "sysconf") else 100) or 100
+
+
+@dataclass(slots=True)
+class ResourceSample:
+    """One observation of one process.
+
+    Attributes:
+        pid: Sampled process id (0 when the worker has no child yet).
+        cpu_percent: CPU share since the previous sample, 0-100 per core
+            (``None`` when unavailable — first sample, dead pid, or no
+            procfs).
+        rss_bytes: Resident set size (``None`` when unavailable).
+    """
+
+    pid: int
+    cpu_percent: float | None
+    rss_bytes: int | None
+
+
+def _read_cpu_ticks(pid: int) -> int | None:
+    """utime+stime jiffies from ``/proc/<pid>/stat``, or ``None``."""
+    try:
+        text = Path(f"/proc/{pid}/stat").read_text()
+    except OSError:
+        return None
+    # Field 2 (comm) may contain spaces/parens; everything after the
+    # closing paren is fixed-position.
+    try:
+        rest = text.rsplit(")", 1)[1].split()
+        return int(rest[11]) + int(rest[12])  # utime, stime
+    except (IndexError, ValueError):
+        return None
+
+
+def _read_rss_bytes(pid: int) -> int | None:
+    """Resident pages from ``/proc/<pid>/statm``, or ``None``."""
+    try:
+        fields = Path(f"/proc/{pid}/statm").read_text().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+class ProcessSampler:
+    """Incremental CPU/RSS sampler for one pid.
+
+    CPU percent is computed from the jiffy delta between consecutive
+    :meth:`sample` calls, so the first call reports ``cpu_percent=None``
+    and later calls report the average share over the interval.
+    """
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self._last_ticks: int | None = None
+        self._last_time: float | None = None
+
+    def sample(self) -> ResourceSample:
+        now = time.monotonic()
+        ticks = _read_cpu_ticks(self.pid)
+        cpu: float | None = None
+        if (ticks is not None and self._last_ticks is not None
+                and self._last_time is not None and now > self._last_time):
+            elapsed = now - self._last_time
+            cpu = ((ticks - self._last_ticks) / _CLOCK_TICKS) / elapsed * 100.0
+            cpu = max(0.0, cpu)
+        if ticks is not None:
+            self._last_ticks = ticks
+            self._last_time = now
+        return ResourceSample(pid=self.pid, cpu_percent=cpu,
+                              rss_bytes=_read_rss_bytes(self.pid))
+
+
+@dataclass(frozen=True, slots=True)
+class ResourcePolicy:
+    """The auto-scale knobs: when to grow, when to shrink.
+
+    Attributes:
+        min_workers: Never drain below this many shards.
+        max_workers: Hard cap on shards.
+        max_rss_bytes: Scale down when the shards' combined RSS exceeds
+            this (``None`` disables the memory brake).
+        max_cpu_percent: Scale down when the mean per-shard CPU share
+            exceeds this (``None`` disables the CPU brake).
+        backlog_per_worker: Grow while the queued-job backlog exceeds
+            this many jobs per existing shard.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    max_rss_bytes: int | None = None
+    max_cpu_percent: float | None = None
+    backlog_per_worker: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1 or self.max_workers < self.min_workers:
+            raise ValueError(
+                f"need 1 <= min_workers <= max_workers, got "
+                f"{self.min_workers}..{self.max_workers}")
+
+    def overloaded(self, samples: list[ResourceSample]) -> bool:
+        """True when the sampled shards breach a resource brake."""
+        if self.max_rss_bytes is not None:
+            total_rss = sum(s.rss_bytes for s in samples
+                            if s.rss_bytes is not None)
+            if total_rss > self.max_rss_bytes:
+                return True
+        if self.max_cpu_percent is not None:
+            cpus = [s.cpu_percent for s in samples
+                    if s.cpu_percent is not None]
+            if cpus and sum(cpus) / len(cpus) > self.max_cpu_percent:
+                return True
+        return False
+
+    def target_workers(self, current: int, backlog: int,
+                       samples: list[ResourceSample]) -> int:
+        """The worker count the pool should converge toward.
+
+        Grows one shard at a time while the backlog justifies it and no
+        resource brake is on; shrinks one at a time when overloaded or
+        idle.  One-step moves keep the pool from thrashing on bursty
+        submission patterns.
+        """
+        if self.overloaded(samples):
+            return max(self.min_workers, current - 1)
+        if backlog == 0:
+            return max(self.min_workers, current - 1)
+        if backlog > current * self.backlog_per_worker:
+            return min(self.max_workers, current + 1)
+        return max(self.min_workers, min(self.max_workers, current))

@@ -1,0 +1,444 @@
+"""The fleet boot service: a long-running asyncio TCP/JSON-lines server.
+
+``FleetService`` glues the three tiers together:
+
+* the **scheduler** (:class:`~repro.runner.schedule.JobScheduler`) —
+  priority queues, single-flight dedup on top of the
+  :class:`~repro.runner.cache.ResultCache`, fair-share across connected
+  clients, per-client submission-order delivery;
+* the **worker pool** (:class:`~repro.fleet.workers.WorkerPool`) —
+  resource-sampled shards that run batches through ordinary
+  :class:`~repro.runner.sweep.SweepRunner`\\ s, auto-scaled between the
+  policy bounds;
+* the **front-end** — one asyncio server speaking the
+  :mod:`repro.fleet.protocol` frames, streaming each job's result the
+  moment its submission-order turn comes up instead of returning one
+  blob at the end.
+
+Graceful drain: ``SIGTERM``/``SIGINT`` (or an ``op: drain`` frame) stops
+new submissions, lets in-flight batches finish, flushes every stream,
+then closes.  Nothing is orphaned: shard executors are shut down with
+``wait=True`` on the drain path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+from typing import Any
+
+from repro.fleet import protocol
+from repro.fleet.resources import ResourcePolicy
+from repro.fleet.workers import WorkerPool
+from repro.runner.branch import canonical_bytes
+from repro.runner.cache import ResultCache
+from repro.runner.schedule import JobScheduler, Ticket
+
+#: How many jobs one shard batch may carry.  Batches amortize the
+#: child-process pickle round-trip and give the branch runner prefix
+#: groups to share; small enough that results still stream promptly.
+DEFAULT_BATCH_SIZE = 16
+
+#: Emit a ``progress`` frame roughly this many times per submission.
+PROGRESS_STEPS = 20
+
+
+class _Submission:
+    """Book-keeping for one ``op: submit`` frame on one connection."""
+
+    __slots__ = ("sid", "total", "delivered", "started", "next_progress")
+
+    def __init__(self, sid: str, total: int):
+        self.sid = sid
+        self.total = total
+        self.delivered = 0
+        self.started = time.perf_counter()
+        self.next_progress = max(1, total // PROGRESS_STEPS)
+
+
+class _Connection:
+    """One client connection: its stream, submissions, and payload memory."""
+
+    def __init__(self, key: str, writer: asyncio.StreamWriter):
+        self.key = key
+        self.writer = writer
+        self.submissions: dict[str, _Submission] = {}
+        self.ticket_meta: dict[int, tuple[str, int]] = {}  # id -> (sid, index)
+        self.sent_payloads: set[str] = set()
+        self.closed = False
+
+    async def send(self, message: dict[str, Any]) -> None:
+        if self.closed:
+            return
+        try:
+            self.writer.write(protocol.encode_frame(message))
+            await self.writer.drain()
+        except (ConnectionError, RuntimeError):
+            self.closed = True
+
+
+class FleetService:
+    """The async boot service.  Use programmatically::
+
+        service = FleetService(port=0)
+        await service.start()          # service.address is (host, port)
+        ...
+        await service.drain()          # graceful: finish, flush, close
+
+    or from the CLI as ``repro fleet serve``.
+
+    Args:
+        host/port: Bind address; port 0 picks an ephemeral port.
+        policy: Worker-pool bounds and resource brakes.
+        cache_dir: Content-addressed result store shared by the service
+            front cache and every shard (optional).
+        cache_max_bytes: LRU cap for the disk store (optional).
+        branch: Checkpoint/fork-branch prefix-sharing groups inside
+            shard batches.
+        batch_size: Jobs per shard batch.
+        sample_interval: Seconds between autoscale/sampling passes.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 policy: ResourcePolicy | None = None,
+                 cache_dir: str | None = None,
+                 cache_max_bytes: int | None = None,
+                 branch: bool = False,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 sample_interval: float = 0.5):
+        self.host = host
+        self.port = port
+        self.policy = policy if policy is not None else ResourcePolicy()
+        self.cache_dir = cache_dir
+        self.branch = branch
+        self.batch_size = max(1, batch_size)
+        self.sample_interval = sample_interval
+        self.scheduler = JobScheduler(
+            cache=ResultCache(cache_dir, max_bytes=cache_max_bytes))
+        self.pool = WorkerPool(self.policy, cache_dir=cache_dir,
+                               branch=branch)
+        self.draining = False
+        self.started_at = time.monotonic()
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._supervisor: asyncio.Task | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._client_tasks: set[asyncio.Task] = set()
+        self._connections: dict[str, _Connection] = {}
+        self._next_conn = 0
+        self._work_available = asyncio.Event()
+        self._drained = asyncio.Event()
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, start the supervisor, return the actual address."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port,
+            limit=protocol.MAX_FRAME_BYTES)
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        self._supervisor = asyncio.create_task(self._supervise())
+        return self.address
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to the graceful drain (serve mode)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.drain()))
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix event loop
+
+    async def serve_forever(self) -> None:
+        """Block until drained (the ``repro fleet serve`` main loop)."""
+        await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish in-flight batches,
+        flush every client stream, stop the pool, close the server."""
+        if self.draining:
+            await self._drained.wait()
+            return
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Let queued + in-flight work finish; dispatch keeps running.
+        while not self.scheduler.idle or self._batch_tasks:
+            self._work_available.set()
+            await asyncio.sleep(0.02)
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._supervisor
+        self.pool.shutdown(wait=True)
+        await self._close_connections()
+        self._drained.set()
+
+    async def stop(self) -> None:
+        """Hard stop (tests): cancel everything, reap workers."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._batch_tasks):
+            task.cancel()
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._supervisor
+        self.pool.shutdown(wait=False)
+        await self._close_connections()
+        self._drained.set()
+
+    async def _close_connections(self) -> None:
+        """Close every client transport and reap the handler tasks, so
+        no half-dead reader task lingers into event-loop teardown."""
+        for connection in list(self._connections.values()):
+            connection.closed = True
+            with contextlib.suppress(ConnectionError):
+                connection.writer.close()
+        if self._client_tasks:
+            await asyncio.gather(*list(self._client_tasks),
+                                 return_exceptions=True)
+
+    # ---------------------------------------------------------- scheduling
+
+    async def _supervise(self) -> None:
+        """Dispatch loop + periodic autoscale/sampling."""
+        last_sample = time.monotonic()
+        while True:
+            self._dispatch()
+            now = time.monotonic()
+            if now - last_sample >= self.sample_interval:
+                backlog = self.scheduler.queued
+                self.pool.autoscale(backlog)
+                last_sample = now
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._work_available.wait(),
+                                       timeout=self.sample_interval)
+            self._work_available.clear()
+
+    def _dispatch(self) -> None:
+        """Hand ready batches to every idle shard."""
+        for shard in self.pool.idle_shards():
+            if not self.scheduler.queued:
+                break
+            batch = self.scheduler.next_batch(self.batch_size)
+            if not batch:
+                break
+            task = asyncio.create_task(self._run_batch(shard, batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, shard, batch) -> None:
+        fingerprints = [fingerprint for fingerprint, _ in batch]
+        jobs = [job for _, job in batch]
+        try:
+            results = await shard.run_batch(jobs)
+        except Exception as exc:  # noqa: BLE001 - shard crash -> job errors
+            for fingerprint in fingerprints:
+                clients = self.scheduler.fail(
+                    fingerprint, f"shard {shard.shard_id} failed: {exc!r}")
+                await self._flush_clients(clients)
+        else:
+            for fingerprint, result in zip(fingerprints, results):
+                clients = self.scheduler.complete(fingerprint, result)
+                await self._flush_clients(clients)
+        self._work_available.set()
+
+    async def _flush_clients(self, clients: list[str]) -> None:
+        for key in clients:
+            connection = self._connections.get(key)
+            if connection is None:
+                self.scheduler.drain(key)  # discard: client is gone
+                continue
+            await self._deliver(connection)
+
+    async def _deliver(self, connection: _Connection) -> None:
+        """Stream every deliverable ticket, in submission order."""
+        for ticket in self.scheduler.drain(connection.key):
+            sid, index = connection.ticket_meta.pop(id(ticket), ("?", -1))
+            submission = connection.submissions.get(sid)
+            await connection.send(self._result_frame(connection, ticket,
+                                                     sid, index))
+            if submission is None:
+                continue
+            submission.delivered += 1
+            if (submission.delivered >= submission.next_progress
+                    and submission.delivered < submission.total):
+                submission.next_progress += max(
+                    1, submission.total // PROGRESS_STEPS)
+                await connection.send({
+                    "event": "progress", "id": sid,
+                    "done": submission.delivered,
+                    "total": submission.total,
+                })
+            if submission.delivered >= submission.total:
+                del connection.submissions[sid]
+                await connection.send({
+                    "event": "done", "id": sid, "total": submission.total,
+                    "elapsed_s": round(
+                        time.perf_counter() - submission.started, 6),
+                })
+
+    def _result_frame(self, connection: _Connection, ticket: Ticket,
+                      sid: str, index: int) -> dict[str, Any]:
+        if ticket.error is not None:
+            return {"event": "result", "id": sid, "index": index,
+                    "fingerprint": ticket.fingerprint, "error": ticket.error}
+        frame: dict[str, Any] = {
+            "event": "result", "id": sid, "index": index,
+            "fingerprint": ticket.fingerprint, "cached": ticket.cached,
+            "summary": protocol.summarize_result(ticket.result),
+        }
+        if ticket.fingerprint in connection.sent_payloads:
+            frame["payload_ref"] = ticket.fingerprint
+        else:
+            frame["payload"] = protocol.encode_payload(
+                canonical_bytes(ticket.result))
+            connection.sent_payloads.add(ticket.fingerprint)
+        return frame
+
+    # ------------------------------------------------------------- clients
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        key = f"conn-{self._next_conn}"
+        self._next_conn += 1
+        connection = _Connection(key, writer)
+        self._connections[key] = connection
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+            task.add_done_callback(self._client_tasks.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError,
+                        asyncio.LimitOverrunError):
+                    break  # reset, or a frame beyond the stream limit
+                if not line:
+                    break
+                await self._handle_frame(connection, line)
+        except asyncio.CancelledError:
+            pass  # drain/teardown cancelled us; clean up and exit quietly
+        finally:
+            self._connections.pop(key, None)
+            self.scheduler.forget_client(key)
+            connection.closed = True
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+
+    async def _handle_frame(self, connection: _Connection,
+                            line: bytes) -> None:
+        try:
+            message = protocol.decode_frame(line)
+            op = message.get("op")
+            if op == "submit":
+                await self._handle_submit(connection, message)
+            elif op == "status":
+                await connection.send(self.status())
+            elif op == "drain":
+                await connection.send({"event": "draining"})
+                asyncio.ensure_future(self.drain())
+            else:
+                raise protocol.ProtocolError(f"unknown op {op!r}")
+        except protocol.ProtocolError as exc:
+            await connection.send({"event": "error", "message": str(exc),
+                                   "id": _submission_id(line)})
+
+    async def _handle_submit(self, connection: _Connection,
+                             message: dict[str, Any]) -> None:
+        sid = str(message.get("id", f"sub-{len(connection.submissions)}"))
+        if self.draining:
+            await connection.send({"event": "error", "id": sid,
+                                   "message": "service is draining; "
+                                              "submission rejected"})
+            return
+        specs = message.get("jobs")
+        if not isinstance(specs, list) or not specs:
+            raise protocol.ProtocolError("'jobs' must be a non-empty list")
+        priority = message.get("priority", 0)
+        if not isinstance(priority, int):
+            raise protocol.ProtocolError(
+                f"'priority' must be an int, got {priority!r}")
+        expanded: list[Any] = []
+        for spec in specs:
+            job, repeat = protocol.job_from_spec(spec)
+            expanded.extend([job] * repeat)
+        submission = _Submission(sid, len(expanded))
+        connection.submissions[sid] = submission
+        for index, job in enumerate(expanded):
+            ticket = self.scheduler.submit(connection.key, job,
+                                           priority=priority)
+            connection.ticket_meta[id(ticket)] = (sid, index)
+        await connection.send({"event": "ack", "id": sid,
+                               "jobs": len(expanded)})
+        self._work_available.set()
+        # Cache hits may already be deliverable.
+        await self._deliver(connection)
+
+    # -------------------------------------------------------------- status
+
+    def status(self) -> dict[str, Any]:
+        """The ``status`` event payload (also used by the campaign)."""
+        stats = self.scheduler.stats
+        cache_stats = self.scheduler.cache.stats
+        return {
+            "event": "status",
+            "draining": self.draining,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "queue_depth": self.scheduler.queued,
+            "inflight": self.scheduler.inflight,
+            "connections": len(self._connections),
+            "workers": [{
+                "shard": status.shard_id,
+                "busy": status.busy,
+                "pid": status.pid,
+                "batches": status.batches,
+                "jobs_done": status.jobs_done,
+                "cpu_percent": status.cpu_percent,
+                "rss_bytes": status.rss_bytes,
+            } for status in self.pool.statuses()],
+            "pool": {
+                "workers": len(self.pool),
+                "peak_workers": self.pool.peak_workers,
+                "scaled_up": self.pool.scaled_up,
+                "scaled_down": self.pool.scaled_down,
+                "min_workers": self.policy.min_workers,
+                "max_workers": self.policy.max_workers,
+            },
+            "scheduler": {
+                "submitted": stats.submitted,
+                "cache_hits": stats.cache_hits,
+                "coalesced": stats.coalesced,
+                "dispatched": stats.dispatched,
+                "completed": stats.completed,
+                "failed": stats.failed,
+                "delivered": stats.delivered,
+            },
+            "cache": {
+                "memory_hits": cache_stats.memory_hits,
+                "disk_hits": cache_stats.disk_hits,
+                "misses": cache_stats.misses,
+                "stores": cache_stats.stores,
+                "evictions": cache_stats.evictions,
+            },
+        }
+
+
+def _submission_id(line: bytes) -> str | None:
+    """Best-effort submission id extraction for error frames."""
+    import json
+    try:
+        message = json.loads(line)
+        value = message.get("id") if isinstance(message, dict) else None
+        return str(value) if value is not None else None
+    except ValueError:
+        return None

@@ -10,6 +10,13 @@ This package exploits that:
 * :class:`~repro.runner.cache.ResultCache` — an in-memory + optional
   on-disk content-addressed result store keyed by job fingerprint and a
   code-version salt,
+* :mod:`~repro.runner.schedule` — the scheduling layer shared with the
+  fleet service: :func:`~repro.runner.schedule.plan_batch` (the
+  dedup + cache cuts), :class:`~repro.runner.schedule.JobScheduler`
+  (priority queue with single-flight dedup, fair-share dispatch and
+  per-client ordered delivery) and
+  :func:`~repro.runner.schedule.resolve_worker_count` (the one shared
+  ``--jobs`` policy),
 * :class:`~repro.runner.sweep.SweepRunner` — deduplicates jobs and fans
   them out over a ``ProcessPoolExecutor`` (``jobs=1`` is a strictly
   serial, deterministic fallback),
@@ -31,20 +38,28 @@ from repro.runner.branch import (BranchRunner, BranchStats, canonical_bytes,
 from repro.runner.cache import CacheStats, ResultCache
 from repro.runner.jobs import (CheckpointSpec, SimJob, code_version,
                                execute_job, make_boot_simulation)
+from repro.runner.schedule import (BatchPlan, JobScheduler, SchedulerStats,
+                                   Ticket, plan_batch, resolve_worker_count)
 from repro.runner.sweep import SweepRunner, SweepStats
 
 __all__ = [
+    "BatchPlan",
     "BranchRunner",
     "BranchStats",
     "CacheStats",
     "CheckpointSpec",
+    "JobScheduler",
     "ResultCache",
+    "SchedulerStats",
     "SimJob",
     "SweepRunner",
     "SweepStats",
+    "Ticket",
     "canonical_bytes",
     "code_version",
     "default_backend",
     "execute_job",
     "make_boot_simulation",
+    "plan_batch",
+    "resolve_worker_count",
 ]

@@ -1,6 +1,6 @@
 """Performance benchmarks behind ``python -m repro bench``.
 
-Five measurements seed the repo's perf trajectory, recorded to
+Six measurements seed the repo's perf trajectory, recorded to
 ``BENCH_runner.json``:
 
 * **Engine microbenchmark** — events/second through the optimized
@@ -29,6 +29,10 @@ Five measurements seed the repo's perf trajectory, recorded to
   executed serially (``jobs=1``) versus fanned out over worker processes,
   plus the dedup/cache statistics, with a byte-identity check between the
   two runs' rendered artifacts.
+* **Fleet benchmark** — sustained jobs/minute of a 10k+-job campaign
+  streamed through the async boot service (:mod:`repro.fleet`), with the
+  fleet-vs-serial byte-identity verdict and the single-flight /
+  cache-hit breakdown.
 """
 
 from __future__ import annotations
@@ -395,13 +399,46 @@ def bench_sweep(jobs: int, cache_dir: str | None = None) -> dict[str, Any]:
     }
 
 
+# --------------------------------------------------------------------------
+# Fleet benchmark.
+
+
+def bench_fleet(smoke: bool = False,
+                total_jobs: int | None = None) -> dict[str, Any]:
+    """Campaign throughput through the fleet service, identity-checked.
+
+    Runs :func:`repro.fleet.campaign.run`: an in-process asyncio service
+    on an ephemeral port, the device-matrix campaign submitted over TCP,
+    every unique fingerprint replayed through a fresh serial runner and
+    byte-compared against the streamed payloads.
+    """
+    from repro.fleet import campaign
+
+    result = campaign.run(smoke=smoke, total_jobs=total_jobs)
+    return {
+        "total_jobs": result.total_jobs,
+        "unique_jobs": result.unique_jobs,
+        "executed": result.executed,
+        "cache_hits": result.cache_hits,
+        "coalesced": result.coalesced,
+        "wall_s": result.wall_s,
+        "jobs_per_min": result.jobs_per_min,
+        "serial_wall_s": result.serial_wall_s,
+        "peak_workers": result.peak_workers,
+        "scaled_up": result.scaled_up,
+        "scaled_down": result.scaled_down,
+        "outputs_identical": result.identical,
+    }
+
+
 def build_record(jobs: int, events: int = 200_000,
                  skip_sweep: bool = False,
                  cache_dir: str | None = None,
                  skip_checkpoint: bool = False,
                  checkpoint_cells: int = 120,
                  checkpoint_backend: str | None = None,
-                 skip_predict: bool = False) -> dict[str, Any]:
+                 skip_predict: bool = False,
+                 skip_fleet: bool = False) -> dict[str, Any]:
     """The full ``BENCH_runner.json`` payload."""
     record: dict[str, Any] = {
         "code_version": code_version(),
@@ -415,6 +452,8 @@ def build_record(jobs: int, events: int = 200_000,
         record["design_space"] = bench_design_space()
     if not skip_sweep:
         record["experiment_all"] = bench_sweep(jobs, cache_dir=cache_dir)
+    if not skip_fleet:
+        record["fleet"] = bench_fleet()
     return record
 
 

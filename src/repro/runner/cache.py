@@ -44,6 +44,7 @@ class CacheStats:
         disk_errors: On-disk entries that existed but could not be
             loaded (corrupt/torn pickle, stale class); each is unlinked
             so it cannot fail again, and the lookup counts as a miss.
+        evictions: On-disk entries removed by the ``max_bytes`` LRU cap.
     """
 
     memory_hits: int = 0
@@ -51,6 +52,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     disk_errors: int = 0
+    evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -70,11 +72,20 @@ class ResultCache:
     Args:
         disk_dir: Directory for the persistent layer; created on first
             write.  ``None`` keeps the cache purely in-memory.
+        max_bytes: Optional cap on the disk layer's total size.  When a
+            write pushes the store past the cap, the least-recently-used
+            entries (by mtime — every hit refreshes it) are unlinked
+            until the store fits again, and ``stats.evictions`` counts
+            them.  A long-running fleet service can therefore keep a
+            bounded warm set instead of growing the directory forever.
+            ``None`` (the default) never evicts.
     """
 
-    def __init__(self, disk_dir: str | os.PathLike[str] | None = None):
+    def __init__(self, disk_dir: str | os.PathLike[str] | None = None,
+                 max_bytes: int | None = None):
         self._memory: dict[str, bytes] = {}
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -116,6 +127,10 @@ class ResultCache:
                 else:
                     self._memory[key] = blob
                     self.stats.disk_hits += 1
+                    try:
+                        os.utime(path)  # refresh LRU recency
+                    except OSError:
+                        pass
                     return True, value
         self.stats.misses += 1
         return False, None
@@ -143,3 +158,37 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
+            if self.max_bytes is not None:
+                self._evict(keep=self._disk_path(key))
+
+    def _evict(self, keep: Path) -> None:
+        """Unlink least-recently-used entries until the store fits.
+
+        The entry just written (``keep``) is exempt, so a single value
+        larger than ``max_bytes`` still caches (the cap bounds growth, it
+        does not reject work).  Races with concurrent writers are benign:
+        a vanished file is simply skipped.
+        """
+        assert self.disk_dir is not None
+        entries = []
+        total = 0
+        for path in self.disk_dir.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, stat.st_size, path))
+            total += stat.st_size
+        entries.sort()  # oldest mtime first
+        for mtime_ns, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.stats.evictions += 1
+            self._memory.pop(path.stem, None)

@@ -31,11 +31,14 @@ frontier is the DES frontier.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.errors import RunnerError
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import SimJob, execute_job
+from repro.runner.schedule import plan_batch
 
 
 @dataclass(slots=True)
@@ -126,26 +129,13 @@ class SweepRunner:
         """Execute ``jobs`` and return their results in submission order."""
         jobs = list(jobs)
         self.stats.submitted += len(jobs)
-        fingerprints = [job.fingerprint() for job in jobs]
 
-        # Dedup within the batch, preserving first-seen order.
-        unique: dict[str, SimJob] = {}
-        for fingerprint, job in zip(fingerprints, jobs):
-            if fingerprint in unique:
-                self.stats.deduplicated += 1
-            else:
-                unique[fingerprint] = job
-
-        # Cache cut.
-        results: dict[str, Any] = {}
-        missing: list[tuple[str, SimJob]] = []
-        for fingerprint, job in unique.items():
-            hit, value = self.cache.get(fingerprint)
-            if hit:
-                self.stats.cache_hits += 1
-                results[fingerprint] = value
-            else:
-                missing.append((fingerprint, job))
+        # Dedup + cache cuts, shared with the fleet scheduler layer.
+        plan = plan_batch(jobs, self.cache)
+        self.stats.deduplicated += plan.deduplicated
+        self.stats.cache_hits += plan.cache_hits
+        results = plan.results
+        missing = plan.missing
 
         # Branch cut: groups sharing a prefix run as one recorded prefix
         # plus forked suffixes (before the pool sees anything, so fork
@@ -160,17 +150,45 @@ class SweepRunner:
             if self.jobs == 1 or len(to_run) == 1:
                 outcomes = [execute_job(job) for job in to_run]
             else:
-                # Batch jobs per worker round-trip: chunksize=1 pays one
-                # pickle/unpickle cycle per job, which dominates on large
-                # matrices of fast simulations.
-                chunksize = max(1, len(to_run) // (self.jobs * 4))
-                outcomes = list(self._get_pool().map(execute_job, to_run,
-                                                     chunksize=chunksize))
+                outcomes = self._run_pooled(to_run)
             for (fingerprint, _), outcome in zip(missing, outcomes):
                 self.cache.put(fingerprint, outcome)
                 results[fingerprint] = outcome
 
-        return [results[fingerprint] for fingerprint in fingerprints]
+        return [results[fingerprint] for fingerprint in plan.fingerprints]
+
+    def _run_pooled(self, to_run: list[SimJob]) -> list[Any]:
+        """Fan jobs out over the worker pool, cleaning up on disaster.
+
+        A ``KeyboardInterrupt`` or a broken pool (a worker died holding
+        work — OOM kill, segfault, ``os._exit``) used to orphan the
+        remaining workers and surface as whatever traceback the executor
+        happened to be holding.  Both now cancel every pending future,
+        shut the pool down, and raise a single clean
+        :class:`~repro.errors.RunnerError` with the original cause
+        attached.
+        """
+        # Batch jobs per worker round-trip: chunksize=1 pays one
+        # pickle/unpickle cycle per job, which dominates on large
+        # matrices of fast simulations.
+        chunksize = max(1, len(to_run) // (self.jobs * 4))
+        try:
+            return list(self._get_pool().map(execute_job, to_run,
+                                             chunksize=chunksize))
+        except (KeyboardInterrupt, BrokenProcessPool) as exc:
+            self._abort_pool()
+            reason = ("sweep interrupted" if isinstance(exc, KeyboardInterrupt)
+                      else "worker pool broke mid-sweep")
+            raise RunnerError(
+                f"{reason}; pending jobs cancelled, workers shut down "
+                f"({len(to_run)} jobs were in flight)") from exc
+
+    def _abort_pool(self) -> None:
+        """Cancel pending futures and reap workers without blocking on
+        queued work; the next run lazily builds a fresh pool."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
 
     def run_one(self, job: SimJob) -> Any:
         """Convenience wrapper: run a single job through dedup + cache."""

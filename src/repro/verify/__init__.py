@@ -14,12 +14,16 @@ Three cooperating layers of defence against a silently wrong simulator:
 * :mod:`repro.verify.branch` — the branch-identity oracle: every cell of
   a mixed fault matrix run through the checkpoint/fork engine must be
   canonically byte-identical to a from-scratch boot.
+* :mod:`repro.verify.fleet` — the fleet-identity oracle: a campaign
+  streamed through the async boot service must deliver results
+  byte-identical to a serial replay.
 
 :func:`run_verification` drives all three; the CLI surfaces it as
 ``repro verify [--smoke]``.
 """
 
 from repro.verify.branch import check_branch_identity, identity_matrix
+from repro.verify.fleet import check_fleet_identity
 from repro.verify.monitor import InvariantMonitor, MonitorStats, Violation
 from repro.verify.perturb import (PerturbedEventQueue, diff_signatures,
                                   metamorphic_signature)
@@ -34,6 +38,7 @@ __all__ = [
     "VerificationReport",
     "Violation",
     "check_branch_identity",
+    "check_fleet_identity",
     "diff_signatures",
     "identity_matrix",
     "metamorphic_signature",

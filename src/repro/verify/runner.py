@@ -1,6 +1,6 @@
 """The end-to-end verification harness behind ``repro verify``.
 
-Six check groups, each producing a :class:`CheckResult`:
+Seven check groups, each producing a :class:`CheckResult`:
 
 * **invariant-monitor** — boot every scenario with a strict
   :class:`~repro.verify.monitor.InvariantMonitor` attached, so every
@@ -23,6 +23,10 @@ Six check groups, each producing a :class:`CheckResult`:
   the checkpoint/fork engine (:mod:`repro.runner.branch`, both backends,
   serial and parallel) must be canonically byte-identical to a
   from-scratch boot (:mod:`repro.verify.branch`).
+* **fleet-identity** — a scaled-down fleet campaign through the async
+  boot service (scheduler, worker shards, TCP streaming, payload dedup)
+  must deliver results byte-identical to a serial replay
+  (:mod:`repro.verify.fleet`).
 
 ``smoke=True`` is the CI profile: it still runs well over fifty
 monitored/perturbed/property-generated boots but finishes in seconds.
@@ -264,6 +268,17 @@ def _check_branch_identity(smoke: bool) -> CheckResult:
     return result
 
 
+def _check_fleet_identity(smoke: bool) -> CheckResult:
+    from repro.verify.fleet import check_fleet_identity
+
+    result = CheckResult("fleet-identity")
+    violations, boots, checks = check_fleet_identity(smoke=smoke)
+    result.violations.extend(violations)
+    result.boots += boots
+    result.checks += checks
+    return result
+
+
 def _check_predicted(scenarios: list[_Scenario], smoke: bool) -> CheckResult:
     """Closed-form predictor vs DES on every unperturbed scenario."""
     from repro.analysis.predict import SweepPredictor, predict
@@ -350,6 +365,7 @@ def run_verification(smoke: bool = False, seed: int = 0) -> VerificationReport:
         lambda: _check_predicted(scenarios, smoke),
         lambda: _check_laws(seed, law_graphs),
         lambda: _check_branch_identity(smoke),
+        lambda: _check_fleet_identity(smoke),
     ]
     for group in groups:
         started = time.perf_counter()

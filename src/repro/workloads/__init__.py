@@ -22,7 +22,19 @@ from repro.workloads.tizen_tv import (commercial_tv_workload,
                                       perturbed_tv_workload)
 from repro.workloads.wearable import wearable_workload
 
+#: The named workload registry shared by every surface that resolves a
+#: workload by name (CLI flags, fleet wire specs, campaign matrices).
+WORKLOAD_FACTORIES = {
+    "tv": opensource_tv_workload,
+    "tv-commercial": commercial_tv_workload,
+    "camera": camera_workload,
+    "phone": phone_workload,
+    "wearable": wearable_workload,
+    "appliance": appliance_workload,
+}
+
 __all__ = [
+    "WORKLOAD_FACTORIES",
     "GeneratorParams",
     "Workload",
     "appliance_workload",

@@ -1,0 +1,57 @@
+"""The fleet campaign: matrix construction and a tiny end-to-end run."""
+
+from repro.fleet import build_specs, run_campaign
+from repro.fleet.campaign import render, specs_expanded_total
+from repro.fleet.protocol import job_from_spec
+
+
+class TestBuildSpecs:
+    def test_full_matrix_shape(self):
+        specs = build_specs()
+        # 6 workloads x 2 BB x (healthy + 3 presets x 2 seeds) = 84 cells
+        assert len(specs) == 84
+        assert specs_expanded_total(specs) == 10_080
+
+    def test_smoke_matrix_shape(self):
+        specs = build_specs(smoke=True, total_jobs=200)
+        # 2 workloads x 2 BB x (healthy + 1 preset x 1 seed) = 8 cells
+        assert len(specs) == 8
+        assert specs_expanded_total(specs) == 200
+
+    def test_popularity_skew_is_monotone_at_the_head(self):
+        specs = build_specs(total_jobs=10_080)
+        repeats = [spec["repeat"] for spec in specs]
+        assert repeats[1] >= repeats[2] >= repeats[10] >= repeats[-1] >= 1
+
+    def test_every_cell_is_a_valid_wire_spec(self):
+        for spec in build_specs():
+            job, repeat = job_from_spec(spec)
+            assert repeat >= 1
+            assert job.fingerprint()
+
+    def test_cells_are_unique_jobs(self):
+        specs = build_specs()
+        fingerprints = {job_from_spec(spec)[0].fingerprint()
+                        for spec in specs}
+        assert len(fingerprints) == len(specs)
+
+
+class TestCampaignRun:
+    def test_tiny_smoke_campaign_is_byte_identical(self):
+        result = run_campaign(smoke=True, total_jobs=40, max_workers=2)
+        assert result.total_jobs == 40
+        assert result.unique_jobs == 8
+        assert result.identical, result.mismatches
+        assert result.mismatches == []
+        # Every ticket is accounted for exactly once.
+        assert (result.executed + result.cache_hits
+                + result.coalesced) == 40
+        assert result.jobs_per_min > 0
+        assert result.peak_workers >= 1
+
+    def test_render_mentions_the_verdict(self):
+        result = run_campaign(smoke=True, total_jobs=16, max_workers=1)
+        text = render(result)
+        assert "fleet == serial" in text
+        assert "yes" in text
+        assert "jobs submitted" in text

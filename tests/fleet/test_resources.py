@@ -1,0 +1,100 @@
+"""/proc sampling and the auto-scale policy."""
+
+import os
+
+import pytest
+
+from repro.fleet.resources import (
+    ProcessSampler,
+    ResourcePolicy,
+    ResourceSample,
+    _read_cpu_ticks,
+    _read_rss_bytes,
+)
+
+
+def _sample(cpu=None, rss=None, pid=1):
+    return ResourceSample(pid=pid, cpu_percent=cpu, rss_bytes=rss)
+
+
+class TestProcReaders:
+    def test_own_process_is_readable(self):
+        pid = os.getpid()
+        ticks = _read_cpu_ticks(pid)
+        rss = _read_rss_bytes(pid)
+        assert ticks is not None and ticks >= 0
+        assert rss is not None and rss > 0
+
+    def test_dead_pid_degrades_to_none(self):
+        # pid 0 has no /proc entry on Linux; nonexistent anywhere else.
+        assert _read_cpu_ticks(0) is None
+        assert _read_rss_bytes(0) is None
+
+
+class TestProcessSampler:
+    def test_first_sample_has_no_cpu_percent(self):
+        sampler = ProcessSampler(os.getpid())
+        first = sampler.sample()
+        assert first.cpu_percent is None
+        assert first.rss_bytes is not None
+
+    def test_second_sample_reports_cpu_share(self):
+        sampler = ProcessSampler(os.getpid())
+        sampler.sample()
+        # Burn a little CPU so the jiffy delta is observable (or zero —
+        # either way the second sample must be a non-negative float).
+        sum(i * i for i in range(200_000))
+        second = sampler.sample()
+        assert second.cpu_percent is not None
+        assert second.cpu_percent >= 0.0
+
+    def test_dead_pid_sampler_stays_none(self):
+        sampler = ProcessSampler(0)
+        assert sampler.sample().cpu_percent is None
+        assert sampler.sample().cpu_percent is None
+
+
+class TestResourcePolicy:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            ResourcePolicy(min_workers=0)
+        with pytest.raises(ValueError, match="min_workers"):
+            ResourcePolicy(min_workers=4, max_workers=2)
+
+    def test_backlog_grows_one_step(self):
+        policy = ResourcePolicy(min_workers=1, max_workers=4)
+        # backlog 5 > 2 workers * 2 per-worker -> grow by exactly one
+        assert policy.target_workers(2, backlog=5, samples=[]) == 3
+
+    def test_growth_caps_at_max(self):
+        policy = ResourcePolicy(min_workers=1, max_workers=2)
+        assert policy.target_workers(2, backlog=100, samples=[]) == 2
+
+    def test_idle_shrinks_one_step_to_min(self):
+        policy = ResourcePolicy(min_workers=1, max_workers=4)
+        assert policy.target_workers(3, backlog=0, samples=[]) == 2
+        assert policy.target_workers(1, backlog=0, samples=[]) == 1
+
+    def test_moderate_backlog_holds_steady(self):
+        policy = ResourcePolicy(min_workers=1, max_workers=4)
+        # backlog 3 <= 2 workers * 2 per-worker -> no change
+        assert policy.target_workers(2, backlog=3, samples=[]) == 2
+
+    def test_rss_brake_shrinks_despite_backlog(self):
+        policy = ResourcePolicy(min_workers=1, max_workers=4,
+                                max_rss_bytes=100)
+        samples = [_sample(rss=80), _sample(rss=80)]
+        assert policy.overloaded(samples)
+        assert policy.target_workers(2, backlog=100, samples=samples) == 1
+
+    def test_cpu_brake_uses_mean_share(self):
+        policy = ResourcePolicy(min_workers=1, max_workers=4,
+                                max_cpu_percent=90.0)
+        hot = [_sample(cpu=99.0), _sample(cpu=95.0)]
+        cool = [_sample(cpu=99.0), _sample(cpu=10.0)]  # mean 54.5
+        assert policy.overloaded(hot)
+        assert not policy.overloaded(cool)
+
+    def test_none_samples_do_not_trip_brakes(self):
+        policy = ResourcePolicy(max_rss_bytes=1, max_cpu_percent=1.0)
+        assert not policy.overloaded([_sample(), _sample()])

@@ -1,0 +1,128 @@
+"""Scheduler contract under arbitrary interleavings (hypothesis).
+
+Two laws from :class:`repro.runner.schedule.JobScheduler`'s docstring:
+
+* **single-flight** — across any interleaving of submits, dispatches and
+  completions, a fingerprint is dispatched at most once, and never while
+  a prior dispatch of it is still in flight;
+* **ordered delivery** — every client drains its results in exactly its
+  submission order, regardless of priorities, completion order, or how
+  other clients' work interleaves.
+
+Jobs here are lightweight stand-ins with controllable fingerprints (the
+scheduler only ever calls ``job.fingerprint()``), so hypothesis can run
+hundreds of interleavings without booting anything.
+"""
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner.schedule import JobScheduler
+
+
+@dataclass(frozen=True)
+class FakeJob:
+    """The minimal job surface the scheduler touches."""
+
+    key: str
+
+    def fingerprint(self) -> str:
+        return self.key
+
+
+# One scripted interleaving: a list of ops applied in order.
+#   ("submit", client 0-2, fingerprint 0-5, priority 0-2)
+#   ("dispatch", batch limit 1-3)   -> marks fingerprints in-flight
+#   ("complete", slot 0-7)          -> finishes the n-th oldest in-flight
+#   ("drain", client 0-2)
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.integers(0, 2), st.integers(0, 5),
+                  st.integers(0, 2)),
+        st.tuples(st.just("dispatch"), st.integers(1, 3)),
+        st.tuples(st.just("complete"), st.integers(0, 7)),
+        st.tuples(st.just("drain"), st.integers(0, 2)),
+    ),
+    min_size=1, max_size=60)
+
+
+def _run_script(ops):
+    """Apply one interleaving; returns the trace the laws are checked on."""
+    scheduler = JobScheduler()
+    inflight: list[str] = []           # dispatch order, oldest first
+    dispatched: list[str] = []         # every fingerprint ever dispatched
+    submitted: dict[str, list[str]] = {}   # client -> fingerprints, in order
+    delivered: dict[str, list] = {}        # client -> drained tickets
+    for op in ops:
+        if op[0] == "submit":
+            client, fp, priority = f"c{op[1]}", f"fp{op[2]}", op[3]
+            scheduler.submit(client, FakeJob(fp), priority=priority)
+            submitted.setdefault(client, []).append(fp)
+        elif op[0] == "dispatch":
+            for fingerprint, _ in scheduler.next_batch(op[1]):
+                assert fingerprint not in inflight, (
+                    "single-flight violated: dispatched while in flight")
+                dispatched.append(fingerprint)
+                inflight.append(fingerprint)
+        elif op[0] == "complete":
+            if inflight:
+                fingerprint = inflight.pop(op[1] % len(inflight))
+                for client in scheduler.complete(fingerprint,
+                                                 f"r:{fingerprint}"):
+                    delivered.setdefault(client, []).extend(
+                        scheduler.drain(client))
+        elif op[0] == "drain":
+            client = f"c{op[1]}"
+            delivered.setdefault(client, []).extend(scheduler.drain(client))
+    # Settle everything still in flight, then drain every client.
+    while inflight:
+        fingerprint = inflight.pop(0)
+        for client in scheduler.complete(fingerprint, f"r:{fingerprint}"):
+            delivered.setdefault(client, []).extend(scheduler.drain(client))
+    while True:
+        batch = scheduler.next_batch(8)
+        if not batch:
+            break
+        for fingerprint, _ in batch:
+            dispatched.append(fingerprint)
+            for client in scheduler.complete(fingerprint, f"r:{fingerprint}"):
+                delivered.setdefault(client, []).extend(
+                    scheduler.drain(client))
+    for client in submitted:
+        delivered.setdefault(client, []).extend(scheduler.drain(client))
+    return scheduler, dispatched, submitted, delivered
+
+
+@given(_OPS)
+@settings(max_examples=120)
+def test_single_flight_never_dispatches_a_fingerprint_twice(ops):
+    _, dispatched, _, _ = _run_script(ops)
+    assert len(dispatched) == len(set(dispatched)), (
+        "a fingerprint was dispatched more than once")
+
+
+@given(_OPS)
+@settings(max_examples=120)
+def test_every_client_drains_in_submission_order(ops):
+    scheduler, _, submitted, delivered = _run_script(ops)
+    for client, fingerprints in submitted.items():
+        tickets = delivered.get(client, [])
+        assert [t.fingerprint for t in tickets] == fingerprints, (
+            f"{client} drained out of submission order")
+        assert [t.seq for t in tickets] == list(range(len(fingerprints)))
+        assert all(t.result == f"r:{t.fingerprint}" for t in tickets)
+    assert scheduler.idle
+
+
+@given(_OPS)
+@settings(max_examples=60)
+def test_accounting_balances(ops):
+    scheduler, dispatched, submitted, _ = _run_script(ops)
+    stats = scheduler.stats
+    total = sum(len(v) for v in submitted.values())
+    assert stats.submitted == total
+    assert stats.delivered == total
+    assert stats.dispatched == len(dispatched)
+    assert stats.cache_hits + stats.coalesced + stats.dispatched == total

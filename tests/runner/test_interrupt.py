@@ -1,0 +1,70 @@
+"""Graceful sweep teardown when the pool breaks or the user interrupts.
+
+Regression suite for the orphaned-worker failure mode: a worker dying
+mid-sweep (OOM kill, segfault, ``os._exit``) used to surface as a raw
+``BrokenProcessPool`` with live child processes left behind; Ctrl-C left
+pending futures queued on a pool nobody would ever drain.
+"""
+
+import os
+
+import pytest
+
+from repro.core import BBConfig
+from repro.errors import RunnerError
+from repro.runner import SimJob, SweepRunner
+from repro.workloads.tizen_tv import perturbed_tv_workload
+
+
+def _lethal_workload(seed: int):
+    """A workload factory that kills its worker process outright."""
+    os._exit(13)
+
+
+class TestBrokenPool:
+    def test_dead_worker_surfaces_as_runner_error(self):
+        jobs = [SimJob.boot(_lethal_workload, seed) for seed in range(2)]
+        with SweepRunner(jobs=2) as runner:
+            with pytest.raises(RunnerError, match="worker pool broke"):
+                runner.run(jobs)
+            # The broken pool was reaped, not orphaned.
+            assert runner._pool is None
+
+    def test_runner_is_usable_after_pool_breakage(self):
+        lethal = [SimJob.boot(_lethal_workload, seed) for seed in range(2)]
+        healthy = [SimJob.boot(perturbed_tv_workload, seed, 0.3,
+                               bb=BBConfig.full()) for seed in range(2)]
+        with SweepRunner(jobs=2) as runner:
+            with pytest.raises(RunnerError):
+                runner.run(lethal)
+            results = runner.run(healthy)  # lazily builds a fresh pool
+        assert len(results) == 2
+        assert all(r.boot_complete_ms > 0 for r in results)
+
+
+class _InterruptedPool:
+    """Stands in for a pool whose map() is interrupted by Ctrl-C."""
+
+    def __init__(self):
+        self.shutdown_calls = []
+
+    def map(self, *args, **kwargs):
+        raise KeyboardInterrupt
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls.append((wait, cancel_futures))
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_cancels_pending_and_shuts_down(self):
+        jobs = [SimJob.boot(perturbed_tv_workload, seed, 0.3,
+                            bb=BBConfig.full()) for seed in range(3)]
+        runner = SweepRunner(jobs=2)
+        pool = _InterruptedPool()
+        runner._pool = pool
+        with pytest.raises(RunnerError, match="sweep interrupted") as info:
+            runner.run(jobs)
+        assert isinstance(info.value.__cause__, KeyboardInterrupt)
+        # Pending futures cancelled, workers awaited, pool forgotten.
+        assert pool.shutdown_calls == [(True, True)]
+        assert runner._pool is None

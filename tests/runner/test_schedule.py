@@ -1,0 +1,149 @@
+"""The scheduler layer: batch cuts, single-flight, fair-share, delivery."""
+
+import pytest
+
+from repro.core import BBConfig
+from repro.errors import ConfigurationError
+from repro.runner import (JobScheduler, ResultCache, SimJob, plan_batch,
+                          resolve_worker_count)
+from repro.runner.schedule import DONE, PENDING, RUNNING
+from repro.workloads import opensource_tv_workload
+from repro.workloads.tizen_tv import perturbed_tv_workload
+
+
+def _job(seed: int = 0) -> SimJob:
+    return SimJob.boot(perturbed_tv_workload, seed, 0.3, bb=BBConfig.full())
+
+
+class TestResolveWorkerCount:
+    def test_none_defaults_to_cpu_count(self):
+        import os
+        assert resolve_worker_count(None) == (os.cpu_count() or 1)
+
+    def test_valid_counts_pass_through(self):
+        assert resolve_worker_count(1) == 1
+        assert resolve_worker_count(7) == 7
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_below_one_is_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            resolve_worker_count(bad)
+
+
+class TestPlanBatch:
+    def test_dedup_and_cache_cut(self):
+        cache = ResultCache()
+        jobs = [_job(0), _job(1), _job(0)]
+        plan = plan_batch(jobs, cache)
+        assert plan.deduplicated == 1
+        assert plan.cache_hits == 0
+        assert [fp for fp, _ in plan.missing] == [jobs[0].fingerprint(),
+                                                  jobs[1].fingerprint()]
+        cache.put(jobs[0].fingerprint(), "cached!")
+        replan = plan_batch(jobs, cache)
+        assert replan.cache_hits == 1
+        assert replan.results[jobs[0].fingerprint()] == "cached!"
+        assert len(replan.missing) == 1
+
+    def test_fingerprints_are_positional(self):
+        jobs = [_job(1), _job(0), _job(1)]
+        plan = plan_batch(jobs, ResultCache())
+        assert plan.fingerprints == [job.fingerprint() for job in jobs]
+
+
+class TestSingleFlight:
+    def test_duplicate_submissions_dispatch_once(self):
+        scheduler = JobScheduler()
+        tickets = [scheduler.submit("a", _job(0)) for _ in range(3)]
+        batch = scheduler.next_batch(10)
+        assert len(batch) == 1
+        assert scheduler.stats.coalesced == 2
+        assert tickets[0].state == RUNNING
+        assert tickets[1].state == PENDING
+        scheduler.complete(batch[0][0], "result")
+        assert all(t.state == DONE for t in tickets)
+        assert [t.result for t in scheduler.drain("a")] == ["result"] * 3
+
+    def test_completed_fingerprint_answers_from_cache(self):
+        scheduler = JobScheduler()
+        scheduler.submit("a", _job(0))
+        (fingerprint, _), = scheduler.next_batch(1)
+        scheduler.complete(fingerprint, "result")
+        ticket = scheduler.submit("b", _job(0))
+        assert ticket.state == DONE
+        assert ticket.cached
+        assert scheduler.next_batch(10) == []
+
+    def test_failure_is_not_cached_so_resubmission_retries(self):
+        scheduler = JobScheduler()
+        scheduler.submit("a", _job(0))
+        (fingerprint, _), = scheduler.next_batch(1)
+        clients = scheduler.fail(fingerprint, "boom")
+        assert clients == ["a"]
+        ticket, = scheduler.drain("a")
+        assert ticket.error == "boom"
+        retry = scheduler.submit("a", _job(0))
+        assert retry.state == PENDING
+        assert len(scheduler.next_batch(10)) == 1
+
+
+class TestFairShareAndPriority:
+    def test_round_robin_across_clients(self):
+        scheduler = JobScheduler()
+        for seed in range(4):
+            scheduler.submit("flood", _job(seed))
+        scheduler.submit("small", _job(100))
+        order = [fp for fp, _ in scheduler.next_batch(10)]
+        # The small client's single job must dispatch second, not fifth.
+        assert order[1] == _job(100).fingerprint()
+
+    def test_higher_priority_band_dispatches_first(self):
+        scheduler = JobScheduler()
+        scheduler.submit("a", _job(0), priority=0)
+        scheduler.submit("a", _job(1), priority=5)
+        order = [fp for fp, _ in scheduler.next_batch(10)]
+        assert order == [_job(1).fingerprint(), _job(0).fingerprint()]
+
+
+class TestDelivery:
+    def test_drain_preserves_submission_order(self):
+        scheduler = JobScheduler()
+        scheduler.submit("a", _job(0))
+        scheduler.submit("a", _job(1))
+        batch = dict(scheduler.next_batch(10))
+        # Complete in reverse order; delivery must still be 0 then 1.
+        scheduler.complete(_job(1).fingerprint(), "one")
+        assert scheduler.drain("a") == []  # head-of-line not done yet
+        scheduler.complete(_job(0).fingerprint(), "zero")
+        assert [t.result for t in scheduler.drain("a")] == ["zero", "one"]
+        assert batch  # both dispatched
+
+    def test_forget_client_drops_waiters_but_not_peers(self):
+        scheduler = JobScheduler()
+        kept = scheduler.submit("keep", _job(0))
+        scheduler.submit("gone", _job(0))
+        assert scheduler.forget_client("gone") == 1
+        (fingerprint, _), = scheduler.next_batch(10)
+        scheduler.complete(fingerprint, "result")
+        assert kept.result == "result"
+        assert scheduler.drain("gone") == []
+
+    def test_unwanted_queued_work_is_skipped(self):
+        scheduler = JobScheduler()
+        scheduler.submit("gone", _job(0))
+        scheduler.forget_client("gone")
+        assert scheduler.next_batch(10) == []
+        assert scheduler.idle
+
+
+class TestSweepRunnerUsesPlan:
+    def test_sweep_stats_still_count_dedup_and_hits(self):
+        from repro.runner import SweepRunner
+
+        runner = SweepRunner()
+        job = SimJob.boot(opensource_tv_workload, bb=BBConfig.full())
+        runner.run([job, job])
+        runner.run([job])
+        assert runner.stats.deduplicated == 1
+        assert runner.stats.cache_hits == 1
+        assert runner.stats.executed == 1

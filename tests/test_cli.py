@@ -171,3 +171,58 @@ def test_experiment_design_space_smoke(capsys):
     assert code == 0
     assert "ranked analytically" in output
     assert "Design space — tv" in output
+
+
+# ------------------------------------------------------------------- fleet
+
+@pytest.mark.parametrize("argv", [
+    ["experiment", "fig3", "--jobs", "0"],
+    ["recover", "--smoke", "--jobs", "0"],
+    ["recover", "transient-storage-burst", "--jobs", "-3"],
+    ["fleet", "campaign", "--smoke", "--max-workers", "0"],
+])
+def test_jobs_flags_reject_non_positive_counts(argv):
+    with pytest.raises(SystemExit, match=">= 1"):
+        main(argv)
+
+
+def test_jobs_flag_default_resolves_to_cpu_count():
+    import os
+
+    from repro.cli import _resolve_jobs
+
+    assert _resolve_jobs(None) == (os.cpu_count() or 1)
+    assert _resolve_jobs(3) == 3
+
+
+def test_fleet_submit_without_service_exits_cleanly(capsys):
+    # Port 1 is never listening; the CLI should fail with a clear
+    # message, not a raw ConnectionRefusedError traceback.
+    with pytest.raises(SystemExit, match="cannot reach a fleet service"):
+        main(["fleet", "submit", "--port", "1", "--workload", "camera"])
+
+
+def test_fleet_status_without_service_exits_cleanly(capsys):
+    with pytest.raises(SystemExit, match="cannot reach a fleet service"):
+        main(["fleet", "status", "--port", "1"])
+
+
+def test_fleet_campaign_smoke_json(capsys):
+    import json
+
+    code, output = run_cli(capsys, "fleet", "campaign", "--smoke",
+                           "--total-jobs", "24", "--max-workers", "1",
+                           "--json")
+    assert code == 0
+    document = json.loads(output)
+    assert document["total_jobs"] == 24
+    assert document["identical"] is True
+
+
+def test_fleet_campaign_floor_failure_exits_nonzero(capsys):
+    # No fleet sustains 1e12 jobs/min; the floor gate must trip.
+    code, output = run_cli(capsys, "fleet", "campaign", "--smoke",
+                           "--total-jobs", "16", "--max-workers", "1",
+                           "--throughput-floor", "1e12")
+    assert code == 1
+    assert "FAIL" in output
