@@ -1,6 +1,6 @@
 # Convenience targets for the BB reproduction.
 
-.PHONY: install test test-fast coverage verify recover predict bench bench-smoke fleet-smoke experiments artifacts examples clean
+.PHONY: install test test-fast coverage verify recover predict bench bench-smoke fleet-smoke generations-smoke experiments artifacts examples clean
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -18,7 +18,7 @@ test-fast:
 
 # Coverage run with the CI floor; requires pytest-cov.
 coverage:
-	$(PYTEST) -q --cov=repro --cov-branch --cov-report=term --cov-fail-under=70
+	$(PYTEST) -q --cov=repro --cov-branch --cov-report=term --cov-fail-under=75
 
 # The simulation verification harness (invariant monitor, perturbation
 # fuzzing, analytic oracles) at CI scale.
@@ -62,6 +62,15 @@ bench-smoke:
 fleet-smoke:
 	PYTHONPATH=src python -m repro fleet campaign --smoke \
 		--total-jobs 500 --throughput-floor 10000
+
+# CI-scale OTA campaign: stage the demo regressed generation (preparser
+# + deferred executor dropped, ~24% past the 1.10x gate) across the
+# 12-device / 3-wave demo fleet.  The health gate must roll back exactly
+# the first wave (4 devices) and halt the campaign — any other rollback
+# count (missed regression, false positive, failed halt) exits nonzero.
+generations-smoke:
+	PYTHONPATH=src python -m repro generations rollout \
+		--demo regressed --expect-rollbacks 4
 
 experiments:
 	python -m repro experiment all

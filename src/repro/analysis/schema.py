@@ -49,8 +49,18 @@ RECOVERY_RUNG_KEYS = frozenset({
 
 #: Outcomes a ladder rung may report.
 RECOVERY_OUTCOMES = frozenset({
-    "completed", "degraded", "failed", "wedged", "skipped",
+    "completed", "degraded", "failed", "wedged", "skipped", "regressed",
 })
+
+#: Exact key set of one stored boot-entry generation document
+#: (:mod:`repro.generations` object files and wire payloads).
+GENERATION_KEYS = frozenset({
+    "label", "workload", "features", "cores", "fault",
+    "max_boot_attempts", "regression_threshold", "parent", "notes",
+})
+
+#: Exact key set of a generation's optional fault section.
+GENERATION_FAULT_KEYS = frozenset({"preset", "seed"})
 
 _STAGE_KEYS = frozenset({"kernel", "init_init", "services"})
 _KERNEL_KEYS = frozenset({"bootloader", "meminit", "core", "initcalls",
@@ -333,3 +343,64 @@ def validate_report_dict(document: Any) -> None:
             _fail("report.unit_ready_ns",
                   f"{name} ready at {ready_ns} before start "
                   f"at {started[name]}")
+
+
+# -------------------------------------------------------------- generations
+
+def validate_generation_dict(document: Any,
+                             where: str = "generation") -> None:
+    """Validate a boot-entry generation document; raise :class:`SchemaError`.
+
+    Generations are content-addressed: the same canonical JSON bytes that
+    this validator accepts are what :mod:`repro.generations` fingerprints
+    and stores, so a document that drifts from :data:`GENERATION_KEYS` is
+    rejected before it can poison a store or a wire payload.
+    """
+    if not isinstance(document, dict):
+        _fail(where, f"expected an object, got {type(document).__name__}")
+    keys = set(document)
+    if keys != GENERATION_KEYS:
+        missing = sorted(GENERATION_KEYS - keys)
+        extra = sorted(keys - GENERATION_KEYS)
+        problems = []
+        if missing:
+            problems.append(f"missing keys: {', '.join(missing)}")
+        if extra:
+            problems.append(f"unexpected keys: {', '.join(extra)}")
+        _fail(where, "; ".join(problems))
+    for key in ("label", "workload"):
+        if not isinstance(document[key], str) or not document[key]:
+            _fail(where, f"{key} must be a non-empty string, "
+                         f"got {document[key]!r}")
+    features = document["features"]
+    _require_str_list(features, f"{where}.features")
+    if features != sorted(set(features)):
+        _fail(f"{where}.features",
+              f"must be sorted and duplicate-free, got {features!r}")
+    cores = document["cores"]
+    if cores is not None and (not isinstance(cores, int)
+                              or isinstance(cores, bool) or cores < 1):
+        _fail(where, f"cores must be null or an integer >= 1, got {cores!r}")
+    fault = document["fault"]
+    if fault is not None:
+        fault_where = f"{where}.fault"
+        if not isinstance(fault, dict) or set(fault) != GENERATION_FAULT_KEYS:
+            _fail(fault_where, f"expected keys {{preset, seed}}, "
+                               f"got {fault!r}")
+        if not isinstance(fault["preset"], str) or not fault["preset"]:
+            _fail(fault_where, "preset must be a non-empty string")
+        _require_int(fault, "seed", fault_where)
+    _require_int(document, "max_boot_attempts", where, minimum=1)
+    threshold = document["regression_threshold"]
+    if (not isinstance(threshold, (int, float)) or isinstance(threshold, bool)
+            or threshold < 1.0):
+        _fail(where, f"regression_threshold must be a number >= 1.0, "
+                     f"got {threshold!r}")
+    parent = document["parent"]
+    if parent is not None and (
+            not isinstance(parent, str) or len(parent) != 64
+            or any(c not in "0123456789abcdef" for c in parent)):
+        _fail(where, f"parent must be null or a 64-char lowercase hex "
+                     f"fingerprint, got {parent!r}")
+    if not isinstance(document["notes"], str):
+        _fail(where, f"notes must be a string, got {document['notes']!r}")

@@ -79,9 +79,10 @@ def _experiments() -> dict[str, tuple]:
                                    fig1_boot_sequence, fig2_dependency_graph,
                                    fig3_complexity, fig5_rcu_bootchart,
                                    fig6_breakdown, fig7_bbgroup_dbus,
-                                   kernel_opt, portability, prestart,
-                                   recovery_matrix, scaling,
-                                   socket_activation, tradeoff, variance)
+                                   generation_rollout, kernel_opt,
+                                   portability, prestart, recovery_matrix,
+                                   scaling, socket_activation, tradeoff,
+                                   variance)
     return {
         "portability": (portability.run, portability.render),
         "scaling": (scaling.run, scaling.render),
@@ -102,6 +103,8 @@ def _experiments() -> dict[str, tuple]:
         "fault-matrix": (fault_matrix.run, fault_matrix.render),
         "recovery-matrix": (recovery_matrix.run, recovery_matrix.render),
         "design-space": (design_space.run, design_space.render),
+        "generation-rollout": (generation_rollout.run,
+                               generation_rollout.render),
     }
 
 
@@ -499,6 +502,7 @@ def _cmd_fleet_submit(args: argparse.Namespace) -> int:
     """Submit jobs to a running service; stream and summarize results."""
     import json
 
+    from repro.errors import FleetError
     from repro.fleet.client import submit_sync
 
     if args.spec_file:
@@ -522,7 +526,7 @@ def _cmd_fleet_submit(args: argparse.Namespace) -> int:
     try:
         outcome = submit_sync(args.host, args.port, specs,
                               priority=args.priority)
-    except (ConnectionError, OSError) as exc:
+    except FleetError as exc:
         raise SystemExit(f"cannot reach a fleet service at "
                          f"{args.host}:{args.port}: {exc}")
     if args.verbose:
@@ -546,11 +550,12 @@ def _cmd_fleet_submit(args: argparse.Namespace) -> int:
 def _cmd_fleet_status(args: argparse.Namespace) -> int:
     import json
 
+    from repro.errors import FleetError
     from repro.fleet.client import status_sync
 
     try:
         snapshot = status_sync(args.host, args.port)
-    except (ConnectionError, OSError) as exc:
+    except FleetError as exc:
         raise SystemExit(f"cannot reach a fleet service at "
                          f"{args.host}:{args.port}: {exc}")
     snapshot.pop("event", None)
@@ -584,6 +589,165 @@ def _cmd_fleet_campaign(args: argparse.Namespace) -> int:
               f"below the committed floor {args.throughput_floor:,.0f}")
         failed = True
     return 1 if failed else 0
+
+
+def _open_generation_store(path: str):
+    from repro.generations import GenerationStore
+
+    store = GenerationStore(path)
+    if not store.initialized:
+        raise SystemExit(f"no generation store at {path} "
+                         f"(run 'repro generations init' first)")
+    return store
+
+
+def _cmd_generations_init(args: argparse.Namespace) -> int:
+    from repro.errors import GenerationError
+    from repro.generations import GenerationStore
+
+    try:
+        GenerationStore.init(args.store)
+    except GenerationError as exc:
+        raise SystemExit(str(exc))
+    print(f"initialized empty generation store at {args.store}")
+    return 0
+
+
+def _cmd_generations_commit(args: argparse.Namespace) -> int:
+    from repro.errors import GenerationError
+    from repro.generations import Generation
+
+    store = _open_generation_store(args.store)
+    if args.features:
+        features = tuple(f.strip() for f in args.features.split(","))
+    elif args.no_bb:
+        features = ()
+    else:
+        features = tuple(BBConfig.full().enabled_features())
+    fault = ((args.fault, args.fault_seed) if args.fault else None)
+    try:
+        generation = Generation(
+            label=args.label, workload=args.workload, features=features,
+            cores=args.cores, fault=fault,
+            max_boot_attempts=args.max_boot_attempts,
+            regression_threshold=args.threshold,
+            parent=store.head(args.ref), notes=args.notes)
+        fingerprint = store.commit(generation, ref=args.ref)
+    except GenerationError as exc:
+        raise SystemExit(str(exc))
+    print(f"[{args.ref} {fingerprint[:12]}] {generation.label}")
+    return 0
+
+
+def _cmd_generations_log(args: argparse.Namespace) -> int:
+    from repro.errors import GenerationError
+
+    store = _open_generation_store(args.store)
+    count = 0
+    try:
+        for generation in store.log(args.ref):
+            fault = (f" fault={generation.fault[0]}#{generation.fault[1]}"
+                     if generation.fault else "")
+            features = ",".join(generation.features) or "none"
+            print(f"{generation.fingerprint()[:12]} {generation.label:12s} "
+                  f"{generation.workload}/{features}{fault}"
+                  + (f"  # {generation.notes}" if generation.notes else ""))
+            count += 1
+    except GenerationError as exc:
+        raise SystemExit(str(exc))
+    if not count:
+        print(f"ref {args.ref!r} has no generations")
+    return 0
+
+
+def _cmd_generations_diff(args: argparse.Namespace) -> int:
+    from repro.errors import GenerationError
+    from repro.generations import diff_generations
+
+    store = _open_generation_store(args.store)
+    try:
+        if args.b is not None:
+            new = store.get(store.resolve(args.b))
+        else:
+            head = store.head(args.ref)
+            if head is None:
+                raise SystemExit(f"ref {args.ref!r} has no generations")
+            new = store.get(head)
+        if args.a is not None:
+            old = store.get(store.resolve(args.a))
+        elif new.parent is not None:
+            old = store.get(new.parent)
+        else:
+            raise SystemExit(f"{new.label!r} has no parent; name both "
+                             f"generations to diff")
+    except GenerationError as exc:
+        raise SystemExit(str(exc))
+    delta = diff_generations(old, new)
+    if not delta:
+        print(f"{old.label} and {new.label} are identical")
+        return 0
+    print(f"{old.label} ({old.fingerprint()[:12]}) -> "
+          f"{new.label} ({new.fingerprint()[:12]})")
+    rows = [(key, repr(entry["old"]), repr(entry["new"]))
+            for key, entry in delta.items()]
+    print(format_table(["field", "old", "new"], rows))
+    return 0
+
+
+def _cmd_generations_rollback(args: argparse.Namespace) -> int:
+    from repro.errors import GenerationError
+
+    store = _open_generation_store(args.store)
+    try:
+        popped = store.rollback(args.ref)
+    except GenerationError as exc:
+        raise SystemExit(str(exc))
+    head = store.head(args.ref)
+    target = f"{head[:12]}" if head else "(unborn)"
+    print(f"rolled {args.ref!r} back from {popped.label} "
+          f"({popped.fingerprint()[:12]}) to {target}")
+    return 0
+
+
+def _cmd_generations_rollout(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.errors import GenerationError
+    from repro.generations import demo_store, render_rollout, run_rollout
+
+    jobs = _resolve_jobs(args.jobs)
+
+    def _run(store) -> dict:
+        return run_rollout(
+            store, target=args.target, baseline=args.baseline,
+            devices=args.devices, waves=args.waves,
+            update_seed=args.seed, flash_rate=args.flash_rate,
+            corrupt_rate=args.corrupt_rate,
+            halt_threshold=args.halt_threshold, jobs=jobs,
+            use_fleet=args.fleet)
+
+    try:
+        if args.demo is not None:
+            with tempfile.TemporaryDirectory() as tmp:
+                report = _run(demo_store(tmp, args.demo))
+        else:
+            if args.store is None:
+                raise SystemExit("name a store with --store, or use "
+                                 "--demo clean|regressed|broken")
+            report = _run(_open_generation_store(args.store))
+    except GenerationError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        import json
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_rollout(report))
+    if (args.expect_rollbacks is not None
+            and report["rollbacks"] != args.expect_rollbacks):
+        print(f"FAIL: expected exactly {args.expect_rollbacks} rollbacks, "
+              f"observed {report['rollbacks']}")
+        return 1
+    return 0
 
 
 def _cmd_bootchart(args: argparse.Namespace) -> int:
@@ -858,6 +1022,102 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_campaign.add_argument("--json", action="store_true",
                                 help="emit the campaign record as JSON")
     fleet_campaign.set_defaults(fn=_cmd_fleet_campaign)
+
+    generations = sub.add_parser(
+        "generations",
+        help="manage boot-entry generations and run OTA rollouts")
+    gen_sub = generations.add_subparsers(dest="generations_command",
+                                         required=True)
+
+    gen_init = gen_sub.add_parser(
+        "init", help="create an empty generation store")
+    gen_init.add_argument("--store", required=True,
+                          help="directory for the store")
+    gen_init.set_defaults(fn=_cmd_generations_init)
+
+    gen_commit = gen_sub.add_parser(
+        "commit", help="commit a new generation on top of a ref's head")
+    gen_commit.add_argument("--store", required=True)
+    gen_commit.add_argument("--ref", default="main")
+    gen_commit.add_argument("--label", required=True,
+                            help="human-readable release name")
+    gen_commit.add_argument("--workload", default="tv",
+                            choices=sorted(WORKLOAD_FACTORIES))
+    gen_commit.add_argument("--features",
+                            help="comma-separated BB feature names")
+    gen_commit.add_argument("--no-bb", action="store_true",
+                            help="ship with every BB feature disabled")
+    gen_commit.add_argument("--cores", type=int, default=None)
+    gen_commit.add_argument("--fault", default=None,
+                            help="bake a fault preset into the image")
+    gen_commit.add_argument("--fault-seed", type=int, default=0)
+    gen_commit.add_argument("--max-boot-attempts", type=int, default=3)
+    gen_commit.add_argument("--threshold", type=float, default=1.10,
+                            help="boot-time regression gate vs the "
+                                 "baseline prediction")
+    gen_commit.add_argument("--notes", default="")
+    gen_commit.set_defaults(fn=_cmd_generations_commit)
+
+    gen_log = gen_sub.add_parser(
+        "log", help="walk a ref's history, newest first")
+    gen_log.add_argument("--store", required=True)
+    gen_log.add_argument("--ref", default="main")
+    gen_log.set_defaults(fn=_cmd_generations_log)
+
+    gen_diff = gen_sub.add_parser(
+        "diff", help="field-level diff between two generations")
+    gen_diff.add_argument("--store", required=True)
+    gen_diff.add_argument("--ref", default="main")
+    gen_diff.add_argument("a", nargs="?", default=None,
+                          help="old fingerprint/prefix (default: parent "
+                               "of the new one)")
+    gen_diff.add_argument("b", nargs="?", default=None,
+                          help="new fingerprint/prefix (default: ref head)")
+    gen_diff.set_defaults(fn=_cmd_generations_diff)
+
+    gen_rollback = gen_sub.add_parser(
+        "rollback", help="pop a ref's head back to its parent")
+    gen_rollback.add_argument("--store", required=True)
+    gen_rollback.add_argument("--ref", default="main")
+    gen_rollback.set_defaults(fn=_cmd_generations_rollback)
+
+    gen_rollout = gen_sub.add_parser(
+        "rollout",
+        help="stage a generation across the simulated fleet in waves, "
+             "with health gating and automatic rollback")
+    gen_rollout.add_argument("--store", default=None)
+    gen_rollout.add_argument("--demo", choices=("clean", "regressed",
+                                                "broken"),
+                             help="run against a throwaway demo store "
+                                  "instead of --store")
+    gen_rollout.add_argument("--target", default="main",
+                             help="ref or fingerprint to roll out")
+    gen_rollout.add_argument("--baseline", default=None,
+                             help="known-good ref/fingerprint (default: "
+                                  "target's parent)")
+    gen_rollout.add_argument("--devices", type=int, default=12)
+    gen_rollout.add_argument("--waves", type=int, default=3)
+    gen_rollout.add_argument("--seed", type=int, default=0,
+                             help="update-fault seed")
+    gen_rollout.add_argument("--flash-rate", type=float, default=0.0,
+                             help="per-device interrupted-flash "
+                                  "probability")
+    gen_rollout.add_argument("--corrupt-rate", type=float, default=0.0,
+                             help="per-device corrupt-image probability")
+    gen_rollout.add_argument("--halt-threshold", type=float, default=0.5,
+                             help="halt the campaign when a wave's "
+                                  "rollback fraction reaches this")
+    gen_rollout.add_argument("--jobs", type=int, default=1)
+    gen_rollout.add_argument("--fleet", action="store_true",
+                             help="run trial boots through the async "
+                                  "fleet service instead of the serial "
+                                  "runner")
+    gen_rollout.add_argument("--json", action="store_true",
+                             help="emit the campaign report as JSON")
+    gen_rollout.add_argument("--expect-rollbacks", type=int, default=None,
+                             help="fail (exit 1) unless exactly this "
+                                  "many rollbacks occurred")
+    gen_rollout.set_defaults(fn=_cmd_generations_rollout)
 
     chart = sub.add_parser("bootchart", help="boot and render the bootchart")
     chart.add_argument("--workload", default="tv")

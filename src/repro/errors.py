@@ -156,3 +156,22 @@ class ProtocolError(FleetError):
 
 class ConfigurationError(ReproError):
     """An invalid BB or simulation configuration value."""
+
+
+class GenerationError(ReproError):
+    """A boot-entry generation operation failed.
+
+    Raised by :mod:`repro.generations` for store-level problems: a
+    malformed or tampered generation document, a fingerprint mismatch on
+    load, a commit that does not fast-forward its ref, or a rollback with
+    no parent to fall back to.
+    """
+
+
+class SlotStateError(GenerationError):
+    """An illegal A/B slot transition was requested.
+
+    Raised by :class:`repro.generations.SlotState` when a transition
+    would brick the simulated device — activating an empty slot, staging
+    over the active slot, or confirming health with no trial underway.
+    """

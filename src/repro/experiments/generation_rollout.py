@@ -1,0 +1,107 @@
+"""GENERATION-ROLLOUT — the boot-time trajectory across releases.
+
+The paper measures one frozen image; a shipped device's boot time is a
+*trajectory* across firmware generations, and every OTA update is a
+chance to regress it.  This experiment stages three archetypal updates
+over the demo fleet through the OTA campaign engine
+(:mod:`repro.generations`):
+
+``clean``
+    A maintenance release with an unchanged boot profile — the control:
+    every device must update, zero rollbacks (no false positives).
+``regressed``
+    A release that drops the preparser and the deferred executor,
+    regressing boot ~24% past the 1.10x gate — the health gate's
+    predictor comparison must detect it and roll every updated device
+    back, then halt the campaign.
+``broken``
+    A release shipping a broken boot-critical unit — the degraded trial
+    boot must fail health outright and roll back the same way.
+
+Each campaign reports per-wave verdicts, rollback counts and how many
+rollbacks the recovery ladder's ``slot-rollback`` rung independently
+verified.  Everything is deterministic; the rendered table is a stable
+artifact.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.report import format_table
+from repro.generations import demo_store, run_rollout
+
+#: The update archetypes staged, in order.
+KINDS = ("clean", "regressed", "broken")
+
+
+@dataclass(slots=True)
+class RolloutTrajectory:
+    """Campaign reports per update archetype."""
+
+    devices: int
+    waves: int
+    reports: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """The gate behaved: no false positives, no missed regressions."""
+        clean = self.reports.get("clean", {})
+        if clean.get("rollbacks", -1) != 0:
+            return False
+        for kind in ("regressed", "broken"):
+            report = self.reports.get(kind, {})
+            if report.get("rollbacks", 0) == 0:
+                return False
+            if report.get("rollbacks") != sum(
+                    wave["rollbacks_verified"] for wave in report["waves"]):
+                return False
+        return True
+
+
+def run(smoke: bool = False) -> RolloutTrajectory:
+    """Stage all three update archetypes over fresh demo fleets."""
+    devices, waves = (6, 2) if smoke else (12, 3)
+    trajectory = RolloutTrajectory(devices=devices, waves=waves)
+    for kind in KINDS:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = demo_store(tmp, kind)
+            trajectory.reports[kind] = run_rollout(
+                store, devices=devices, waves=waves)
+    return trajectory
+
+
+def render(trajectory: RolloutTrajectory) -> str:
+    """The rollout-trajectory table."""
+    rows = []
+    for kind in KINDS:
+        report = trajectory.reports[kind]
+        verified = sum(wave["rollbacks_verified"]
+                       for wave in report["waves"])
+        halted = (f"after wave {report['halted_after']}"
+                  if report["halted_after"] is not None else "no")
+        rows.append((
+            kind,
+            f"{report['devices_updated']}/{report['devices']}",
+            f"{report['healthy']}",
+            f"{report['rollbacks']}",
+            f"{verified}/{report['rollbacks']}" if report["rollbacks"]
+            else "-",
+            halted,
+        ))
+    first = trajectory.reports[KINDS[0]]
+    out = [
+        "Generation rollout: OTA campaigns over the demo fleet "
+        f"({trajectory.devices} devices / {trajectory.waves} waves, "
+        f"reference {first['reference_ms']:.3f} ms, gate "
+        f"{first['regression_threshold']:.2f}x)",
+        format_table(
+            ["update", "updated", "healthy", "rollbacks", "verified",
+             "halted"], rows),
+        ("rollback gate: " + ("correct (clean update rolled back nothing; "
+                              "regressed/broken rolled back and verified)"
+                              if trajectory.ok else "FAILED")),
+    ]
+    return "\n".join(out)

@@ -75,8 +75,13 @@ class FleetClient:
         await self.close()
 
     async def connect(self) -> None:
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port, limit=protocol.MAX_FRAME_BYTES)
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=protocol.MAX_FRAME_BYTES)
+        except (ConnectionError, OSError) as exc:
+            raise FleetError(
+                f"cannot reach fleet service at {self.host}:{self.port}: "
+                f"{exc}") from exc
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -91,12 +96,21 @@ class FleetClient:
     async def _send(self, message: dict[str, Any]) -> None:
         if self._writer is None:
             raise FleetError("client is not connected")
-        self._writer.write(protocol.encode_frame(message))
-        await self._writer.drain()
+        try:
+            self._writer.write(protocol.encode_frame(message))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise FleetError(
+                f"server closed the connection while sending "
+                f"{message.get('op', '?')!r}: {exc}") from exc
 
     async def _read_event(self) -> dict[str, Any]:
         assert self._reader is not None
-        line = await self._reader.readline()
+        try:
+            line = await self._reader.readline()
+        except (ConnectionError, OSError) as exc:
+            raise FleetError(
+                f"server closed the connection mid-stream: {exc}") from exc
         if not line:
             raise FleetError("server closed the connection mid-stream")
         return protocol.decode_frame(line)

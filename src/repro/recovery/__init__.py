@@ -11,13 +11,14 @@ restart, and masked unit in a schema-pinned recovery section.
 
 from repro.recovery.policy import (DEFAULT_LADDER, RUNG_AS_CONFIGURED,
                                    RUNG_ISOLATE, RUNG_RESCUE, RUNG_RESTART,
-                                   RUNG_SAFE_MODE, RUNG_SNAPSHOT,
-                                   AttemptRecord, RecoveryOutcome,
-                                   RecoveryPolicy, SnapshotPolicy)
+                                   RUNG_SAFE_MODE, RUNG_SLOT_ROLLBACK,
+                                   RUNG_SNAPSHOT, AttemptRecord,
+                                   RecoveryOutcome, RecoveryPolicy,
+                                   SnapshotPolicy)
 from repro.recovery.supervisor import (OUTCOME_COMPLETED, OUTCOME_DEGRADED,
-                                       OUTCOME_FAILED, OUTCOME_SKIPPED,
-                                       OUTCOME_WEDGED, RESCUE_TARGET,
-                                       BootSupervisor)
+                                       OUTCOME_FAILED, OUTCOME_REGRESSED,
+                                       OUTCOME_SKIPPED, OUTCOME_WEDGED,
+                                       RESCUE_TARGET, BootSupervisor)
 
 __all__ = [
     "AttemptRecord",
@@ -26,6 +27,7 @@ __all__ = [
     "OUTCOME_COMPLETED",
     "OUTCOME_DEGRADED",
     "OUTCOME_FAILED",
+    "OUTCOME_REGRESSED",
     "OUTCOME_SKIPPED",
     "OUTCOME_WEDGED",
     "RESCUE_TARGET",
@@ -36,6 +38,7 @@ __all__ = [
     "RUNG_RESCUE",
     "RUNG_RESTART",
     "RUNG_SAFE_MODE",
+    "RUNG_SLOT_ROLLBACK",
     "RUNG_SNAPSHOT",
     "SnapshotPolicy",
 ]

@@ -36,13 +36,17 @@ RUNG_RESTART = "restart"
 RUNG_ISOLATE = "isolate"
 RUNG_SAFE_MODE = "safe-mode"
 RUNG_RESCUE = "rescue"
+RUNG_SLOT_ROLLBACK = "slot-rollback"
 
 #: The full default ladder (the snapshot rung only runs when the policy
-#: configures a snapshot).
+#: configures a snapshot).  ``slot-rollback`` is not part of it — flipping
+#: back to the standby A/B slot only makes sense on a device with
+#: generation state, so the OTA engine (:mod:`repro.generations`) appends
+#: the rung explicitly via :attr:`RecoveryPolicy.fallback_workload`.
 DEFAULT_LADDER = (RUNG_SNAPSHOT, RUNG_AS_CONFIGURED, RUNG_RESTART,
                   RUNG_ISOLATE, RUNG_SAFE_MODE, RUNG_RESCUE)
 
-_KNOWN_RUNGS = frozenset(DEFAULT_LADDER)
+_KNOWN_RUNGS = frozenset(DEFAULT_LADDER) | {RUNG_SLOT_ROLLBACK}
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,6 +100,21 @@ class RecoveryPolicy:
             supervisor injects and wires as ``OnFailure=`` on every
             BB-group unit at the ``restart`` rung and beyond (``None``
             disables the injection).
+        max_boot_ns: Optional boot-time regression gate.  A rung whose
+            boot *completes* but takes longer than this is recorded as
+            ``regressed`` and the ladder escalates — the OTA engine sets
+            it to ``threshold × predicted known-good boot time`` so a
+            firmware update that merely slows the device down still
+            triggers the ``slot-rollback`` rung (``None`` disables the
+            gate).
+        fallback_workload: Registry name of the known-good generation's
+            workload, booted by the ``slot-rollback`` rung (``None``
+            skips the rung).  A name, not a factory, so the policy stays
+            pure data for fingerprints and worker pickles.
+        fallback_bb: BB feature set for the ``slot-rollback`` boot
+            (``None`` = :meth:`BBConfig.none`).  The fallback boot never
+            carries the trial's fault plan: the known-good image does not
+            contain the broken update.
     """
 
     label: str = "default"
@@ -108,6 +127,9 @@ class RecoveryPolicy:
     restart_backoff_factor: float = 2.0
     restart_jitter: float = 0.1
     on_failure_handler: str | None = "recovery-notifier.service"
+    max_boot_ns: int | None = None
+    fallback_workload: str | None = None
+    fallback_bb: BBConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.label:
@@ -129,6 +151,13 @@ class RecoveryPolicy:
             raise ConfigurationError(
                 f"restart_jitter must be in [0, 1], "
                 f"got {self.restart_jitter!r}")
+        if self.max_boot_ns is not None and self.max_boot_ns <= 0:
+            raise ConfigurationError(
+                f"max_boot_ns must be positive when set, "
+                f"got {self.max_boot_ns!r}")
+        if self.fallback_workload is not None and not self.fallback_workload:
+            raise ConfigurationError(
+                "fallback_workload cannot be an empty string")
 
 
 @dataclass(slots=True)

@@ -24,6 +24,13 @@ escalation ladder over :class:`~repro.core.BootSimulation`:
    completion-critical units that are not implicated by the last
    failure's post-mortem, and boot just those.
 
+Devices with A/B boot slots (:mod:`repro.generations`) append a seventh
+rung, ``slot-rollback``: boot the known-good generation named by the
+policy's ``fallback_workload``/``fallback_bb`` instead of the trial one.
+Orthogonally, a policy ``max_boot_ns`` turns slow-but-successful boots
+into ``regressed`` attempts, so a firmware update that merely regresses
+boot time still escalates down to the rollback.
+
 The ladder stops at the first rung whose boot reaches completion.  Start
 attempts accumulate across rungs (``attempt_offsets``), so a fault plan's
 ``fail_attempts`` budget keeps draining across supervised reboots just as
@@ -39,6 +46,7 @@ from typing import TYPE_CHECKING
 from repro.core.bb import BootSimulation
 from repro.core.config import BBConfig
 from repro.core.degraded import DegradedBootError
+from repro.errors import ConfigurationError
 from repro.graph.depgraph import DependencyGraph
 from repro.initsys.registry import UnitRegistry
 from repro.initsys.units import (RestartPolicy, ServiceType, SimCost, Unit,
@@ -47,8 +55,9 @@ from repro.kernel.snapshot import verify_snapshot
 from repro.quantities import usec
 from repro.recovery.policy import (RUNG_AS_CONFIGURED, RUNG_ISOLATE,
                                    RUNG_RESCUE, RUNG_RESTART, RUNG_SAFE_MODE,
-                                   RUNG_SNAPSHOT, AttemptRecord,
-                                   RecoveryOutcome, RecoveryPolicy)
+                                   RUNG_SLOT_ROLLBACK, RUNG_SNAPSHOT,
+                                   AttemptRecord, RecoveryOutcome,
+                                   RecoveryPolicy)
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:
@@ -64,6 +73,7 @@ OUTCOME_DEGRADED = "degraded"
 OUTCOME_FAILED = "failed"
 OUTCOME_WEDGED = "wedged"
 OUTCOME_SKIPPED = "skipped"
+OUTCOME_REGRESSED = "regressed"
 
 
 class _RungNotApplicable(Exception):
@@ -123,6 +133,18 @@ class BootSupervisor:
                                            snapshot_section, report=None)
                 continue
 
+            if rung == RUNG_SLOT_ROLLBACK:
+                record, fallback_report = self._try_slot_rollback()
+                records.append(record)
+                total_ns += record.boot_ns
+                if record.outcome in (OUTCOME_COMPLETED, OUTCOME_DEGRADED):
+                    return self._converged(rung, records, total_ns,
+                                           restart_history, set(),
+                                           snapshot_section, fallback_report)
+                if record.outcome != OUTCOME_SKIPPED:
+                    total_ns += policy.reboot_overhead_ns
+                continue
+
             try:
                 workload, bb, masked = self._prepare(rung, failed_ever,
                                                      last_failure)
@@ -150,6 +172,16 @@ class BootSupervisor:
                 continue
 
             self._harvest(sim, attempt_offsets, restart_history)
+            if (policy.max_boot_ns is not None
+                    and report.boot_complete_ns > policy.max_boot_ns):
+                # The boot finished, but slower than the policy tolerates
+                # (an OTA update regressing boot time): count it as a
+                # failed attempt and escalate toward slot-rollback.
+                records.append(AttemptRecord(
+                    rung, OUTCOME_REGRESSED, report.boot_complete_ns,
+                    sorted(report.failed_units)))
+                total_ns += report.boot_complete_ns + policy.reboot_overhead_ns
+                continue
             word = (OUTCOME_DEGRADED if report.degraded or masked
                     else OUTCOME_COMPLETED)
             records.append(AttemptRecord(rung, word, report.boot_complete_ns,
@@ -190,6 +222,49 @@ class BootSupervisor:
                    "restore_ns": restore_ns}
         return section, AttemptRecord(RUNG_SNAPSHOT, OUTCOME_COMPLETED,
                                       verdict.verify_time_ns + restore_ns)
+
+    def _try_slot_rollback(self) -> tuple[AttemptRecord, object]:
+        """Boot the known-good A/B slot's generation instead of the trial.
+
+        The fallback profile comes from the policy (a workload *name* and
+        a BB feature set, pure data), and the boot deliberately drops the
+        trial's fault plan: the standby slot still holds the pre-update
+        image, so the update's faults do not apply.  The policy's
+        ``max_boot_ns`` gate still does — a "known-good" slot that
+        regressed too would not be a recovery.
+        """
+        policy = self.policy
+        if policy.fallback_workload is None:
+            return AttemptRecord(RUNG_SLOT_ROLLBACK, OUTCOME_SKIPPED, 0), None
+        from repro.workloads import WORKLOAD_FACTORIES
+
+        factory = WORKLOAD_FACTORIES.get(policy.fallback_workload)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown fallback workload {policy.fallback_workload!r}; "
+                f"choose from {', '.join(sorted(WORKLOAD_FACTORIES))}")
+        bb = (policy.fallback_bb if policy.fallback_bb is not None
+              else BBConfig.none())
+        sim = BootSimulation(factory(), bb=bb, fault_plan=None,
+                             monitor=self.monitor, restart_seed=policy.seed)
+        self.simulations.append(sim)
+        try:
+            report = sim.run()
+        except DegradedBootError as exc:
+            word = (OUTCOME_WEDGED if exc.report.boot_wedged
+                    else OUTCOME_FAILED)
+            return AttemptRecord(RUNG_SLOT_ROLLBACK, word,
+                                 exc.report.time_ns,
+                                 sorted(exc.report.failed_units)), None
+        if (policy.max_boot_ns is not None
+                and report.boot_complete_ns > policy.max_boot_ns):
+            return AttemptRecord(RUNG_SLOT_ROLLBACK, OUTCOME_REGRESSED,
+                                 report.boot_complete_ns,
+                                 sorted(report.failed_units)), None
+        word = OUTCOME_DEGRADED if report.degraded else OUTCOME_COMPLETED
+        return AttemptRecord(RUNG_SLOT_ROLLBACK, word,
+                             report.boot_complete_ns,
+                             sorted(report.failed_units)), report
 
     def _prepare(self, rung: str, failed_ever: set[str],
                  last_failure: "DegradedBootReport | None",

@@ -1,6 +1,6 @@
 """The end-to-end verification harness behind ``repro verify``.
 
-Seven check groups, each producing a :class:`CheckResult`:
+Eight check groups, each producing a :class:`CheckResult`:
 
 * **invariant-monitor** — boot every scenario with a strict
   :class:`~repro.verify.monitor.InvariantMonitor` attached, so every
@@ -27,6 +27,11 @@ Seven check groups, each producing a :class:`CheckResult`:
   boot service (scheduler, worker shards, TCP streaming, payload dedup)
   must deliver results byte-identical to a serial replay
   (:mod:`repro.verify.fleet`).
+* **generation-identity** — an OTA rollout campaign staged through the
+  fleet service must report byte-identically to its serial replay (for
+  both a regressing and a clean target), and generation commits must
+  round-trip through the on-disk store: ``rollback(commit(g)) == g``
+  (:mod:`repro.verify.generations`).
 
 ``smoke=True`` is the CI profile: it still runs well over fifty
 monitored/perturbed/property-generated boots but finishes in seconds.
@@ -279,6 +284,17 @@ def _check_fleet_identity(smoke: bool) -> CheckResult:
     return result
 
 
+def _check_generation_identity(smoke: bool) -> CheckResult:
+    from repro.verify.generations import check_generation_identity
+
+    result = CheckResult("generation-identity")
+    violations, boots, checks = check_generation_identity(smoke=smoke)
+    result.violations.extend(violations)
+    result.boots += boots
+    result.checks += checks
+    return result
+
+
 def _check_predicted(scenarios: list[_Scenario], smoke: bool) -> CheckResult:
     """Closed-form predictor vs DES on every unperturbed scenario."""
     from repro.analysis.predict import SweepPredictor, predict
@@ -366,6 +382,7 @@ def run_verification(smoke: bool = False, seed: int = 0) -> VerificationReport:
         lambda: _check_laws(seed, law_graphs),
         lambda: _check_branch_identity(smoke),
         lambda: _check_fleet_identity(smoke),
+        lambda: _check_generation_identity(smoke),
     ]
     for group in groups:
         started = time.perf_counter()

@@ -1,0 +1,137 @@
+"""Client error paths: every transport failure surfaces as a typed error.
+
+The fleet client promises :class:`~repro.errors.FleetError` for
+transport-level failures (unreachable service, mid-stream disconnect)
+and :class:`~repro.errors.ProtocolError` for wire garbage — never a raw
+``ConnectionError``/``OSError``/``JSONDecodeError`` leaking to callers.
+These tests run real sockets with hostile fake servers; pytest-asyncio
+is unavailable, so each wraps its scenario in ``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import FleetError, ProtocolError, ReproError
+from repro.fleet import FleetClient
+from repro.fleet.client import status_sync, submit_sync
+
+
+def _free_port():
+    """Bind-and-release a port nothing listens on afterwards."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+async def _hostile_server(handler):
+    """Start a one-shot server running ``handler(reader, writer)``."""
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+class TestConnectionRefused:
+    def test_connect_raises_fleet_error(self):
+        port = _free_port()
+
+        async def scenario():
+            async with FleetClient("127.0.0.1", port):
+                pass  # pragma: no cover - connect must raise first
+
+        with pytest.raises(FleetError, match="cannot reach fleet service"):
+            asyncio.run(scenario())
+
+    def test_refused_error_is_typed_not_raw_oserror(self):
+        port = _free_port()
+
+        async def scenario():
+            await FleetClient("127.0.0.1", port).connect()
+
+        try:
+            asyncio.run(scenario())
+        except ReproError as exc:
+            assert isinstance(exc, FleetError)
+            assert isinstance(exc.__cause__, OSError)
+        else:  # pragma: no cover
+            pytest.fail("connect to a dead port did not raise")
+
+    def test_sync_wrappers_raise_fleet_error(self):
+        port = _free_port()
+        with pytest.raises(FleetError):
+            submit_sync("127.0.0.1", port, [{"kind": "boot"}])
+        with pytest.raises(FleetError):
+            status_sync("127.0.0.1", port)
+
+
+class TestServerDrainMidStream:
+    def test_disconnect_after_ack_raises_fleet_error(self):
+        """A server that acks then hangs up mid-stream (drain/crash)."""
+        async def handler(reader, writer):
+            await reader.readline()  # the submit frame
+            writer.write(b'{"event": "ack", "id": "sub-0", "jobs": 3}\n')
+            await writer.drain()
+            writer.close()  # drain mid-stream: no results, no done
+
+        async def scenario():
+            server, host, port = await _hostile_server(handler)
+            try:
+                async with FleetClient(host, port) as client:
+                    await client.submit([{"kind": "boot"}])
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        with pytest.raises(FleetError, match="mid-stream"):
+            asyncio.run(scenario())
+
+    def test_immediate_disconnect_raises_fleet_error(self):
+        """A server that closes before sending anything at all."""
+        async def handler(reader, writer):
+            writer.close()
+
+        async def scenario():
+            server, host, port = await _hostile_server(handler)
+            try:
+                async with FleetClient(host, port) as client:
+                    await client.status()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        with pytest.raises(FleetError, match="closed the connection"):
+            asyncio.run(scenario())
+
+
+class TestMalformedEventLine:
+    @pytest.mark.parametrize("line", [
+        b"not json at all\n",
+        b'["an", "array", "frame"]\n',
+        b'{"trailing garbage": 1}}}\n',
+    ])
+    def test_garbage_line_raises_protocol_error(self, line):
+        async def handler(reader, writer):
+            await reader.readline()
+            writer.write(line)
+            await writer.drain()
+            await asyncio.sleep(0.2)
+            writer.close()
+
+        async def scenario():
+            server, host, port = await _hostile_server(handler)
+            try:
+                async with FleetClient(host, port) as client:
+                    await client.submit([{"kind": "boot"}])
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+    def test_protocol_error_is_fleet_error(self):
+        """The hierarchy lets callers catch the whole family at once."""
+        assert issubclass(ProtocolError, FleetError)
+        assert issubclass(FleetError, ReproError)

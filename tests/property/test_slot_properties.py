@@ -1,0 +1,165 @@
+"""Property-based tests of the A/B slot state machine's safety invariants.
+
+Hypothesis drives arbitrary event sequences (stage / activate / boot-ok
+/ boot-fail / rollback) against one simulated device and checks the two
+promises real boot-control firmware makes after every single transition:
+
+1. **Never brick** — the bootloader never ends up selecting an empty
+   slot, no matter what sequence of updates and failures occurs.
+2. **Never lose known-good** — the last health-confirmed generation
+   stays flashed in one of the two slots until a *newer* generation has
+   itself been health-confirmed; illegal flashes raise
+   :class:`~repro.errors.SlotStateError` instead of proceeding.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, rule)
+
+from repro.errors import SlotStateError
+from repro.generations import SlotState, check_slot_invariants
+
+import pytest
+
+
+class SlotMachine(RuleBasedStateMachine):
+    """One device from factory provisioning onward."""
+
+    def __init__(self):
+        super().__init__()
+        self._serial = 0
+        self.state = SlotState.provision(self._fresh())
+        self.stored = {self.state.slot_a}
+        self.confirmed = self.state.known_good  # model of known-good
+
+    def _fresh(self) -> str:
+        self._serial += 1
+        return f"gen-{self._serial:04d}"
+
+    # ------------------------------------------------------------- events
+
+    @rule()
+    def stage_new_generation(self):
+        """An OTA flashes a brand-new image into the standby slot."""
+        fingerprint = self._fresh()
+        protected = (
+            self.state.known_good is not None
+            and self.state.standby_generation == self.state.known_good
+            and self.state.active_generation != self.state.known_good)
+        if protected:
+            with pytest.raises(SlotStateError):
+                self.state.stage(fingerprint)
+        else:
+            self.state = self.state.stage(fingerprint)
+            self.stored.add(fingerprint)
+
+    @rule()
+    def stage_known_good_again(self):
+        """Re-flashing the known-good image is always legal."""
+        if self.state.known_good is None:
+            return
+        self.state = self.state.stage(self.state.known_good)
+
+    @rule()
+    def activate(self):
+        """Flip the bootloader to the standby slot."""
+        if self.state.standby_generation is None:
+            with pytest.raises(SlotStateError):
+                self.state.activate()
+        else:
+            self.state = self.state.activate()
+
+    @rule()
+    def boot_ok(self):
+        """A healthy boot confirms the trial slot, if one is underway."""
+        confirming = self.state.trial == self.state.active
+        self.state = self.state.boot_ok()
+        if confirming:
+            self.confirmed = self.state.active_generation
+
+    @rule(times=st.integers(1, 4))
+    def boot_fail(self, times):
+        """Failed health checks only ever bump the attempt counter."""
+        before = self.state
+        for _ in range(times):
+            self.state = self.state.boot_fail()
+        assert self.state.boot_attempts == before.boot_attempts + times
+        assert self.state.active == before.active
+        assert self.state.known_good == before.known_good
+
+    @rule()
+    def rollback(self):
+        """Flip back to the standby slot after a failed trial."""
+        if self.state.standby_generation is None:
+            with pytest.raises(SlotStateError):
+                self.state.rollback()
+        else:
+            self.state = self.state.rollback()
+
+    # --------------------------------------------------------- invariants
+
+    @invariant()
+    def never_bricked(self):
+        assert self.state.active_generation is not None
+
+    @invariant()
+    def known_good_never_lost(self):
+        assert self.state.known_good == self.confirmed
+        assert self.state.known_good in (self.state.slot_a,
+                                         self.state.slot_b)
+
+    @invariant()
+    def library_checker_agrees(self):
+        check_slot_invariants(self.state, self.stored)
+
+    @invariant()
+    def document_round_trips(self):
+        assert SlotState.from_dict(self.state.to_dict()) == self.state
+
+
+SlotMachine.TestCase.settings = settings(max_examples=40,
+                                         stateful_step_count=30,
+                                         deadline=None)
+TestSlotMachine = SlotMachine.TestCase
+
+
+# --------------------------------------------------- direct property tests
+
+
+@settings(max_examples=40)
+@given(st.text(min_size=1, max_size=16))
+def test_provision_is_trusted(fingerprint):
+    state = SlotState.provision(fingerprint)
+    assert state.active_generation == fingerprint
+    assert state.known_good == fingerprint
+    check_slot_invariants(state, {fingerprint})
+
+
+@settings(max_examples=40)
+@given(st.lists(st.sampled_from(["ok", "fail"]), max_size=8))
+def test_trial_survives_any_boot_noise_until_confirmed(outcomes):
+    """Whatever mix of boot outcomes, known-good only advances on the
+    first healthy boot of the trial slot — never on a failure."""
+    state = SlotState.provision("base").stage("update").activate()
+    for outcome in outcomes:
+        state = state.boot_ok() if outcome == "ok" else state.boot_fail()
+        check_slot_invariants(state, {"base", "update"})
+    if "ok" in outcomes:
+        assert state.known_good == "update"
+        assert state.trial is None
+    else:
+        assert state.known_good == "base"
+        assert state.trial == state.active
+
+
+def test_unconfirmed_trial_protects_fallback_slot():
+    """The exact brick scenario A/B slots exist to prevent: you cannot
+    flash over the known-good copy while the new image is on probation."""
+    state = SlotState.provision("base").stage("update").activate()
+    with pytest.raises(SlotStateError, match="known-good"):
+        state.stage("another-update")
+    # ...but after the rollback, the standby slot is fair game again.
+    rolled = state.rollback()
+    assert rolled.active_generation == "base"
+    assert rolled.stage("another-update").standby_generation \
+        == "another-update"

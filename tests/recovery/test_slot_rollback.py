@@ -1,0 +1,125 @@
+"""Tests for the A/B slot-rollback rung and the boot-time regression gate."""
+
+import pytest
+
+from repro.analysis.schema import validate_recovery_dict
+from repro.core.config import BBConfig
+from repro.errors import ConfigurationError
+from repro.faults import build_preset
+from repro.recovery import (OUTCOME_COMPLETED, OUTCOME_FAILED,
+                            OUTCOME_REGRESSED, OUTCOME_SKIPPED,
+                            RUNG_AS_CONFIGURED, RUNG_SLOT_ROLLBACK,
+                            BootSupervisor, RecoveryPolicy)
+from repro.workloads import WORKLOAD_FACTORIES, opensource_tv_workload
+
+AB_LADDER = (RUNG_AS_CONFIGURED, RUNG_SLOT_ROLLBACK)
+
+
+def supervise(preset=None, seed=1, **policy_kwargs):
+    plan = build_preset(preset, seed=seed) if preset else None
+    policy = RecoveryPolicy(label="ab-slot", seed=seed, ladder=AB_LADDER,
+                            **policy_kwargs)
+    supervisor = BootSupervisor(opensource_tv_workload(), policy,
+                                fault_plan=plan)
+    return supervisor, supervisor.run()
+
+
+# ---------------------------------------------------------------- rollback
+
+def test_failing_unit_falls_back_to_known_good_slot():
+    supervisor, outcome = supervise(
+        "broken-tuner", base_bb=BBConfig.full(),
+        fallback_workload="tv", fallback_bb=BBConfig.full())
+    assert outcome.converged and outcome.rung == RUNG_SLOT_ROLLBACK
+    assert [r.outcome for r in outcome.rungs] == [OUTCOME_FAILED,
+                                                  OUTCOME_COMPLETED]
+    # The fallback boot dropped the trial's fault plan entirely.
+    assert supervisor.simulations[-1].fault_plan is None
+    assert outcome.report is not None and not outcome.report.degraded
+    validate_recovery_dict(outcome.to_dict())
+
+
+def test_rollback_skipped_without_a_fallback_profile():
+    _, outcome = supervise("broken-tuner", base_bb=BBConfig.full())
+    assert not outcome.converged
+    assert [r.outcome for r in outcome.rungs] == [OUTCOME_FAILED,
+                                                  OUTCOME_SKIPPED]
+    skipped = outcome.rungs[-1]
+    assert skipped.rung == RUNG_SLOT_ROLLBACK and skipped.boot_ns == 0
+
+
+def test_unknown_fallback_workload_is_a_configuration_error():
+    with pytest.raises(ConfigurationError, match="unknown fallback workload"):
+        supervise("broken-tuner", base_bb=BBConfig.full(),
+                  fallback_workload="not-a-device")
+
+
+def test_fallback_charges_reboot_overhead_only_when_it_ran():
+    _, failed = supervise("broken-tuner", base_bb=BBConfig.full())
+    _, recovered = supervise("broken-tuner", base_bb=BBConfig.full(),
+                             fallback_workload="tv",
+                             fallback_bb=BBConfig.full())
+    fallback_ns = recovered.rungs[-1].boot_ns
+    # skipped rung adds nothing; a converging fallback adds only its boot.
+    assert failed.total_recovery_ns == recovered.total_recovery_ns - fallback_ns
+
+
+# --------------------------------------------------------- regression gate
+
+def test_slow_boot_is_recorded_as_regressed_and_escalates():
+    # tv/none boots in ~8.09 s; tv/full in ~3.51 s.  A 3.6 s ceiling marks
+    # the vanilla boot regressed and accepts the BB-accelerated fallback.
+    _, outcome = supervise(
+        base_bb=BBConfig.none(), max_boot_ns=3_600_000_000,
+        fallback_workload="tv", fallback_bb=BBConfig.full())
+    assert outcome.converged and outcome.rung == RUNG_SLOT_ROLLBACK
+    first, second = outcome.rungs
+    assert first.outcome == OUTCOME_REGRESSED
+    assert first.boot_ns > 3_600_000_000
+    assert second.outcome == OUTCOME_COMPLETED
+    assert second.boot_ns <= 3_600_000_000
+    validate_recovery_dict(outcome.to_dict())
+
+
+def test_gate_does_not_fire_on_fast_boots():
+    _, outcome = supervise(base_bb=BBConfig.full(),
+                           max_boot_ns=3_600_000_000,
+                           fallback_workload="tv")
+    assert outcome.converged and outcome.rung == RUNG_AS_CONFIGURED
+    assert [r.outcome for r in outcome.rungs] == [OUTCOME_COMPLETED]
+
+
+def test_gate_applies_to_the_fallback_slot_too():
+    # A ceiling nobody meets: both rungs regress, the ladder is exhausted.
+    _, outcome = supervise(base_bb=BBConfig.full(), max_boot_ns=1_000,
+                           fallback_workload="tv",
+                           fallback_bb=BBConfig.full())
+    assert not outcome.converged
+    assert [r.outcome for r in outcome.rungs] == [OUTCOME_REGRESSED,
+                                                  OUTCOME_REGRESSED]
+
+
+# ------------------------------------------------------------- determinism
+
+def test_rollback_recovery_is_deterministic():
+    runs = [supervise("broken-tuner", base_bb=BBConfig.full(),
+                      fallback_workload="tv",
+                      fallback_bb=BBConfig.full())[1].to_dict()
+            for _ in range(2)]
+    assert runs[0] == runs[1]
+
+
+def test_policy_validates_new_fields():
+    with pytest.raises(ConfigurationError, match="max_boot_ns"):
+        RecoveryPolicy(max_boot_ns=0)
+    with pytest.raises(ConfigurationError, match="fallback_workload"):
+        RecoveryPolicy(fallback_workload="")
+    # slot-rollback is a legal ladder rung even though it is not in the
+    # default ladder.
+    policy = RecoveryPolicy(ladder=AB_LADDER)
+    assert RUNG_SLOT_ROLLBACK in policy.ladder
+
+
+def test_every_registered_workload_is_a_legal_fallback():
+    for name in WORKLOAD_FACTORIES:
+        RecoveryPolicy(fallback_workload=name)

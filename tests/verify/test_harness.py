@@ -27,7 +27,8 @@ def test_smoke_runs_every_group(smoke_report):
     names = [result.name for result in smoke_report.results]
     assert names == ["invariant-monitor", "schedule-perturbation",
                      "analytic-oracles", "predicted", "cross-cutting-laws",
-                     "branch-identity", "fleet-identity"]
+                     "branch-identity", "fleet-identity",
+                     "generation-identity"]
     for result in smoke_report.results:
         assert result.checks > 0, result.name
 
@@ -37,7 +38,7 @@ def test_smoke_report_serializes(smoke_report):
     document = json.loads(json.dumps(smoke_report.to_dict()))
     assert document["ok"] is True
     assert document["total_boots"] == smoke_report.total_boots
-    assert len(document["groups"]) == 7
+    assert len(document["groups"]) == 8
 
 
 def test_summary_renders_pass_and_fail():
