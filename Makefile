@@ -1,6 +1,6 @@
 # Convenience targets for the BB reproduction.
 
-.PHONY: install test test-fast coverage verify recover predict bench bench-smoke fleet-smoke generations-smoke experiments artifacts examples clean
+.PHONY: install test test-fast coverage verify recover predict bench bench-smoke fleet-smoke fleet-crash-smoke generations-smoke experiments artifacts examples clean
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -62,6 +62,14 @@ bench-smoke:
 fleet-smoke:
 	PYTHONPATH=src python -m repro fleet campaign --smoke \
 		--total-jobs 500 --throughput-floor 10000
+
+# Crash-recovery gate: SIGKILL a real journaled `fleet serve` process
+# mid-campaign at a seeded write-ahead-journal offset, restart it on
+# the same journal/cache, and require the resumed campaign report to be
+# byte-identical to an uninterrupted serial run (plus proof that the
+# crash fired, the journal resumed work, and the client retried).
+fleet-crash-smoke:
+	PYTHONPATH=src python -m repro verify --smoke --only fleet-crash
 
 # CI-scale OTA campaign: stage the demo regressed generation (preparser
 # + deferred executor dropped, ~24% past the 1.10x gate) across the

@@ -464,6 +464,7 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     """Run the fleet service until SIGTERM/SIGINT drains it."""
     import asyncio
 
+    from repro.errors import ConfigurationError
     from repro.fleet.resources import ResourcePolicy
     from repro.fleet.service import FleetService
 
@@ -475,6 +476,20 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
                            if args.max_rss_mb else None))
     except ValueError as exc:
         raise SystemExit(str(exc))
+    chaos = None
+    if args.chaos:
+        import json
+
+        from repro.faults.fleet import FleetFaultPlan
+
+        try:
+            document = json.loads(args.chaos)
+        except ValueError as exc:
+            raise SystemExit(f"--chaos is not valid JSON: {exc}")
+        try:
+            chaos = FleetFaultPlan.from_dict(document)
+        except ConfigurationError as exc:
+            raise SystemExit(f"--chaos: {exc}")
 
     async def _serve() -> None:
         service = FleetService(
@@ -482,12 +497,19 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             cache_max_bytes=(args.cache_max_mb * 1024 * 1024
                              if args.cache_max_mb else None),
-            branch=args.branch, batch_size=args.batch_size)
+            branch=args.branch, batch_size=args.batch_size,
+            journal_dir=args.journal,
+            journal_checkpoint_every=args.journal_checkpoint_every,
+            max_job_retries=args.max_job_retries, chaos=chaos)
         host, port = await service.start()
         service.install_signal_handlers()
+        journal_note = (f", journal {args.journal}" if args.journal else "")
+        chaos_note = (f", chaos {chaos.describe()}"
+                      if chaos is not None and not chaos.empty else "")
         print(f"fleet service listening on {host}:{port} "
               f"(workers {policy.min_workers}..{policy.max_workers}, "
-              f"SIGTERM drains gracefully)", flush=True)
+              f"SIGTERM drains gracefully{journal_note}{chaos_note})",
+              flush=True)
         await service.serve_forever()
 
     try:
@@ -564,18 +586,36 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet_campaign(args: argparse.Namespace) -> int:
+    from repro.errors import FleetError
     from repro.fleet import campaign
+    from repro.fleet.client import RetryPolicy
 
-    result = campaign.run(smoke=args.smoke, total_jobs=args.total_jobs,
-                          max_workers=_resolve_jobs(args.max_workers),
-                          batch_size=args.batch_size)
+    if args.host is not None:
+        retry = RetryPolicy(retries=args.retries,
+                            backoff_base=args.backoff_base,
+                            seed=args.retry_seed)
+        try:
+            result = campaign.run_external(
+                args.host, args.port, smoke=args.smoke,
+                total_jobs=args.total_jobs,
+                cells_per_chunk=args.chunk_cells, retry=retry,
+                read_timeout=args.read_timeout)
+        except FleetError as exc:
+            raise SystemExit(f"campaign against {args.host}:{args.port} "
+                             f"failed: {exc}")
+    else:
+        result = campaign.run(smoke=args.smoke, total_jobs=args.total_jobs,
+                              max_workers=_resolve_jobs(args.max_workers),
+                              batch_size=args.batch_size,
+                              journal_dir=args.journal)
     if args.json:
         import json
         document = {key: getattr(result, key) for key in (
             "total_jobs", "unique_jobs", "executed", "cache_hits",
             "coalesced", "wall_s", "jobs_per_min", "serial_wall_s",
             "peak_workers", "scaled_up", "scaled_down", "identical",
-            "mismatches", "smoke")}
+            "mismatches", "smoke", "provenance", "resumed_jobs",
+            "client_retries", "requeued", "quarantined")}
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(campaign.render(result))
@@ -773,7 +813,11 @@ def _cmd_bootchart(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import run_verification
 
-    report = run_verification(smoke=args.smoke, seed=args.seed)
+    try:
+        report = run_verification(smoke=args.smoke, seed=args.seed,
+                                  only=args.only)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     if args.json:
         import json
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -968,6 +1012,21 @@ def build_parser() -> argparse.ArgumentParser:
                        default=False,
                        help="checkpoint/fork-branch prefix-sharing jobs "
                             "inside shard batches")
+    serve.add_argument("--journal", metavar="DIR", default=None,
+                       help="write-ahead job journal directory; a "
+                            "restarted service resumes unfinished "
+                            "submissions from it")
+    serve.add_argument("--journal-checkpoint-every", type=int, default=64,
+                       metavar="N",
+                       help="compact the journal every N appends "
+                            "(default 64)")
+    serve.add_argument("--max-job-retries", type=int, default=2,
+                       help="times a job whose shard crashed is requeued "
+                            "before quarantine (default 2)")
+    serve.add_argument("--chaos", metavar="JSON", default=None,
+                       help="seeded fault-injection plan for the chaos "
+                            "harness, e.g. "
+                            "'{\"seed\": 7, \"kill_worker_rate\": 0.1}'")
     serve.set_defaults(fn=_cmd_fleet_serve)
 
     submit = fleet_sub.add_parser(
@@ -1006,7 +1065,8 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_campaign = fleet_sub.add_parser(
         "campaign",
         help="run the 10k+-job fleet campaign against an in-process "
-             "service, byte-checked vs a serial replay")
+             "service (or, with --host, a running external one), "
+             "byte-checked vs a serial replay")
     fleet_campaign.add_argument("--smoke", action="store_true",
                                 help="CI-sized matrix")
     fleet_campaign.add_argument("--total-jobs", type=int, default=None,
@@ -1016,6 +1076,29 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="upper auto-scale bound "
                                      "(default: cpu count)")
     fleet_campaign.add_argument("--batch-size", type=int, default=16)
+    fleet_campaign.add_argument("--journal", metavar="DIR", default=None,
+                                help="journal directory for the "
+                                     "in-process service")
+    fleet_campaign.add_argument("--host", default=None,
+                                help="drive a running fleet service "
+                                     "instead of an in-process one")
+    fleet_campaign.add_argument("--port", type=int, default=7016)
+    fleet_campaign.add_argument("--chunk-cells", type=int, default=1,
+                                metavar="N",
+                                help="matrix cells per submission chunk "
+                                     "in external mode (default 1)")
+    fleet_campaign.add_argument("--retries", type=int, default=8,
+                                help="client resubmission budget per "
+                                     "chunk in external mode (default 8)")
+    fleet_campaign.add_argument("--backoff-base", type=float, default=0.1,
+                                help="first-retry backoff ceiling, "
+                                     "seconds (default 0.1)")
+    fleet_campaign.add_argument("--retry-seed", type=int, default=0,
+                                help="jitter seed for the backoff "
+                                     "schedule (default 0)")
+    fleet_campaign.add_argument("--read-timeout", type=float, default=120.0,
+                                help="per-event read timeout in external "
+                                     "mode, seconds (default 120)")
     fleet_campaign.add_argument("--throughput-floor", type=float, default=0.0,
                                 help="fail (exit 1) below this many "
                                      "jobs/min (0 = report only)")
@@ -1139,6 +1222,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="master seed for perturbations and oracle cases")
     verify.add_argument("--json", action="store_true",
                         help="emit the verification report as JSON")
+    verify.add_argument("--only", metavar="GROUP", default=None,
+                        help="run a single check group by name "
+                             "(e.g. fleet-crash)")
     verify.set_defaults(fn=_cmd_verify)
 
     analyze = sub.add_parser("analyze", help="run the Service Analyzer")

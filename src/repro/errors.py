@@ -154,6 +154,17 @@ class ProtocolError(FleetError):
     """
 
 
+class JournalError(FleetError):
+    """The fleet write-ahead job journal is unusable.
+
+    Raised by :mod:`repro.fleet.journal` for non-recoverable store
+    problems: a corrupt record in the *middle* of the log (a torn tail is
+    tolerated and skipped, but mid-log corruption means the file was
+    damaged after it was written), an unreadable checkpoint document, or
+    a record of an unknown type.
+    """
+
+
 class ConfigurationError(ReproError):
     """An invalid BB or simulation configuration value."""
 

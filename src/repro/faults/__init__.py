@@ -6,6 +6,7 @@ pass the plan to :class:`~repro.core.bb.BootSimulation` (or embed it in a
 :class:`~repro.runner.jobs.SimJob`).  See ``docs/faults.md``.
 """
 
+from repro.faults.fleet import FleetFaultInjector, FleetFaultPlan
 from repro.faults.injector import BootFaultInjector, InjectedStats, ServiceDecision
 from repro.faults.plan import (DeferredFault, FaultPlan, ModuleFault,
                                PathFault, ServiceFault, SettleFault,
@@ -16,6 +17,8 @@ __all__ = [
     "BootFaultInjector",
     "DeferredFault",
     "FaultPlan",
+    "FleetFaultInjector",
+    "FleetFaultPlan",
     "InjectedStats",
     "ModuleFault",
     "PRESETS",

@@ -12,11 +12,58 @@ resolved per-job byte strings either way.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, AsyncIterator
 
-from repro.errors import FleetError, ProtocolError
+from repro.errors import ConfigurationError, FleetError, ProtocolError
 from repro.fleet import protocol
+
+
+def backoff_schedule(retries: int, base: float = 0.05, cap: float = 2.0,
+                     seed: int = 0) -> list[float]:
+    """Seeded-jitter exponential backoff delays, one per retry.
+
+    Delay ``i`` is ``min(cap, base * 2**i)`` scaled by a jitter factor in
+    ``[0.5, 1.0)`` drawn from ``sha256(seed, i)`` — deterministic per
+    seed (so tests and the chaos harness can reason about exact retry
+    timing) while still decorrelating a fleet of clients hammering a
+    restarting service.
+    """
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries!r}")
+    if base <= 0 or cap <= 0:
+        raise ConfigurationError(
+            f"backoff base/cap must be > 0, got base={base!r} cap={cap!r}")
+    delays: list[float] = []
+    for attempt in range(retries):
+        ceiling = min(cap, base * (2 ** attempt))
+        digest = hashlib.sha256(
+            f"fleet-backoff:{seed}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        delays.append(ceiling * (0.5 + 0.5 * unit))
+    return delays
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How :meth:`FleetClient.submit_with_retry` rides out failures.
+
+    Attributes:
+        retries: Resubmission attempts after the first try.
+        backoff_base: First-retry delay ceiling, seconds.
+        backoff_cap: Upper bound any delay saturates at, seconds.
+        seed: Jitter seed (see :func:`backoff_schedule`).
+    """
+
+    retries: int = 5
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    seed: int = 0
+
+    def delays(self) -> list[float]:
+        return backoff_schedule(self.retries, self.backoff_base,
+                                self.backoff_cap, self.seed)
 
 
 @dataclass(slots=True)
@@ -33,6 +80,8 @@ class SubmissionOutcome:
         errors: ``index -> error`` for failed jobs (payload is ``b""``).
         events: Count of each event type seen while streaming.
         elapsed_s: Submit-to-done wall time reported by the server.
+        attempts: Transport attempts this outcome took (1 = no retry;
+            only :meth:`FleetClient.submit_with_retry` exceeds 1).
     """
 
     sid: str
@@ -44,6 +93,7 @@ class SubmissionOutcome:
     errors: dict[int, str] = field(default_factory=dict)
     events: dict[str, int] = field(default_factory=dict)
     elapsed_s: float = 0.0
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -59,9 +109,13 @@ class FleetClient:
             outcome = await client.submit(specs)
     """
 
-    def __init__(self, host: str, port: int):
+    def __init__(self, host: str, port: int,
+                 connect_timeout: float | None = 5.0,
+                 read_timeout: float | None = None):
         self.host = host
         self.port = port
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._payloads: dict[str, bytes] = {}  # fingerprint -> bytes
@@ -76,8 +130,14 @@ class FleetClient:
 
     async def connect(self) -> None:
         try:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port, limit=protocol.MAX_FRAME_BYTES)
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port,
+                                        limit=protocol.MAX_FRAME_BYTES),
+                timeout=self.connect_timeout)
+        except asyncio.TimeoutError as exc:
+            raise FleetError(
+                f"timed out after {self.connect_timeout}s connecting to "
+                f"fleet service at {self.host}:{self.port}") from exc
         except (ConnectionError, OSError) as exc:
             raise FleetError(
                 f"cannot reach fleet service at {self.host}:{self.port}: "
@@ -107,7 +167,12 @@ class FleetClient:
     async def _read_event(self) -> dict[str, Any]:
         assert self._reader is not None
         try:
-            line = await self._reader.readline()
+            line = await asyncio.wait_for(self._reader.readline(),
+                                          timeout=self.read_timeout)
+        except asyncio.TimeoutError as exc:
+            raise FleetError(
+                f"timed out after {self.read_timeout}s waiting for a "
+                f"server event") from exc
         except (ConnectionError, OSError) as exc:
             raise FleetError(
                 f"server closed the connection mid-stream: {exc}") from exc
@@ -153,6 +218,48 @@ class FleetClient:
             elif kind == "error":
                 outcome.errors[-1] = str(event.get("message"))
         return outcome
+
+    async def submit_with_retry(self, specs: list[dict[str, Any]],
+                                priority: int = 0, sid: str | None = None,
+                                policy: RetryPolicy | None = None
+                                ) -> SubmissionOutcome:
+        """:meth:`submit`, riding out transport failures and restarts.
+
+        The submission id is fixed on the first attempt and reused on
+        every retry — that, plus the jobs' content fingerprints, is what
+        makes resubmission idempotent: a journaled service recognizes
+        the retried ``(sid, specs, priority)`` triple, and re-executed
+        fingerprints are answered from the content-addressed cache with
+        identical bytes.  Retries cover transport-level
+        :class:`~repro.errors.FleetError`\\ s (connect refused/timeout,
+        connection cut mid-stream); :class:`~repro.errors.ProtocolError`
+        means the *request* is wrong and retrying cannot help, so it
+        propagates immediately.
+        """
+        policy = policy if policy is not None else RetryPolicy()
+        if sid is None:
+            sid = f"sub-{self._next_sid}"
+            self._next_sid += 1
+        delays = policy.delays()
+        attempt = 0
+        while True:
+            try:
+                if self._writer is None:
+                    await self.connect()
+                outcome = await self.submit(specs, priority=priority,
+                                            sid=sid)
+                outcome.attempts = attempt + 1
+                return outcome
+            except ProtocolError:
+                raise
+            except FleetError as exc:
+                await self.close()
+                if attempt >= len(delays):
+                    raise FleetError(
+                        f"submission {sid!r} failed after {attempt + 1} "
+                        f"attempts: {exc}") from exc
+                await asyncio.sleep(delays[attempt])
+                attempt += 1
 
     def _collect_result(self, outcome: SubmissionOutcome,
                         event: dict[str, Any]) -> None:

@@ -47,6 +47,7 @@ result out, which is exactly the fleet-of-identical-devices shape.
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 from typing import Any, Callable
 
@@ -100,6 +101,22 @@ def decode_payload(text: str) -> bytes:
         return base64.b64decode(text.encode("ascii"), validate=True)
     except (ValueError, UnicodeEncodeError) as exc:
         raise ProtocolError(f"undecodable result payload: {exc}") from exc
+
+
+def submission_key(sid: str, specs: list[dict[str, Any]],
+                   priority: int) -> str:
+    """Content key identifying one submission for the write-ahead journal.
+
+    A retrying client resubmits the same ``(sid, specs, priority)``
+    triple, so hashing their canonical JSON makes the journal's
+    ``record_submit`` naturally idempotent across retries while two
+    different submissions (even with colliding auto-generated sids from
+    different connections) still collapse only when they are genuinely
+    the same work.
+    """
+    body = json.dumps({"sid": sid, "specs": specs, "priority": priority},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
 
 
 # ----------------------------------------------------------------- job specs

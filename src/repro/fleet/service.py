@@ -19,6 +19,23 @@ Graceful drain: ``SIGTERM``/``SIGINT`` (or an ``op: drain`` frame) stops
 new submissions, lets in-flight batches finish, flushes every stream,
 then closes.  Nothing is orphaned: shard executors are shut down with
 ``wait=True`` on the drain path.
+
+Durability (``journal_dir``): every submission is appended to the
+write-ahead :class:`~repro.fleet.journal.JobJournal` *before* it is
+acked, and marked done only after its last result is handed to the
+delivery path — so a SIGKILL'd service, restarted on the same journal,
+resubmits exactly the submissions whose acks it had issued but whose
+results it had not finished.  Recovery is deterministic because jobs are
+content-fingerprinted: a resumed fingerprint re-runs (or cache-hits) to
+byte-identical results.
+
+Degradation: a shard that dies mid-batch is replaced wholesale and its
+batch is requeued under a bounded per-fingerprint retry budget
+(``max_job_retries``); a job that keeps killing its shards is
+quarantined with a diagnosis and answered as an error instead of
+wedging the pool.  The deterministic chaos seam
+(:class:`~repro.faults.fleet.FleetFaultPlan`) drives all of this from
+the ``fleet-crash`` verify group.
 """
 
 from __future__ import annotations
@@ -29,7 +46,9 @@ import signal
 import time
 from typing import Any
 
+from repro.faults.fleet import FleetFaultInjector, FleetFaultPlan
 from repro.fleet import protocol
+from repro.fleet.journal import DEFAULT_CHECKPOINT_EVERY, JobJournal
 from repro.fleet.resources import ResourcePolicy
 from repro.fleet.workers import WorkerPool
 from repro.runner.branch import canonical_bytes
@@ -48,30 +67,61 @@ PROGRESS_STEPS = 20
 class _Submission:
     """Book-keeping for one ``op: submit`` frame on one connection."""
 
-    __slots__ = ("sid", "total", "delivered", "started", "next_progress")
+    __slots__ = ("sid", "total", "delivered", "started", "next_progress",
+                 "journal_key")
 
-    def __init__(self, sid: str, total: int):
+    def __init__(self, sid: str, total: int,
+                 journal_key: str | None = None):
         self.sid = sid
         self.total = total
         self.delivered = 0
         self.started = time.perf_counter()
         self.next_progress = max(1, total // PROGRESS_STEPS)
+        self.journal_key = journal_key
+
+
+class _ResumedSubmission:
+    """One journal-recovered submission being re-driven to completion."""
+
+    __slots__ = ("key", "client", "total", "delivered", "errors")
+
+    def __init__(self, key: str, client: str, total: int):
+        self.key = key
+        self.client = client
+        self.total = total
+        self.delivered = 0
+        self.errors = 0
 
 
 class _Connection:
     """One client connection: its stream, submissions, and payload memory."""
 
-    def __init__(self, key: str, writer: asyncio.StreamWriter):
+    def __init__(self, key: str, writer: asyncio.StreamWriter,
+                 chaos: FleetFaultInjector | None = None, index: int = 0):
         self.key = key
         self.writer = writer
         self.submissions: dict[str, _Submission] = {}
         self.ticket_meta: dict[int, tuple[str, int]] = {}  # id -> (sid, index)
         self.sent_payloads: set[str] = set()
         self.closed = False
+        self.chaos = chaos
+        self.index = index
+        self.frames_sent = 0
 
     async def send(self, message: dict[str, Any]) -> None:
         if self.closed:
             return
+        if (self.chaos is not None
+                and self.chaos.drop_connection(self.index,
+                                               self.frames_sent + 1)):
+            # Chaos: cut the link abruptly (RST, not a graceful FIN) —
+            # the client must recover via timeout/backoff/resubmission.
+            self.closed = True
+            transport = self.writer.transport
+            if transport is not None:
+                transport.abort()
+            return
+        self.frames_sent += 1
         try:
             self.writer.write(protocol.encode_frame(message))
             await self.writer.drain()
@@ -99,6 +149,12 @@ class FleetService:
             shard batches.
         batch_size: Jobs per shard batch.
         sample_interval: Seconds between autoscale/sampling passes.
+        journal_dir: Write-ahead journal directory; ``None`` disables
+            durability (the pre-journal behaviour).
+        journal_checkpoint_every: Journal appends between compactions.
+        max_job_retries: Requeues a fingerprint gets after shard crashes
+            before it is quarantined.
+        chaos: Deterministic service-fault plan (testing only).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -107,7 +163,11 @@ class FleetService:
                  cache_max_bytes: int | None = None,
                  branch: bool = False,
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 sample_interval: float = 0.5):
+                 sample_interval: float = 0.5,
+                 journal_dir: str | None = None,
+                 journal_checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 max_job_retries: int = 2,
+                 chaos: FleetFaultPlan | None = None):
         self.host = host
         self.port = port
         self.policy = policy if policy is not None else ResourcePolicy()
@@ -119,6 +179,21 @@ class FleetService:
             cache=ResultCache(cache_dir, max_bytes=cache_max_bytes))
         self.pool = WorkerPool(self.policy, cache_dir=cache_dir,
                                branch=branch)
+        self.chaos = chaos
+        self._chaos = chaos.compile() if chaos is not None else None
+        self.journal: JobJournal | None = None
+        if journal_dir is not None:
+            self.journal = JobJournal(
+                journal_dir, checkpoint_every=journal_checkpoint_every,
+                crash_after_append=(chaos.crash_at_journal_offset
+                                    if chaos is not None else None))
+        self.max_job_retries = max(0, max_job_retries)
+        self.quarantined: dict[str, str] = {}  # fingerprint -> diagnosis
+        self.resumed_total = 0
+        self.resumed_done = 0
+        self._retry_counts: dict[str, int] = {}
+        self._resumed: dict[str, _ResumedSubmission] = {}
+        self._batches_dispatched = 0
         self.draining = False
         self.started_at = time.monotonic()
         self.address: tuple[str, int] | None = None
@@ -134,14 +209,66 @@ class FleetService:
     # ----------------------------------------------------------- lifecycle
 
     async def start(self) -> tuple[str, int]:
-        """Bind, start the supervisor, return the actual address."""
+        """Bind, start the supervisor, resume journaled work, return
+        the actual address."""
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port,
             limit=protocol.MAX_FRAME_BYTES)
         sock = self._server.sockets[0]
         self.address = sock.getsockname()[:2]
         self._supervisor = asyncio.create_task(self._supervise())
+        self._resume_journal()
         return self.address
+
+    def _resume_journal(self) -> None:
+        """Resubmit every submission the journal says never finished.
+
+        Each open record is replayed under a synthetic ``journal:`` client
+        — results are re-executed (or cache-hit) and absorbed, and the
+        record is marked done only once every ticket resolves, so another
+        crash mid-recovery just resumes again.  Sorted keys keep recovery
+        order deterministic.
+        """
+        if self.journal is None:
+            return
+        for key in sorted(self.journal.open_submissions):
+            record = self.journal.open_submissions[key]
+            specs = record.get("specs")
+            priority = record.get("priority", 0)
+            if not isinstance(priority, int):
+                priority = 0
+            jobs: list[Any] = []
+            try:
+                for spec in (specs if isinstance(specs, list) else []):
+                    job, repeat = protocol.job_from_spec(spec)
+                    jobs.extend([job] * repeat)
+            except protocol.ProtocolError:
+                jobs = []  # the registry changed under the journal
+            if not jobs:
+                self.journal.record_done(key)
+                continue
+            client = f"journal:{key}"
+            self._resumed[client] = _ResumedSubmission(key, client,
+                                                      len(jobs))
+            self.resumed_total += 1
+            for job in jobs:
+                self.scheduler.submit(client, job, priority=priority)
+            self._absorb_resumed(client)  # cache hits resolve instantly
+        self._work_available.set()
+
+    def _absorb_resumed(self, client: str) -> None:
+        tracker = self._resumed.get(client)
+        if tracker is None:
+            return
+        for ticket in self.scheduler.drain(client):
+            tracker.delivered += 1
+            if ticket.error is not None:
+                tracker.errors += 1
+        if tracker.delivered >= tracker.total:
+            del self._resumed[client]
+            self.resumed_done += 1
+            if self.journal is not None:
+                self.journal.record_done(tracker.key)
 
     def install_signal_handlers(self) -> None:
         """Route SIGTERM/SIGINT to the graceful drain (serve mode)."""
@@ -177,6 +304,11 @@ class FleetService:
                 await self._supervisor
         self.pool.shutdown(wait=True)
         await self._close_connections()
+        if self.journal is not None:
+            # Clean drain: fold the (normally empty) open set into the
+            # checkpoint so the next serve starts from a compact journal.
+            self.journal.checkpoint()
+            self.journal.close()
         self._drained.set()
 
     async def stop(self) -> None:
@@ -193,6 +325,8 @@ class FleetService:
                 await self._supervisor
         self.pool.shutdown(wait=False)
         await self._close_connections()
+        if self.journal is not None:
+            self.journal.close()
         self._drained.set()
 
     async def _close_connections(self) -> None:
@@ -236,23 +370,54 @@ class FleetService:
             task.add_done_callback(self._batch_tasks.discard)
 
     async def _run_batch(self, shard, batch) -> None:
+        self._batches_dispatched += 1
+        if (self._chaos is not None
+                and self._chaos.kill_worker(self._batches_dispatched)):
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, shard.poison)
         fingerprints = [fingerprint for fingerprint, _ in batch]
         jobs = [job for _, job in batch]
         try:
             results = await shard.run_batch(jobs)
-        except Exception as exc:  # noqa: BLE001 - shard crash -> job errors
-            for fingerprint in fingerprints:
-                clients = self.scheduler.fail(
-                    fingerprint, f"shard {shard.shard_id} failed: {exc!r}")
-                await self._flush_clients(clients)
+        except Exception as exc:  # noqa: BLE001 - shard crash
+            await self._handle_batch_crash(shard, batch, exc)
         else:
             for fingerprint, result in zip(fingerprints, results):
+                self._retry_counts.pop(fingerprint, None)
                 clients = self.scheduler.complete(fingerprint, result)
                 await self._flush_clients(clients)
         self._work_available.set()
 
+    async def _handle_batch_crash(self, shard, batch, exc: Exception) -> None:
+        """Graceful degradation after a shard death mid-batch.
+
+        The broken shard is replaced wholesale; each fingerprint of the
+        lost batch is requeued until its retry budget runs out, after
+        which it is quarantined — answered as an error with a diagnosis
+        and refused at future submits — so a poison job cannot grind the
+        pool down shard by shard.
+        """
+        self.pool.replace(shard)
+        for fingerprint, _job in batch:
+            attempts = self._retry_counts.get(fingerprint, 0) + 1
+            if attempts <= self.max_job_retries:
+                self._retry_counts[fingerprint] = attempts
+                self.scheduler.requeue(fingerprint)
+                continue
+            diagnosis = (
+                f"quarantined after killing {attempts} shard(s) "
+                f"(last: shard {shard.shard_id} died with {exc!r}); "
+                f"retry budget of {self.max_job_retries} exhausted")
+            self.quarantined[fingerprint] = diagnosis
+            self._retry_counts.pop(fingerprint, None)
+            clients = self.scheduler.fail(fingerprint, diagnosis)
+            await self._flush_clients(clients)
+
     async def _flush_clients(self, clients: list[str]) -> None:
         for key in clients:
+            if key in self._resumed:
+                self._absorb_resumed(key)
+                continue
             connection = self._connections.get(key)
             if connection is None:
                 self.scheduler.drain(key)  # discard: client is gone
@@ -280,6 +445,13 @@ class FleetService:
                 })
             if submission.delivered >= submission.total:
                 del connection.submissions[sid]
+                # Journal completion once every result is delivered; a
+                # crash on either side of the done frame is covered —
+                # before: the journal resumes it (all cache hits);
+                # after: the client's retry resubmits and cache-hits.
+                if (submission.journal_key is not None
+                        and self.journal is not None):
+                    self.journal.record_done(submission.journal_key)
                 await connection.send({
                     "event": "done", "id": sid, "total": submission.total,
                     "elapsed_s": round(
@@ -308,9 +480,11 @@ class FleetService:
 
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
-        key = f"conn-{self._next_conn}"
+        index = self._next_conn
+        key = f"conn-{index}"
         self._next_conn += 1
-        connection = _Connection(key, writer)
+        connection = _Connection(key, writer, chaos=self._chaos,
+                                 index=index)
         self._connections[key] = connection
         task = asyncio.current_task()
         if task is not None:
@@ -331,6 +505,14 @@ class FleetService:
         finally:
             self._connections.pop(key, None)
             self.scheduler.forget_client(key)
+            # A client that walked away mid-submission abandoned the
+            # work — close its journal entries so a restart does not
+            # resurrect submissions nobody is waiting for.  (A client
+            # that *retries* re-journals the same content key first.)
+            if self.journal is not None:
+                for submission in connection.submissions.values():
+                    if submission.journal_key is not None:
+                        self.journal.record_done(submission.journal_key)
             connection.closed = True
             with contextlib.suppress(ConnectionError):
                 writer.close()
@@ -372,12 +554,29 @@ class FleetService:
         for spec in specs:
             job, repeat = protocol.job_from_spec(spec)
             expanded.extend([job] * repeat)
-        submission = _Submission(sid, len(expanded))
+        # Write-ahead: the submission is durable before the ack leaves.
+        # A crash after this line is recoverable from the journal; a
+        # crash before it means the client never saw an ack and owns the
+        # retry.  record_submit is idempotent on the content key, so a
+        # retried submission does not double-journal.
+        journal_key: str | None = None
+        if self.journal is not None:
+            journal_key = protocol.submission_key(sid, specs, priority)
+            self.journal.record_submit(journal_key, sid, specs, priority)
+        submission = _Submission(sid, len(expanded), journal_key)
         connection.submissions[sid] = submission
+        refused: dict[str, str] = {}
         for index, job in enumerate(expanded):
             ticket = self.scheduler.submit(connection.key, job,
                                            priority=priority)
             connection.ticket_meta[id(ticket)] = (sid, index)
+            diagnosis = self.quarantined.get(ticket.fingerprint)
+            if diagnosis is not None and ticket.error is None:
+                refused[ticket.fingerprint] = diagnosis
+        # Quarantined fingerprints are answered immediately with their
+        # diagnosis instead of being handed back to a pool they kill.
+        for fingerprint, diagnosis in refused.items():
+            self.scheduler.fail(fingerprint, diagnosis)
         await connection.send({"event": "ack", "id": sid,
                                "jobs": len(expanded)})
         self._work_available.set()
@@ -421,7 +620,27 @@ class FleetService:
                 "dispatched": stats.dispatched,
                 "completed": stats.completed,
                 "failed": stats.failed,
+                "requeued": stats.requeued,
                 "delivered": stats.delivered,
+            },
+            "journal": ({
+                **self.journal.status(),
+                "resumed": self.resumed_total,
+                "resumed_done": self.resumed_done,
+                "resuming": len(self._resumed),
+            } if self.journal is not None else {"enabled": False}),
+            "resilience": {
+                "max_job_retries": self.max_job_retries,
+                "requeued": stats.requeued,
+                "quarantined": len(self.quarantined),
+                "shards_replaced": self.pool.replaced,
+                "chaos": (self.chaos.describe()
+                          if self.chaos is not None else None),
+                "chaos_worker_kills": (self._chaos.worker_kills
+                                       if self._chaos is not None else 0),
+                "chaos_connection_drops": (
+                    self._chaos.connection_drops
+                    if self._chaos is not None else 0),
             },
             "cache": {
                 "memory_hits": cache_stats.memory_hits,

@@ -18,6 +18,7 @@ on shutdown.
 from __future__ import annotations
 
 import asyncio
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any
@@ -96,6 +97,19 @@ class WorkerShard:
         finally:
             self.busy = False
 
+    def poison(self) -> None:
+        """Kill the shard child (chaos harness).
+
+        ``os._exit(137)`` inside the child is indistinguishable from a
+        SIGKILL mid-batch: the executor breaks, and the next
+        ``run_batch`` raises the same ``BrokenProcessPool`` the service's
+        requeue/quarantine path must survive in production.
+        """
+        try:
+            self._executor.submit(os._exit, 137).result(timeout=10)
+        except Exception:  # noqa: BLE001 - the broken pool IS the point
+            pass
+
     def sample(self) -> ResourceSample:
         """CPU/RSS of the shard child (re-targets if the child respawned)."""
         pid = self.pid
@@ -134,6 +148,7 @@ class WorkerPool:
         self.branch = branch
         self.scaled_up = 0
         self.scaled_down = 0
+        self.replaced = 0
         self.peak_workers = 0
         self._next_id = 0
         self._shards: list[WorkerShard] = []
@@ -172,6 +187,25 @@ class WorkerPool:
             self.scaled_down += 1
         self.peak_workers = max(self.peak_workers, len(self._shards))
         return len(self._shards)
+
+    def replace(self, shard: WorkerShard) -> WorkerShard | None:
+        """Retire a crashed shard and spawn a fresh one in its place.
+
+        A broken ``ProcessPoolExecutor`` never recovers, so graceful
+        degradation means swapping the whole shard, not nursing it.
+        Returns the successor, or ``None`` if the shard already left the
+        pool (e.g. a concurrent scale-down retired it).
+        """
+        if shard not in self._shards:
+            return None
+        self._shards.remove(shard)
+        shard.shutdown(wait=False)
+        successor = WorkerShard(self._next_id, self.cache_dir, self.branch)
+        self._next_id += 1
+        self._shards.append(successor)
+        self.replaced += 1
+        self.peak_workers = max(self.peak_workers, len(self._shards))
+        return successor
 
     def autoscale(self, backlog: int) -> int:
         """One policy step: sample every shard, move one step toward the

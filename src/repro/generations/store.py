@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Any, Iterator
@@ -257,9 +258,23 @@ class GenerationStore:
         return refs
 
     def _save_refs(self, refs: dict[str, str]) -> None:
+        # The refs table is the store's single mutable file: a torn
+        # write here orphans every ref at once.  Write-temp + fsync +
+        # atomic rename means a crash at any instant leaves either the
+        # old complete table or the new complete table, never a prefix.
         payload = json.dumps(dict(sorted(refs.items())), indent=2,
                              sort_keys=True) + "\n"
-        self.refs_path.write_text(payload, encoding="ascii")
+        temporary = self.refs_path.with_name(self.refs_path.name + ".tmp")
+        with open(temporary, "w", encoding="ascii") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, self.refs_path)
+        directory = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(directory)
+        finally:
+            os.close(directory)
 
     # -------------------------------------------------------------- objects
 

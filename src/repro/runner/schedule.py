@@ -160,6 +160,9 @@ class SchedulerStats:
         dispatched: Unique fingerprints handed to the execution tier.
         completed: Unique fingerprints that finished successfully.
         failed: Unique fingerprints that finished with an error.
+        requeued: In-flight fingerprints returned to the queue after
+            their worker died (each later re-dispatch counts in
+            ``dispatched`` again).
         delivered: Tickets drained by client streams.
     """
 
@@ -169,6 +172,7 @@ class SchedulerStats:
     dispatched: int = 0
     completed: int = 0
     failed: int = 0
+    requeued: int = 0
     delivered: int = 0
 
 
@@ -321,6 +325,31 @@ class JobScheduler:
         self.cache.put(fingerprint, result)
         self.stats.completed += 1
         return self._resolve(fingerprint, result=result)
+
+    def requeue(self, fingerprint: str) -> bool:
+        """Return an in-flight fingerprint to the queue (its worker died
+        before producing a result).  Waiting tickets keep waiting; the
+        representative goes back to ``pending`` and the fingerprint is
+        re-queued under its original client and priority.  Returns
+        ``False`` — and drops the fingerprint — when it is not in flight
+        or no ticket still wants the result.
+        """
+        if fingerprint not in self._inflight:
+            return False
+        del self._inflight[fingerprint]
+        waiters = self._waiters.get(fingerprint)
+        if not waiters:
+            self._waiters.pop(fingerprint, None)
+            return False
+        representative = waiters[0]
+        representative.state = PENDING
+        self._queued.add(fingerprint)
+        band = self._bands.get(representative.priority)
+        if band is None:
+            band = self._bands[representative.priority] = _PriorityBand()
+        band.push(representative.client, fingerprint)
+        self.stats.requeued += 1
+        return True
 
     def fail(self, fingerprint: str, error: str) -> list[str]:
         """Record a failed execution; every waiting ticket carries the

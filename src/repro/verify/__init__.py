@@ -17,13 +17,18 @@ Three cooperating layers of defence against a silently wrong simulator:
 * :mod:`repro.verify.fleet` — the fleet-identity oracle: a campaign
   streamed through the async boot service must deliver results
   byte-identical to a serial replay.
+* :mod:`repro.verify.fleet_crash` — the crash-recovery oracle: a real
+  service subprocess is power-cut mid-campaign at a seeded journal
+  offset, restarted, and the stitched campaign must be byte-identical
+  to an uninterrupted serial run.
 
-:func:`run_verification` drives all three; the CLI surfaces it as
-``repro verify [--smoke]``.
+:func:`run_verification` drives all of them; the CLI surfaces it as
+``repro verify [--smoke] [--only GROUP]``.
 """
 
 from repro.verify.branch import check_branch_identity, identity_matrix
 from repro.verify.fleet import check_fleet_identity
+from repro.verify.fleet_crash import check_fleet_crash
 from repro.verify.monitor import InvariantMonitor, MonitorStats, Violation
 from repro.verify.perturb import (PerturbedEventQueue, diff_signatures,
                                   metamorphic_signature)
@@ -38,6 +43,7 @@ __all__ = [
     "VerificationReport",
     "Violation",
     "check_branch_identity",
+    "check_fleet_crash",
     "check_fleet_identity",
     "diff_signatures",
     "identity_matrix",

@@ -1,6 +1,6 @@
 """The end-to-end verification harness behind ``repro verify``.
 
-Eight check groups, each producing a :class:`CheckResult`:
+Nine check groups, each producing a :class:`CheckResult`:
 
 * **invariant-monitor** — boot every scenario with a strict
   :class:`~repro.verify.monitor.InvariantMonitor` attached, so every
@@ -32,9 +32,18 @@ Eight check groups, each producing a :class:`CheckResult`:
   both a regressing and a clean target), and generation commits must
   round-trip through the on-disk store: ``rollback(commit(g)) == g``
   (:mod:`repro.verify.generations`).
+* **fleet-crash** — a real ``repro fleet serve`` subprocess is
+  power-cut (``os._exit(137)``) mid-campaign at a seeded journal
+  offset, restarted on the same journal/cache, and the campaign —
+  stitched together from pre-crash results, journal-resumed work and
+  the client's retry/backoff path — must be byte-identical to an
+  uninterrupted serial run (:mod:`repro.verify.fleet_crash`).
 
 ``smoke=True`` is the CI profile: it still runs well over fifty
 monitored/perturbed/property-generated boots but finishes in seconds.
+``repro verify --only GROUP`` runs a single group by name — the
+fleet-crash CI gate uses it to keep its wall time to the one
+crash/restart cycle.
 """
 
 from __future__ import annotations
@@ -295,6 +304,17 @@ def _check_generation_identity(smoke: bool) -> CheckResult:
     return result
 
 
+def _check_fleet_crash(smoke: bool) -> CheckResult:
+    from repro.verify.fleet_crash import check_fleet_crash
+
+    result = CheckResult("fleet-crash")
+    violations, boots, checks = check_fleet_crash(smoke=smoke)
+    result.violations.extend(violations)
+    result.boots += boots
+    result.checks += checks
+    return result
+
+
 def _check_predicted(scenarios: list[_Scenario], smoke: bool) -> CheckResult:
     """Closed-form predictor vs DES on every unperturbed scenario."""
     from repro.analysis.predict import SweepPredictor, predict
@@ -358,7 +378,8 @@ def _check_laws(seed: int, graphs: int) -> CheckResult:
 
 # ------------------------------------------------------------- entry point
 
-def run_verification(smoke: bool = False, seed: int = 0) -> VerificationReport:
+def run_verification(smoke: bool = False, seed: int = 0,
+                     only: str | None = None) -> VerificationReport:
     """Run the full verification harness and return its report.
 
     Args:
@@ -367,6 +388,9 @@ def run_verification(smoke: bool = False, seed: int = 0) -> VerificationReport:
         seed: Master seed for perturbation tie-breaks, oracle case
             generation and law workload graphs.  The same seed always
             reproduces the same harness run.
+        only: Run just the named group (e.g. ``"fleet-crash"``).
+            Unknown names raise :class:`ValueError` listing the
+            available groups.
     """
     perturbations = 5 if smoke else 12
     oracle_cases = 25 if smoke else 120
@@ -374,17 +398,27 @@ def run_verification(smoke: bool = False, seed: int = 0) -> VerificationReport:
     scenarios = _scenarios(smoke)
 
     report = VerificationReport(seed=seed, smoke=smoke)
-    groups: list[Callable[[], CheckResult]] = [
-        lambda: _check_monitored_boots(scenarios),
-        lambda: _check_perturbation(scenarios, seed, perturbations),
-        lambda: _check_analytic_oracles(seed, oracle_cases),
-        lambda: _check_predicted(scenarios, smoke),
-        lambda: _check_laws(seed, law_graphs),
-        lambda: _check_branch_identity(smoke),
-        lambda: _check_fleet_identity(smoke),
-        lambda: _check_generation_identity(smoke),
+    groups: list[tuple[str, Callable[[], CheckResult]]] = [
+        ("invariant-monitor", lambda: _check_monitored_boots(scenarios)),
+        ("schedule-perturbation",
+         lambda: _check_perturbation(scenarios, seed, perturbations)),
+        ("analytic-oracles",
+         lambda: _check_analytic_oracles(seed, oracle_cases)),
+        ("predicted", lambda: _check_predicted(scenarios, smoke)),
+        ("cross-cutting-laws", lambda: _check_laws(seed, law_graphs)),
+        ("branch-identity", lambda: _check_branch_identity(smoke)),
+        ("fleet-identity", lambda: _check_fleet_identity(smoke)),
+        ("generation-identity",
+         lambda: _check_generation_identity(smoke)),
+        ("fleet-crash", lambda: _check_fleet_crash(smoke)),
     ]
-    for group in groups:
+    if only is not None:
+        names = [name for name, _ in groups]
+        if only not in names:
+            raise ValueError(f"unknown verification group {only!r}; "
+                             f"choose from {', '.join(names)}")
+        groups = [(name, thunk) for name, thunk in groups if name == only]
+    for _, group in groups:
         started = time.perf_counter()
         result = group()
         result.duration_s = time.perf_counter() - started

@@ -1,0 +1,183 @@
+"""The write-ahead job journal: durability semantics, unit-level.
+
+These tests drive :class:`repro.fleet.journal.JobJournal` directly —
+no sockets, no service — and pin the WAL contract: checksummed
+round-trips, torn-tail tolerance vs mid-journal damage, idempotent
+appends, and crash-safe checkpoint/compaction.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.fleet.journal import (JobJournal, decode_record, encode_record,
+                                 load_checkpoint, parse_journal_bytes,
+                                 replay_records)
+
+SPECS = [{"kind": "boot", "workload": "tv", "bb": "full"}]
+
+
+def _journal(tmp_path, **kwargs):
+    return JobJournal(tmp_path / "journal", **kwargs)
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = {"type": "submit", "key": "k1", "sid": "s", "specs": SPECS,
+                  "priority": 3}
+        line = encode_record(record)
+        assert line.endswith(b"\n")
+        decoded = decode_record(line.rstrip(b"\n"))
+        assert decoded == record
+
+    def test_flipped_byte_fails_the_checksum(self):
+        line = encode_record({"type": "done", "key": "k1"}).rstrip(b"\n")
+        tampered = line.replace(b"k1", b"k2")
+        assert decode_record(tampered) is None
+
+    def test_non_json_and_non_object_lines_are_corrupt(self):
+        assert decode_record(b"{half a rec") is None
+        assert decode_record(b"[1, 2, 3]") is None
+
+
+class TestParseJournalBytes:
+    def test_torn_tail_is_skipped_not_fatal(self):
+        good = encode_record({"type": "submit", "key": "a", "sid": "s",
+                              "specs": SPECS, "priority": 0})
+        torn = good[: len(good) // 2]
+        records, skipped = parse_journal_bytes(good + torn)
+        assert len(records) == 1
+        assert skipped == 1
+
+    def test_mid_journal_corruption_raises(self):
+        good = encode_record({"type": "done", "key": "a"})
+        with pytest.raises(JournalError, match="mid-journal damage"):
+            parse_journal_bytes(b"garbage\n" + good)
+
+    def test_blank_lines_are_ignored(self):
+        good = encode_record({"type": "done", "key": "a"})
+        records, skipped = parse_journal_bytes(b"\n" + good + b"\n\n")
+        assert len(records) == 1
+        assert skipped == 0
+
+
+class TestReplay:
+    def test_submit_then_done_closes(self):
+        records = [{"type": "submit", "key": "a", "sid": "s",
+                    "specs": SPECS, "priority": 0},
+                   {"type": "done", "key": "a"}]
+        assert replay_records(records) == {}
+
+    def test_first_submit_wins(self):
+        first = {"type": "submit", "key": "a", "sid": "s1",
+                 "specs": SPECS, "priority": 0}
+        second = dict(first, sid="s2")
+        state = replay_records([first, second])
+        assert state["a"]["sid"] == "s1"
+
+    def test_replay_is_idempotent(self):
+        records = [{"type": "submit", "key": "a", "sid": "s",
+                    "specs": SPECS, "priority": 0},
+                   {"type": "done", "key": "b"}]
+        once = replay_records(records)
+        twice = replay_records(records, replay_records(records))
+        assert once == twice
+
+    def test_unknown_type_and_missing_key_raise(self):
+        with pytest.raises(JournalError, match="unknown journal record"):
+            replay_records([{"type": "compact", "key": "a"}])
+        with pytest.raises(JournalError, match="no key"):
+            replay_records([{"type": "submit"}])
+
+
+class TestJobJournal:
+    def test_submit_persists_across_reopen(self, tmp_path):
+        journal = _journal(tmp_path)
+        assert journal.record_submit("k1", "sid-1", SPECS, 2)
+        journal.close()
+        reopened = _journal(tmp_path)
+        assert reopened.depth == 1
+        record = reopened.open_submissions["k1"]
+        assert record["sid"] == "sid-1"
+        assert record["specs"] == SPECS
+        assert record["priority"] == 2
+        reopened.close()
+
+    def test_record_submit_is_idempotent(self, tmp_path):
+        journal = _journal(tmp_path)
+        assert journal.record_submit("k1", "sid-1", SPECS, 0)
+        assert not journal.record_submit("k1", "sid-1", SPECS, 0)
+        assert journal.stats.appended == 1
+        journal.close()
+
+    def test_done_clears_the_open_set(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit("k1", "sid-1", SPECS, 0)
+        assert journal.record_done("k1")
+        assert not journal.record_done("k1")
+        journal.close()
+        assert _journal(tmp_path).depth == 0
+
+    def test_torn_tail_on_disk_is_tolerated(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit("k1", "sid-1", SPECS, 0)
+        journal.close()
+        with open(journal.journal_path, "ab") as handle:
+            handle.write(b'{"type": "done", "key')  # power cut mid-append
+        reopened = _journal(tmp_path)
+        assert reopened.depth == 1
+        assert reopened.stats.skipped_tail == 1
+        reopened.close()
+
+    def test_checkpoint_compacts_the_log(self, tmp_path):
+        journal = _journal(tmp_path, checkpoint_every=4)
+        for index in range(2):
+            journal.record_submit(f"k{index}", f"sid-{index}", SPECS, 0)
+        journal.record_done("k0")
+        journal.record_done("k1")  # 4th append -> automatic checkpoint
+        assert journal.stats.checkpoints == 1
+        assert journal.journal_path.read_bytes() == b""
+        assert load_checkpoint(journal.checkpoint_path) == {}
+        journal.record_submit("k9", "sid-9", SPECS, 0)
+        journal.checkpoint()
+        checkpointed = load_checkpoint(journal.checkpoint_path)
+        assert set(checkpointed) == {"k9"}
+        journal.close()
+        assert _journal(tmp_path).depth == 1
+
+    def test_crash_between_checkpoint_and_truncate_is_idempotent(
+            self, tmp_path):
+        # Simulate the worst compaction crash: the checkpoint landed but
+        # the journal truncation did not, so every folded record is
+        # still in the log.  Replay must fold them onto the checkpoint
+        # as no-ops.
+        journal = _journal(tmp_path)
+        journal.record_submit("k1", "sid-1", SPECS, 0)
+        journal.record_submit("k2", "sid-2", SPECS, 0)
+        journal.record_done("k1")
+        raw = journal.journal_path.read_bytes()
+        journal.checkpoint()
+        journal.close()
+        journal.journal_path.write_bytes(raw)  # un-truncate: the "crash"
+        reopened = _journal(tmp_path)
+        assert set(reopened.open_submissions) == {"k2"}
+        reopened.close()
+
+    def test_damaged_checkpoint_is_fatal(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit("k1", "sid-1", SPECS, 0)
+        journal.checkpoint()
+        journal.close()
+        journal.checkpoint_path.write_text("{not json")
+        with pytest.raises(JournalError, match="unreadable checkpoint"):
+            _journal(tmp_path)
+
+    def test_status_is_json_able(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit("k1", "sid-1", SPECS, 0)
+        snapshot = journal.status()
+        assert snapshot["enabled"] is True
+        assert snapshot["depth"] == 1
+        json.dumps(snapshot)
+        journal.close()

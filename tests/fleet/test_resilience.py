@@ -1,0 +1,251 @@
+"""Fleet degradation + recovery: retries, requeue, quarantine, resume.
+
+Service-level companions to ``test_journal.py``: real sockets and real
+shard children, but every fault is injected deterministically through
+:class:`repro.faults.fleet.FleetFaultPlan` (worker kills, connection
+cuts) or staged journal state, so each scenario replays exactly.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError, FleetError
+from repro.faults.fleet import FleetFaultPlan
+from repro.fleet import FleetClient, FleetService
+from repro.fleet.client import RetryPolicy, backoff_schedule
+from repro.fleet.journal import JobJournal
+from repro.fleet.protocol import submission_key
+from repro.fleet.resources import ResourcePolicy
+from repro.runner.schedule import JobScheduler
+
+
+def _spec(seed=1, **extra):
+    spec = {"kind": "boot", "workload": "tv", "bb": "full",
+            "fault": {"preset": "flaky-services", "seed": seed}}
+    spec.update(extra)
+    return spec
+
+
+def _policy(**overrides):
+    defaults = dict(min_workers=1, max_workers=2)
+    defaults.update(overrides)
+    return ResourcePolicy(**defaults)
+
+
+async def _with_service(scenario, **service_kwargs):
+    service_kwargs.setdefault("policy", _policy())
+    service_kwargs.setdefault("port", 0)
+    service = FleetService(**service_kwargs)
+    host, port = await service.start()
+    drained = False
+    try:
+        result = await scenario(service, host, port)
+        await service.drain()
+        drained = True
+        return result
+    finally:
+        if not drained:
+            await service.stop()
+
+
+class TestBackoffSchedule:
+    def test_deterministic_per_seed(self):
+        assert backoff_schedule(6, seed=42) == backoff_schedule(6, seed=42)
+
+    def test_different_seeds_differ(self):
+        assert backoff_schedule(6, seed=1) != backoff_schedule(6, seed=2)
+
+    def test_delays_respect_the_exponential_envelope(self):
+        base, cap = 0.05, 2.0
+        for attempt, delay in enumerate(backoff_schedule(10, base, cap, 3)):
+            ceiling = min(cap, base * 2 ** attempt)
+            assert ceiling * 0.5 <= delay < ceiling
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(ConfigurationError):
+            backoff_schedule(-1)
+        with pytest.raises(ConfigurationError):
+            backoff_schedule(3, base=0.0)
+        with pytest.raises(ConfigurationError):
+            backoff_schedule(3, cap=-1.0)
+
+    def test_policy_delays_wrap_the_schedule(self):
+        policy = RetryPolicy(retries=4, backoff_base=0.1, backoff_cap=1.0,
+                             seed=9)
+        assert policy.delays() == backoff_schedule(4, 0.1, 1.0, 9)
+
+
+class FakeJob:
+    def __init__(self, key):
+        self.key = key
+
+    def fingerprint(self):
+        return self.key
+
+
+class TestSchedulerRequeue:
+    def test_requeue_returns_an_inflight_fingerprint_to_its_band(self):
+        scheduler = JobScheduler()
+        scheduler.submit("c1", FakeJob("f1"), priority=1)
+        batch = scheduler.next_batch(4)
+        assert [fp for fp, _ in batch] == ["f1"]
+        assert scheduler.inflight == 1
+        assert scheduler.requeue("f1")
+        assert scheduler.inflight == 0
+        assert scheduler.queued == 1
+        assert scheduler.stats.requeued == 1
+        # The fingerprint dispatches again, and completion still reaches
+        # the original waiter.
+        assert [fp for fp, _ in scheduler.next_batch(4)] == ["f1"]
+        scheduler.complete("f1", "result")
+        tickets = scheduler.drain("c1")
+        assert [ticket.result for ticket in tickets] == ["result"]
+
+    def test_requeue_of_unknown_or_queued_fingerprint_is_a_noop(self):
+        scheduler = JobScheduler()
+        assert not scheduler.requeue("missing")
+        scheduler.submit("c1", FakeJob("f1"))
+        assert not scheduler.requeue("f1")  # queued, not inflight
+        assert scheduler.stats.requeued == 0
+
+
+class TestShardCrashRecovery:
+    def test_killed_shard_is_replaced_and_the_batch_requeued(self):
+        chaos = FleetFaultPlan(seed=5, kill_worker_batches=(1,))
+
+        async def scenario(service, host, port):
+            async with FleetClient(host, port) as client:
+                outcome = await client.submit([_spec(seed=s)
+                                               for s in range(3)])
+            return outcome, service.status()
+
+        outcome, status = asyncio.run(_with_service(
+            scenario, chaos=chaos, max_job_retries=2))
+        assert outcome.ok
+        assert len(outcome.payloads) == 3
+        assert status["resilience"]["shards_replaced"] >= 1
+        assert status["resilience"]["chaos_worker_kills"] >= 1
+        assert status["scheduler"]["requeued"] >= 1
+        assert status["resilience"]["quarantined"] == 0
+
+    def test_repeat_killer_is_quarantined_with_a_diagnosis(self):
+        # Every dispatch dies, so the lone job exhausts its one retry
+        # and must come back as a diagnosed error, not a hung client.
+        chaos = FleetFaultPlan(seed=5, kill_worker_rate=1.0)
+
+        async def scenario(service, host, port):
+            async with FleetClient(host, port) as client:
+                first = await client.submit([_spec(seed=0)])
+                replaced_after_first = service.pool.replaced
+                second = await client.submit([_spec(seed=0)])
+            return first, second, replaced_after_first, service
+
+        first, second, replaced_after_first, service = asyncio.run(
+            _with_service(scenario, chaos=chaos, max_job_retries=1))
+        assert not first.ok
+        assert "quarantined" in first.errors[0]
+        assert "retry budget" in first.errors[0]
+        # The resubmission is refused straight from the quarantine map —
+        # no further shard is sacrificed to a known killer.
+        assert not second.ok
+        assert "quarantined" in second.errors[0]
+        assert service.pool.replaced == replaced_after_first
+        assert len(service.quarantined) == 1
+
+
+class TestConnectionDropRetry:
+    def test_submit_with_retry_rides_out_a_server_side_cut(self):
+        # The server aborts the first connection before its first frame
+        # (the ack), exactly once; the retry path must reconnect and
+        # complete the identical submission.
+        chaos = FleetFaultPlan(seed=5, drop_connection_after_frames=1)
+
+        async def scenario(service, host, port):
+            async with FleetClient(host, port) as client:
+                policy = RetryPolicy(retries=4, backoff_base=0.01, seed=2)
+                outcome = await client.submit_with_retry(
+                    [_spec(seed=s) for s in range(2)], policy=policy)
+            return outcome, service.status()
+
+        outcome, status = asyncio.run(_with_service(scenario, chaos=chaos))
+        assert outcome.ok
+        assert outcome.attempts >= 2
+        assert status["resilience"]["chaos_connection_drops"] == 1
+
+    def test_read_timeout_surfaces_as_fleet_error(self):
+        async def scenario():
+            async def silent(reader, writer):
+                await asyncio.sleep(30)
+
+            server = await asyncio.start_server(silent, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = FleetClient("127.0.0.1", port, read_timeout=0.2)
+            await client.connect()
+            try:
+                with pytest.raises(FleetError, match="timed out"):
+                    await client.status()
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestJournalWiring:
+    def test_submission_is_journaled_then_marked_done(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+
+        async def scenario(service, host, port):
+            assert service.journal is not None
+            async with FleetClient(host, port) as client:
+                outcome = await client.submit([_spec(seed=0)])
+            return outcome, service.journal.stats.appended
+
+        outcome, appended = asyncio.run(_with_service(
+            scenario, journal_dir=str(journal_dir)))
+        assert outcome.ok
+        assert appended == 2  # one submit + one done
+        reopened = JobJournal(journal_dir)
+        assert reopened.depth == 0
+        reopened.close()
+
+    def test_open_journal_entries_are_resumed_on_start(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        specs = [_spec(seed=0), _spec(seed=1)]
+        staged = JobJournal(journal_dir)
+        key = submission_key("sub-crashed", specs, 0)
+        staged.record_submit(key, "sub-crashed", specs, 0)
+        staged.close()
+
+        async def scenario(service, host, port):
+            assert service.resumed_total == 1
+            for _ in range(500):
+                if service.resumed_done == 1:
+                    break
+                await asyncio.sleep(0.02)
+            status = service.status()
+            assert status["journal"]["resumed"] == 1
+            assert status["journal"]["resumed_done"] == 1
+            return service.journal.depth
+
+        depth = asyncio.run(_with_service(
+            scenario, journal_dir=str(journal_dir)))
+        assert depth == 0  # recovery recorded its own done
+
+    def test_unresolvable_journal_entries_are_closed_not_fatal(
+            self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        staged = JobJournal(journal_dir)
+        staged.record_submit("bad", "sub-bad",
+                             [{"workload": "no-such-workload"}], 0)
+        staged.close()
+
+        async def scenario(service, host, port):
+            return service.resumed_total, service.journal.depth
+
+        resumed, depth = asyncio.run(_with_service(
+            scenario, journal_dir=str(journal_dir)))
+        assert resumed == 0
+        assert depth == 0

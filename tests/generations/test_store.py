@@ -158,3 +158,35 @@ class TestDiff:
 
     def test_identical_generations_diff_empty(self):
         assert diff_generations(_gen(), _gen()) == {}
+
+
+class TestCrashSafeRefs:
+    def test_interrupted_refs_write_leaves_the_old_table_intact(
+            self, store, monkeypatch):
+        # A crash inside _save_refs (power cut between the temp write
+        # and the rename) must leave refs.json exactly as it was —
+        # the atomic-rename contract the journal also relies on.
+        first = store.commit(_gen("gen-1"))
+        before = store.refs_path.read_text(encoding="ascii")
+
+        import os as os_module
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated power cut before rename")
+
+        monkeypatch.setattr(os_module, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated power cut"):
+            store.commit(_gen("gen-2", parent=first))
+        monkeypatch.undo()
+
+        assert store.refs_path.read_text(encoding="ascii") == before
+        assert store.resolve("main") == first
+        # The store is not wedged: the retry lands normally.
+        second = store.commit(_gen("gen-2", parent=first))
+        assert store.resolve("main") == second
+
+    def test_no_temp_file_is_left_behind(self, store):
+        store.commit(_gen("gen-1"))
+        leftovers = [p.name for p in store.root.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []

@@ -28,7 +28,7 @@ def test_smoke_runs_every_group(smoke_report):
     assert names == ["invariant-monitor", "schedule-perturbation",
                      "analytic-oracles", "predicted", "cross-cutting-laws",
                      "branch-identity", "fleet-identity",
-                     "generation-identity"]
+                     "generation-identity", "fleet-crash"]
     for result in smoke_report.results:
         assert result.checks > 0, result.name
 
@@ -38,7 +38,18 @@ def test_smoke_report_serializes(smoke_report):
     document = json.loads(json.dumps(smoke_report.to_dict()))
     assert document["ok"] is True
     assert document["total_boots"] == smoke_report.total_boots
-    assert len(document["groups"]) == 8
+    assert len(document["groups"]) == 9
+
+
+def test_only_selects_a_single_group():
+    report = run_verification(smoke=True, seed=0, only="analytic-oracles")
+    assert [result.name for result in report.results] == ["analytic-oracles"]
+    assert report.ok
+
+
+def test_only_rejects_unknown_group_names():
+    with pytest.raises(ValueError, match="unknown verification group"):
+        run_verification(smoke=True, only="no-such-group")
 
 
 def test_summary_renders_pass_and_fail():
