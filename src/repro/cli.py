@@ -1093,9 +1093,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_campaign.add_argument("--backoff-base", type=float, default=0.1,
                                 help="first-retry backoff ceiling, "
                                      "seconds (default 0.1)")
-    fleet_campaign.add_argument("--retry-seed", type=int, default=0,
+    fleet_campaign.add_argument("--retry-seed", type=int, default=None,
                                 help="jitter seed for the backoff "
-                                     "schedule (default 0)")
+                                     "schedule (default: derived per "
+                                     "client so a fleet decorrelates)")
     fleet_campaign.add_argument("--read-timeout", type=float, default=120.0,
                                 help="per-event read timeout in external "
                                      "mode, seconds (default 120)")

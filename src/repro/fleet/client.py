@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, AsyncIterator
 
@@ -26,9 +27,11 @@ def backoff_schedule(retries: int, base: float = 0.05, cap: float = 2.0,
 
     Delay ``i`` is ``min(cap, base * 2**i)`` scaled by a jitter factor in
     ``[0.5, 1.0)`` drawn from ``sha256(seed, i)`` — deterministic per
-    seed (so tests and the chaos harness can reason about exact retry
-    timing) while still decorrelating a fleet of clients hammering a
-    restarting service.
+    seed, so tests and the chaos harness can reason about exact retry
+    timing.  Decorrelating a fleet of clients therefore requires
+    *different* seeds per client; :class:`RetryPolicy` arranges that by
+    default (``seed=None`` derives one from the client's identity) while
+    an explicit seed pins the schedule for deterministic tests.
     """
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries!r}")
@@ -53,17 +56,26 @@ class RetryPolicy:
         retries: Resubmission attempts after the first try.
         backoff_base: First-retry delay ceiling, seconds.
         backoff_cap: Upper bound any delay saturates at, seconds.
-        seed: Jitter seed (see :func:`backoff_schedule`).
+        seed: Jitter seed (see :func:`backoff_schedule`).  ``None``
+            (the default) derives the seed from the per-client salt
+            passed to :meth:`delays`, so a fleet of clients retrying
+            against one restarting service spreads out instead of
+            hammering it in lockstep; an explicit seed pins the
+            schedule regardless of client, for deterministic tests.
     """
 
     retries: int = 5
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
-    seed: int = 0
+    seed: int | None = None
 
-    def delays(self) -> list[float]:
+    def delays(self, salt: str = "") -> list[float]:
+        seed = self.seed
+        if seed is None:
+            seed = int.from_bytes(hashlib.sha256(
+                f"fleet-client-seed:{salt}".encode()).digest()[:8], "big")
         return backoff_schedule(self.retries, self.backoff_base,
-                                self.backoff_cap, self.seed)
+                                self.backoff_cap, seed)
 
 
 @dataclass(slots=True)
@@ -111,11 +123,16 @@ class FleetClient:
 
     def __init__(self, host: str, port: int,
                  connect_timeout: float | None = 5.0,
-                 read_timeout: float | None = None):
+                 read_timeout: float | None = None,
+                 client_id: str | None = None):
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
         self.read_timeout = read_timeout
+        # Salts the default retry jitter so concurrent clients draw
+        # different backoff schedules (see RetryPolicy.seed).
+        self.client_id = (client_id if client_id is not None
+                          else uuid.uuid4().hex)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._payloads: dict[str, bytes] = {}  # fingerprint -> bytes
@@ -240,7 +257,7 @@ class FleetClient:
         if sid is None:
             sid = f"sub-{self._next_sid}"
             self._next_sid += 1
-        delays = policy.delays()
+        delays = policy.delays(f"{self.client_id}:{sid}")
         attempt = 0
         while True:
             try:

@@ -19,10 +19,13 @@ Durability rules (in the spirit of every serious WAL):
   canonical JSON, so replay distinguishes "valid", "torn", and
   "damaged" instead of guessing.
 * **Torn-tail tolerance.**  A truncated or garbled *final* record is
-  exactly what a power cut mid-append produces; replay skips it and
-  counts it.  A corrupt record *followed by a valid one* cannot be a
-  torn tail — that file was damaged after the fact, and replay refuses
-  it with :class:`~repro.errors.JournalError` rather than silently
+  exactly what a power cut mid-append produces; replay skips it, counts
+  it, and truncates it off the file before the append handle opens — so
+  the next append starts a fresh line instead of gluing onto the
+  partial one (which would read as mid-journal damage one restart
+  later).  A corrupt record *followed by a valid one* cannot be a torn
+  tail — that file was damaged after the fact, and replay refuses it
+  with :class:`~repro.errors.JournalError` rather than silently
   dropping acknowledged work.
 * **Idempotent replay.**  Per key, ``submit`` only opens (first wins)
   and ``done`` only closes, so replaying any prefix — or the whole file
@@ -100,8 +103,15 @@ def decode_record(line: bytes) -> dict[str, Any] | None:
 
 def parse_journal_bytes(raw: bytes,
                         source: str = "<journal>"
-                        ) -> tuple[list[dict[str, Any]], int]:
-    """Split raw journal bytes into ``(valid records, skipped tail lines)``.
+                        ) -> tuple[list[dict[str, Any]], int, int]:
+    """Split raw journal bytes into
+    ``(valid records, skipped tail lines, valid byte length)``.
+
+    ``valid byte length`` is the offset just past the last valid
+    record's line — the length the file must be cut back to before any
+    new record is appended.  Appending after torn tail bytes would glue
+    the next record onto the partial line, turning tolerated tail
+    damage into fatal mid-journal damage one restart later.
 
     Raises:
         JournalError: A corrupt record is followed by a valid one —
@@ -110,7 +120,15 @@ def parse_journal_bytes(raw: bytes,
     records: list[dict[str, Any]] = []
     corrupt_at: int | None = None
     skipped = 0
-    for lineno, line in enumerate(raw.split(b"\n"), start=1):
+    valid_bytes = 0
+    offset = 0
+    lineno = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        end = len(raw) if newline < 0 else newline + 1
+        line = raw[offset:len(raw) if newline < 0 else newline]
+        lineno += 1
+        offset = end
         if not line.strip():
             continue
         record = decode_record(line)
@@ -125,7 +143,8 @@ def parse_journal_bytes(raw: bytes,
                 f"by a valid record at line {lineno} — mid-journal damage, "
                 f"not a torn tail")
         records.append(record)
-    return records, skipped
+        valid_bytes = end
+    return records, skipped, valid_bytes
 
 
 def replay_records(records: Iterable[dict[str, Any]],
@@ -260,11 +279,22 @@ class JobJournal:
         state = load_checkpoint(self.checkpoint_path)
         raw = (self.journal_path.read_bytes()
                if self.journal_path.exists() else b"")
-        records, skipped = parse_journal_bytes(raw, str(self.journal_path))
+        records, skipped, valid_bytes = parse_journal_bytes(
+            raw, str(self.journal_path))
         self.open_submissions = replay_records(records, state)
         self.stats.replayed = len(records)
         self.stats.skipped_tail = skipped
         self.stats.since_checkpoint = len(records)
+        # Amputate the torn tail before the append handle opens: bytes
+        # left after the last valid record would glue onto the next
+        # append, producing one corrupt merged line that the restart
+        # after this one rejects as mid-journal damage.  A final valid
+        # record whose newline was cut gets it back for the same reason.
+        clean = raw[:valid_bytes]
+        if clean and not clean.endswith(b"\n"):
+            clean += b"\n"
+        if clean != raw:
+            atomic_write_bytes(self.journal_path, clean)
 
     def close(self) -> None:
         if not self._handle.closed:
@@ -283,16 +313,29 @@ class JobJournal:
             return False
         record = {"type": "submit", "key": key, "sid": sid,
                   "specs": specs, "priority": priority}
+        # The open set must be mutated before _append (a checkpoint
+        # triggered by the append folds it), but a failed append (ENOSPC,
+        # I/O error) must roll it back: a key left open in memory with
+        # nothing durable would dedupe the client's retry of the
+        # never-acked submission, silently losing it across a crash.
         self.open_submissions[key] = record
-        self._append(record)
+        try:
+            self._append(record)
+        except Exception:
+            self.open_submissions.pop(key, None)
+            raise
         return True
 
     def record_done(self, key: str) -> bool:
         """Journal a submission's completion; ``False`` if it was not open."""
-        if key not in self.open_submissions:
+        record = self.open_submissions.pop(key, None)
+        if record is None:
             return False
-        del self.open_submissions[key]
-        self._append({"type": "done", "key": key})
+        try:
+            self._append({"type": "done", "key": key})
+        except Exception:
+            self.open_submissions[key] = record
+            raise
         return True
 
     def _append(self, record: dict[str, Any]) -> None:

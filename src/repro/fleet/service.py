@@ -193,6 +193,7 @@ class FleetService:
         self.resumed_done = 0
         self._retry_counts: dict[str, int] = {}
         self._resumed: dict[str, _ResumedSubmission] = {}
+        self._journal_refs: dict[str, int] = {}
         self._batches_dispatched = 0
         self.draining = False
         self.started_at = time.monotonic()
@@ -250,6 +251,7 @@ class FleetService:
             client = f"journal:{key}"
             self._resumed[client] = _ResumedSubmission(key, client,
                                                       len(jobs))
+            self._journal_retain(key)
             self.resumed_total += 1
             for job in jobs:
                 self.scheduler.submit(client, job, priority=priority)
@@ -267,8 +269,27 @@ class FleetService:
         if tracker.delivered >= tracker.total:
             del self._resumed[client]
             self.resumed_done += 1
-            if self.journal is not None:
-                self.journal.record_done(tracker.key)
+            self._journal_release(tracker.key)
+
+    # Two submissions can share one journal content key — identical
+    # (sid, specs, priority) triples from different connections collapse
+    # to the same hash, and a journal-resumed entry can coexist with a
+    # live retry of the same work.  ``done`` may therefore only be
+    # journaled when the *last* holder releases the key; otherwise one
+    # client disconnecting would strip the crash coverage of another
+    # client's still-undelivered submission.
+
+    def _journal_retain(self, key: str) -> None:
+        self._journal_refs[key] = self._journal_refs.get(key, 0) + 1
+
+    def _journal_release(self, key: str) -> None:
+        remaining = self._journal_refs.get(key, 0) - 1
+        if remaining > 0:
+            self._journal_refs[key] = remaining
+            return
+        self._journal_refs.pop(key, None)
+        if self.journal is not None:
+            self.journal.record_done(key)
 
     def install_signal_handlers(self) -> None:
         """Route SIGTERM/SIGINT to the graceful drain (serve mode)."""
@@ -449,9 +470,8 @@ class FleetService:
                 # crash on either side of the done frame is covered —
                 # before: the journal resumes it (all cache hits);
                 # after: the client's retry resubmits and cache-hits.
-                if (submission.journal_key is not None
-                        and self.journal is not None):
-                    self.journal.record_done(submission.journal_key)
+                if submission.journal_key is not None:
+                    self._journal_release(submission.journal_key)
                 await connection.send({
                     "event": "done", "id": sid, "total": submission.total,
                     "elapsed_s": round(
@@ -506,13 +526,15 @@ class FleetService:
             self._connections.pop(key, None)
             self.scheduler.forget_client(key)
             # A client that walked away mid-submission abandoned the
-            # work — close its journal entries so a restart does not
-            # resurrect submissions nobody is waiting for.  (A client
-            # that *retries* re-journals the same content key first.)
-            if self.journal is not None:
-                for submission in connection.submissions.values():
-                    if submission.journal_key is not None:
-                        self.journal.record_done(submission.journal_key)
+            # work — release its hold on each journal key so a restart
+            # does not resurrect submissions nobody is waiting for.
+            # Release, not record_done: another connection's identical
+            # submission may share the key and still be undelivered.
+            # (A client that *retries* re-journals the same content key
+            # first.)
+            for submission in connection.submissions.values():
+                if submission.journal_key is not None:
+                    self._journal_release(submission.journal_key)
             connection.closed = True
             with contextlib.suppress(ConnectionError):
                 writer.close()
@@ -562,8 +584,12 @@ class FleetService:
         journal_key: str | None = None
         if self.journal is not None:
             journal_key = protocol.submission_key(sid, specs, priority)
+            self._journal_retain(journal_key)
             self.journal.record_submit(journal_key, sid, specs, priority)
         submission = _Submission(sid, len(expanded), journal_key)
+        replaced = connection.submissions.get(sid)
+        if replaced is not None and replaced.journal_key is not None:
+            self._journal_release(replaced.journal_key)  # keep refs balanced
         connection.submissions[sid] = submission
         refused: dict[str, str] = {}
         for index, job in enumerate(expanded):

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Any, Iterator
@@ -259,22 +258,16 @@ class GenerationStore:
 
     def _save_refs(self, refs: dict[str, str]) -> None:
         # The refs table is the store's single mutable file: a torn
-        # write here orphans every ref at once.  Write-temp + fsync +
-        # atomic rename means a crash at any instant leaves either the
-        # old complete table or the new complete table, never a prefix.
+        # write here orphans every ref at once.  The journal's atomic
+        # write (temp + fsync + rename + guarded directory fsync — the
+        # guard matters on platforms where directories cannot be
+        # opened) means a crash at any instant leaves either the old
+        # complete table or the new complete table, never a prefix.
+        from repro.fleet.journal import atomic_write_bytes
+
         payload = json.dumps(dict(sorted(refs.items())), indent=2,
                              sort_keys=True) + "\n"
-        temporary = self.refs_path.with_name(self.refs_path.name + ".tmp")
-        with open(temporary, "w", encoding="ascii") as handle:
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temporary, self.refs_path)
-        directory = os.open(self.root, os.O_RDONLY)
-        try:
-            os.fsync(directory)
-        finally:
-            os.close(directory)
+        atomic_write_bytes(self.refs_path, payload.encode("ascii"))
 
     # -------------------------------------------------------------- objects
 

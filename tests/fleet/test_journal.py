@@ -46,9 +46,10 @@ class TestParseJournalBytes:
         good = encode_record({"type": "submit", "key": "a", "sid": "s",
                               "specs": SPECS, "priority": 0})
         torn = good[: len(good) // 2]
-        records, skipped = parse_journal_bytes(good + torn)
+        records, skipped, valid_bytes = parse_journal_bytes(good + torn)
         assert len(records) == 1
         assert skipped == 1
+        assert valid_bytes == len(good)  # the torn bytes are excluded
 
     def test_mid_journal_corruption_raises(self):
         good = encode_record({"type": "done", "key": "a"})
@@ -57,9 +58,11 @@ class TestParseJournalBytes:
 
     def test_blank_lines_are_ignored(self):
         good = encode_record({"type": "done", "key": "a"})
-        records, skipped = parse_journal_bytes(b"\n" + good + b"\n\n")
+        records, skipped, valid_bytes = parse_journal_bytes(
+            b"\n" + good + b"\n\n")
         assert len(records) == 1
         assert skipped == 0
+        assert valid_bytes == 1 + len(good)
 
 
 class TestReplay:
@@ -128,6 +131,65 @@ class TestJobJournal:
         reopened = _journal(tmp_path)
         assert reopened.depth == 1
         assert reopened.stats.skipped_tail == 1
+        reopened.close()
+
+    def test_append_after_torn_tail_recovery_stays_replayable(
+            self, tmp_path):
+        # Torn tail -> reopen (replay skips it) -> append -> reopen
+        # again.  Without truncating the torn bytes on recovery, the
+        # append glues onto the partial line and the *second* reopen
+        # rejects the file as mid-journal damage, losing the glued
+        # record and wedging the service.
+        journal = _journal(tmp_path)
+        journal.record_submit("k1", "sid-1", SPECS, 0)
+        journal.record_submit("k2", "sid-2", SPECS, 0)
+        journal.close()
+        raw = journal.journal_path.read_bytes()
+        journal.journal_path.write_bytes(raw[:-10])  # power cut tears k2
+        recovered = _journal(tmp_path)
+        assert set(recovered.open_submissions) == {"k1"}
+        assert recovered.stats.skipped_tail == 1
+        assert recovered.record_done("k1")
+        assert recovered.record_submit("k3", "sid-3", SPECS, 0)
+        recovered.close()
+        reopened = _journal(tmp_path)
+        assert set(reopened.open_submissions) == {"k3"}
+        assert reopened.stats.skipped_tail == 0
+        reopened.close()
+
+    def test_missing_final_newline_is_repaired_not_glued(self, tmp_path):
+        # A cut that ate only the record's newline leaves it decodable;
+        # recovery must restore the newline so the next append starts a
+        # fresh line instead of merging with it.
+        journal = _journal(tmp_path)
+        journal.record_submit("k1", "sid-1", SPECS, 0)
+        journal.close()
+        raw = journal.journal_path.read_bytes()
+        journal.journal_path.write_bytes(raw.rstrip(b"\n"))
+        recovered = _journal(tmp_path)
+        assert set(recovered.open_submissions) == {"k1"}
+        assert recovered.record_submit("k2", "sid-2", SPECS, 0)
+        recovered.close()
+        reopened = _journal(tmp_path)
+        assert set(reopened.open_submissions) == {"k1", "k2"}
+        reopened.close()
+
+    def test_failed_append_rolls_back_the_open_set(self, tmp_path):
+        # If the durable append fails (ENOSPC stand-in: a dead handle),
+        # the in-memory open set must not drift from the disk: a key
+        # left open with nothing journaled would dedupe the client's
+        # retry of the never-acked submission and lose it in a crash.
+        journal = _journal(tmp_path)
+        journal.record_submit("k1", "sid-1", SPECS, 0)
+        journal._handle.close()  # every write now raises
+        with pytest.raises(ValueError):
+            journal.record_submit("k2", "sid-2", SPECS, 0)
+        assert "k2" not in journal.open_submissions
+        with pytest.raises(ValueError):
+            journal.record_done("k1")
+        assert "k1" in journal.open_submissions
+        reopened = _journal(tmp_path)
+        assert set(reopened.open_submissions) == {"k1"}
         reopened.close()
 
     def test_checkpoint_compacts_the_log(self, tmp_path):

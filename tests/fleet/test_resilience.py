@@ -75,6 +75,23 @@ class TestBackoffSchedule:
                              seed=9)
         assert policy.delays() == backoff_schedule(4, 0.1, 1.0, 9)
 
+    def test_default_policy_decorrelates_clients(self):
+        # seed=None derives the jitter from the per-client salt, so a
+        # fleet of default-configured clients does not retry in
+        # lockstep against a restarting service.
+        policy = RetryPolicy(retries=4)
+        assert (policy.delays("client-a:sub-0")
+                != policy.delays("client-b:sub-0"))
+        # ... while staying deterministic for a given client.
+        assert (policy.delays("client-a:sub-0")
+                == policy.delays("client-a:sub-0"))
+
+    def test_explicit_seed_pins_the_schedule_across_clients(self):
+        policy = RetryPolicy(retries=4, seed=9)
+        assert (policy.delays("client-a") == policy.delays("client-b")
+                == backoff_schedule(4, policy.backoff_base,
+                                    policy.backoff_cap, 9))
+
 
 class FakeJob:
     def __init__(self, key):
@@ -233,6 +250,30 @@ class TestJournalWiring:
         depth = asyncio.run(_with_service(
             scenario, journal_dir=str(journal_dir)))
         assert depth == 0  # recovery recorded its own done
+
+    def test_shared_journal_key_waits_for_every_holder(self, tmp_path):
+        # Two identical (sid, specs, priority) triples from different
+        # connections collapse to one journal content key.  The first
+        # client walking away must release its hold, not close the
+        # entry — the other client's still-undelivered submission keeps
+        # its crash coverage until the last holder is done.
+        journal_dir = tmp_path / "journal"
+
+        async def scenario(service, host, port):
+            specs = [_spec(seed=0)]
+            key = submission_key("shared", specs, 0)
+            service._journal_retain(key)
+            service.journal.record_submit(key, "shared", specs, 0)
+            service._journal_retain(key)   # second conn, same triple
+            service._journal_release(key)  # first client disconnects
+            depth_while_held = service.journal.depth
+            service._journal_release(key)  # last holder completes
+            return depth_while_held, service.journal.depth
+
+        held, after = asyncio.run(_with_service(
+            scenario, journal_dir=str(journal_dir)))
+        assert held == 1  # the entry survived the first disconnect
+        assert after == 0
 
     def test_unresolvable_journal_entries_are_closed_not_fatal(
             self, tmp_path):

@@ -60,7 +60,7 @@ def test_replay_is_duplication_invariant(records, data):
 def test_any_tail_truncation_is_tolerated(records, cut):
     raw = b"".join(encode_record(record) for record in records)
     torn = raw[: max(0, len(raw) - cut)]
-    parsed, skipped = parse_journal_bytes(torn)
+    parsed, skipped, valid = parse_journal_bytes(torn)
     # Every whole line before the cut survives (and a cut that only ate
     # the final newline still leaves that record decodable); at most the
     # one record the cut landed inside is skipped.
@@ -68,6 +68,32 @@ def test_any_tail_truncation_is_tolerated(records, cut):
     assert whole <= len(parsed) <= whole + 1
     assert skipped <= 1
     assert parsed == records[: len(parsed)]
+    # The valid prefix is exactly the parsed records: reparsing it
+    # skips nothing and yields the same result.
+    reparsed, reskipped, revalid = parse_journal_bytes(torn[:valid])
+    assert reparsed == parsed
+    assert reskipped == 0
+    assert revalid == valid
+
+
+@given(records=_RECORDS, cut=st.integers(min_value=0, max_value=4096))
+@settings(max_examples=150, deadline=None)
+def test_append_after_tail_repair_never_glues(records, cut):
+    # What JobJournal does on recovery: truncate to the valid prefix,
+    # restore a missing final newline, then append.  Whatever the cut,
+    # the appended record must parse as one more valid record — never
+    # merge with the tail into mid-journal damage.
+    raw = b"".join(encode_record(record) for record in records)
+    torn = raw[: max(0, len(raw) - cut)]
+    parsed, _skipped, valid = parse_journal_bytes(torn)
+    clean = torn[:valid]
+    if clean and not clean.endswith(b"\n"):
+        clean += b"\n"
+    tail = {"type": "done", "key": "zz"}
+    reparsed, reskipped, _revalid = parse_journal_bytes(
+        clean + encode_record(tail))
+    assert reparsed == parsed + [tail]
+    assert reskipped == 0
 
 
 @given(records=_RECORDS, garbage=st.binary(max_size=64))
@@ -77,8 +103,10 @@ def test_garbage_tails_are_skipped_not_fatal(records, garbage):
     # durable newline.  However they decode, replay of the parsed
     # prefix must equal replay of the clean journal.
     raw = b"".join(encode_record(record) for record in records)
-    parsed, _skipped = parse_journal_bytes(raw + garbage.replace(b"\n", b""))
+    parsed, _skipped, valid = parse_journal_bytes(
+        raw + garbage.replace(b"\n", b""))
     assert parsed == records
+    assert valid == len(raw)
     assert replay_records(parsed) == replay_records(records)
 
 
